@@ -1,0 +1,109 @@
+//! Criterion micro-benchmarks for the engine layer: transactional statements,
+//! commits, hybrid in-transaction queries and standalone analytical queries on
+//! both architectures.  Engines run with `time_scale = 0` so the numbers
+//! reflect the real data-structure work, not the simulated service delays.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use olxpbench::prelude::*;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn loaded_db(architecture: EngineArchitecture) -> Arc<HybridDatabase> {
+    let config = match architecture {
+        EngineArchitecture::SingleEngine => EngineConfig::single_engine(),
+        EngineArchitecture::DualEngine => EngineConfig::dual_engine(),
+        EngineArchitecture::SharedNothing => EngineConfig::shared_nothing(),
+    }
+    .with_time_scale(0.0);
+    let db = HybridDatabase::new(config).unwrap();
+    db.create_table(
+        TableSchema::new(
+            "ITEM",
+            vec![
+                ColumnDef::new("i_id", DataType::Int, false),
+                ColumnDef::new("i_category", DataType::Int, false),
+                ColumnDef::new("i_price", DataType::Decimal, false),
+            ],
+            vec!["i_id"],
+        )
+        .unwrap(),
+    )
+    .unwrap();
+    for i in 0..5_000i64 {
+        db.load_row(
+            "ITEM",
+            Row::new(vec![
+                Value::Int(i),
+                Value::Int(i % 100),
+                Value::Decimal(100 + i % 10_000),
+            ]),
+        )
+        .unwrap();
+    }
+    db.finish_load().unwrap();
+    db
+}
+
+fn bench_transactions(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_txn");
+    group.measurement_time(Duration::from_millis(800));
+    group.sample_size(20);
+
+    for (label, arch) in [
+        ("single", EngineArchitecture::SingleEngine),
+        ("dual", EngineArchitecture::DualEngine),
+    ] {
+        let db = loaded_db(arch);
+        let session = db.session();
+
+        group.bench_function(format!("{label}/point_read_txn"), |b| {
+            let mut key = 0i64;
+            b.iter(|| {
+                key = (key + 13) % 5_000;
+                let mut txn = session.begin(WorkClass::Oltp);
+                let row = session.read(&mut txn, "ITEM", &Key::int(key)).unwrap();
+                session.commit(txn).unwrap();
+                row
+            })
+        });
+
+        group.bench_function(format!("{label}/read_modify_write_commit"), |b| {
+            let mut key = 0i64;
+            b.iter(|| {
+                key = (key + 17) % 5_000;
+                let mut txn = session.begin(WorkClass::Oltp);
+                let mut row = session
+                    .read(&mut txn, "ITEM", &Key::int(key))
+                    .unwrap()
+                    .unwrap();
+                let price = match row[2] {
+                    Value::Decimal(v) => v,
+                    _ => 0,
+                };
+                row.set(2, Value::Decimal(price + 1));
+                session.update(&mut txn, "ITEM", &Key::int(key), row).unwrap();
+                session.commit(txn).unwrap();
+            })
+        });
+
+        let agg_plan = QueryBuilder::scan("ITEM")
+            .aggregate(vec![], vec![AggSpec::new(AggFunc::Min, 2)])
+            .build();
+        group.bench_function(format!("{label}/hybrid_realtime_query"), |b| {
+            b.iter(|| {
+                let mut txn = session.begin(WorkClass::Hybrid);
+                let out = session.query_in_txn(&mut txn, &agg_plan).unwrap();
+                session.commit(txn).unwrap();
+                out.rows.len()
+            })
+        });
+
+        group.bench_function(format!("{label}/standalone_analytical_query"), |b| {
+            b.iter(|| session.analytical_query(&agg_plan).unwrap().rows.len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_transactions);
+criterion_main!(benches);

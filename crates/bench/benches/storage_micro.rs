@@ -1,0 +1,145 @@
+//! Criterion micro-benchmarks for the storage substrate: MVCC row store,
+//! column store, buffer pool and replication pipeline.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use olxpbench::prelude::*;
+use olxpbench::storage::{
+    BufferPool, ColumnTable, MutationOp, ReplicationLog, Replicator, RowTable,
+};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn item_schema() -> Arc<TableSchema> {
+    Arc::new(
+        TableSchema::new(
+            "ITEM",
+            vec![
+                ColumnDef::new("i_id", DataType::Int, false),
+                ColumnDef::new("i_name", DataType::Str, false),
+                ColumnDef::new("i_price", DataType::Decimal, false),
+            ],
+            vec!["i_id"],
+        )
+        .unwrap()
+        .with_index("idx_name", vec!["i_name"], false)
+        .unwrap(),
+    )
+}
+
+fn item(id: i64) -> Row {
+    Row::new(vec![
+        Value::Int(id),
+        Value::Str(format!("item-{}", id % 64)),
+        Value::Decimal(100 + id),
+    ])
+}
+
+fn loaded_row_table(rows: i64) -> RowTable {
+    let table = RowTable::new(item_schema());
+    for i in 0..rows {
+        table.insert(item(i), 1).unwrap();
+    }
+    table
+}
+
+fn bench_rowstore(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rowstore");
+    group.measurement_time(Duration::from_millis(600));
+    group.sample_size(20);
+
+    group.bench_function("insert", |b| {
+        b.iter_batched(
+            || (RowTable::new(item_schema()), 0i64),
+            |(table, _)| {
+                for i in 0..256 {
+                    table.insert(item(i), 1).unwrap();
+                }
+                table
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    let table = loaded_row_table(10_000);
+    group.bench_function("point_read", |b| {
+        let mut key = 0i64;
+        b.iter(|| {
+            key = (key + 7) % 10_000;
+            table.get(&Key::int(key), 10)
+        })
+    });
+    group.bench_function("full_scan_10k", |b| {
+        b.iter(|| {
+            let mut count = 0usize;
+            table.scan(10, |_, _| count += 1);
+            count
+        })
+    });
+    group.bench_function("secondary_index_lookup", |b| {
+        b.iter(|| {
+            table
+                .index_lookup(0, &Key::new(vec![Value::Str("item-7".into())]), 10)
+                .unwrap()
+                .0
+                .len()
+        })
+    });
+    group.finish();
+}
+
+fn bench_colstore_and_replication(c: &mut Criterion) {
+    let mut group = c.benchmark_group("colstore");
+    group.measurement_time(Duration::from_millis(600));
+    group.sample_size(20);
+
+    let col = ColumnTable::new(item_schema());
+    for i in 0..10_000i64 {
+        col.apply_insert(&Key::int(i), &item(i), 1, i as u64 + 1).unwrap();
+    }
+    group.bench_function("projected_scan_10k", |b| {
+        b.iter(|| {
+            let mut sum = 0f64;
+            col.scan_projected(&[2], |v| sum += v[0].as_f64().unwrap_or(0.0));
+            sum
+        })
+    });
+    group.bench_function("aggregate_column_10k", |b| {
+        b.iter(|| col.aggregate_column(2, |_| true))
+    });
+
+    group.bench_function("replication_apply_1k", |b| {
+        b.iter_batched(
+            || {
+                let log = Arc::new(ReplicationLog::new());
+                let replica = Arc::new(ColumnTable::new(item_schema()));
+                let mut repl = Replicator::new(Arc::clone(&log));
+                repl.register("ITEM", replica);
+                for i in 0..1_000i64 {
+                    log.append("ITEM", MutationOp::Insert, Key::int(i), Some(item(i)), 1);
+                }
+                repl
+            },
+            |repl| repl.catch_up().unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_bufferpool(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bufferpool");
+    group.measurement_time(Duration::from_millis(400));
+    group.sample_size(20);
+    let pool = BufferPool::new(4096);
+    group.bench_function("access_mixed_tables", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            pool.access(if i % 3 == 0 { "ORDER_LINE" } else { "CUSTOMER" }, 64)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_rowstore, bench_colstore_and_replication, bench_bufferpool);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Criterion micro-benchmarks for single workload operations: one online
+//! transaction, one analytical query and one hybrid transaction from each
+//! OLxPBench suite, executed on a dual-engine database with `time_scale = 0`
+//! (so the cost is the real data-structure work).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use olxpbench::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn prepared(workload: &dyn Workload) -> Arc<HybridDatabase> {
+    let db = HybridDatabase::new(EngineConfig::dual_engine().with_time_scale(0.0)).unwrap();
+    workload.create_schema(&db).unwrap();
+    workload.load(&db, 1, 42).unwrap();
+    db.finish_load().unwrap();
+    db
+}
+
+fn bench_suite(c: &mut Criterion, name: &str) {
+    let workload = workload_by_name(name).unwrap();
+    let db = prepared(workload.as_ref());
+    let session = db.session();
+    let mut group = c.benchmark_group(name);
+    group.measurement_time(Duration::from_millis(700));
+    group.sample_size(15);
+
+    let online = workload.online_transactions();
+    let first_online = &online[0];
+    group.bench_function(format!("online/{}", first_online.name()), |b| {
+        let mut rng = StdRng::seed_from_u64(1);
+        b.iter(|| first_online.execute(&session, &mut rng).unwrap())
+    });
+
+    let queries = workload.analytical_queries();
+    let first_query = &queries[0];
+    group.bench_function(format!("analytical/{}", first_query.name()), |b| {
+        let mut rng = StdRng::seed_from_u64(2);
+        b.iter(|| first_query.execute(&session, &mut rng).unwrap())
+    });
+
+    let hybrids = workload.hybrid_transactions();
+    if let Some(first_hybrid) = hybrids.first() {
+        group.bench_function(format!("hybrid/{}", first_hybrid.name()), |b| {
+            let mut rng = StdRng::seed_from_u64(3);
+            b.iter(|| first_hybrid.execute(&session, &mut rng).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_workloads(c: &mut Criterion) {
+    for name in ["subenchmark", "fibenchmark", "tabenchmark"] {
+        bench_suite(c, name);
+    }
+}
+
+criterion_group!(benches, bench_workloads);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Experiment harness CLI.
+//!
+//! ```text
+//! olxp-experiments <experiment-id>|all [--quick]
+//! ```
+//!
+//! Experiment ids: `table1`, `table2`, `fig1`, `fig3`, `fig4`, `fig5`, `fig6`,
+//! `fig7`, `fig8`, `fig9`, `findings`, `fig10`, `interference`.
+
+use olxpbench_bench::{all_experiment_ids, run_experiment, ExpOptions};
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let targets: Vec<String> = args.into_iter().filter(|a| !a.starts_with("--")).collect();
+    let opts = if quick {
+        ExpOptions::quick()
+    } else {
+        ExpOptions::default()
+    };
+
+    let ids: Vec<String> = if targets.is_empty() || targets.iter().any(|t| t == "all") {
+        all_experiment_ids().into_iter().map(String::from).collect()
+    } else {
+        targets
+    };
+
+    let mut unknown = Vec::new();
+    for id in &ids {
+        let started = Instant::now();
+        match run_experiment(id, opts) {
+            Some(report) => {
+                println!("{report}");
+                println!(
+                    "[{id} completed in {:.1}s{}]\n",
+                    started.elapsed().as_secs_f64(),
+                    if quick { ", quick mode" } else { "" }
+                );
+            }
+            None => unknown.push(id.clone()),
+        }
+    }
+    if !unknown.is_empty() {
+        eprintln!(
+            "unknown experiment id(s): {} (known: {})",
+            unknown.join(", "),
+            all_experiment_ids().join(", ")
+        );
+        std::process::exit(2);
+    }
+}

@@ -1,0 +1,234 @@
+//! Experiment registry and shared helpers.
+//!
+//! Every experiment corresponds to one table or figure of the paper's
+//! evaluation (see the per-experiment index in `DESIGN.md`).  Experiments run
+//! against freshly created in-process engines; because the substrate is a
+//! calibrated model rather than the authors' 4-node testbed, absolute numbers
+//! differ from the paper, but each experiment prints the same rows/series and
+//! its qualitative shape (who wins, direction and rough magnitude of the
+//! effects) is expected to match.
+
+mod design;
+mod scaling;
+mod sweeps;
+mod tables;
+
+use olxpbench::prelude::*;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Options shared by all experiments.
+#[derive(Debug, Clone, Copy)]
+pub struct ExpOptions {
+    /// Scaled-down pass: shorter measurement windows, smaller sweeps, smaller
+    /// data.  Used by `cargo bench` and the experiment smoke tests.
+    pub quick: bool,
+    /// Simulated-time multiplier passed to the engines (1.0 = calibrated model).
+    pub time_scale: f64,
+}
+
+impl Default for ExpOptions {
+    fn default() -> Self {
+        ExpOptions {
+            quick: false,
+            time_scale: 1.0,
+        }
+    }
+}
+
+impl ExpOptions {
+    /// Quick-mode options.
+    pub fn quick() -> ExpOptions {
+        ExpOptions {
+            quick: true,
+            time_scale: 1.0,
+        }
+    }
+
+    /// Measurement window for one run.
+    pub fn duration(&self) -> Duration {
+        if self.quick {
+            Duration::from_millis(400)
+        } else {
+            Duration::from_millis(1500)
+        }
+    }
+
+    /// Warm-up before each measurement window.
+    pub fn warmup(&self) -> Duration {
+        if self.quick {
+            Duration::from_millis(100)
+        } else {
+            Duration::from_millis(300)
+        }
+    }
+
+    /// Workload scale factor (warehouses / thousands of accounts or
+    /// subscribers).
+    pub fn scale(&self) -> u32 {
+        if self.quick {
+            1
+        } else {
+            2
+        }
+    }
+}
+
+/// Identifiers of every experiment, in presentation order.
+pub fn all_experiment_ids() -> Vec<&'static str> {
+    vec![
+        "table1",
+        "table2",
+        "fig1",
+        "fig3",
+        "fig4",
+        "fig5",
+        "fig6",
+        "fig7",
+        "fig8",
+        "fig9",
+        "findings",
+        "fig10",
+        "interference",
+    ]
+}
+
+/// Run one experiment by id, returning its printed report, or `None` for an
+/// unknown id.
+pub fn run_experiment(id: &str, opts: ExpOptions) -> Option<String> {
+    let report = match id {
+        "table1" => tables::table1(),
+        "table2" => tables::table2(),
+        "fig1" => design::fig1_hybrid_impact(opts),
+        "fig3" => design::fig3_schema_model(opts).0,
+        "fig4" => design::fig3_schema_model(opts).1,
+        "fig5" => design::fig5_realtime_vs_analytical(opts),
+        "fig6" => design::fig6_domain_specific(opts),
+        "fig7" => sweeps::figure_sweep(opts, "subenchmark"),
+        "fig8" => sweeps::figure_sweep(opts, "fibenchmark"),
+        "fig9" => sweeps::figure_sweep(opts, "tabenchmark"),
+        "findings" => sweeps::findings(opts),
+        "fig10" => scaling::fig10_scalability(opts),
+        "interference" => design::interference(opts),
+        _ => return None,
+    };
+    Some(report)
+}
+
+// ---------------------------------------------------------------------------
+// Shared helpers
+// ---------------------------------------------------------------------------
+
+/// Build an engine of the given architecture.
+pub(crate) fn make_db(
+    architecture: EngineArchitecture,
+    nodes: usize,
+    opts: ExpOptions,
+) -> Arc<HybridDatabase> {
+    let base = match architecture {
+        EngineArchitecture::SingleEngine => EngineConfig::single_engine(),
+        EngineArchitecture::DualEngine => EngineConfig::dual_engine(),
+        EngineArchitecture::SharedNothing => EngineConfig::shared_nothing(),
+    };
+    HybridDatabase::new(base.with_nodes(nodes).with_time_scale(opts.time_scale))
+        .expect("experiment engine config is valid")
+}
+
+/// Build an engine and load a workload into it.
+pub(crate) fn prepared_db(
+    architecture: EngineArchitecture,
+    workload: &dyn Workload,
+    opts: ExpOptions,
+) -> Arc<HybridDatabase> {
+    prepared_db_with_nodes(architecture, workload, opts, 4, opts.scale())
+}
+
+/// Build an engine with an explicit node count / scale and load a workload.
+pub(crate) fn prepared_db_with_nodes(
+    architecture: EngineArchitecture,
+    workload: &dyn Workload,
+    opts: ExpOptions,
+    nodes: usize,
+    scale: u32,
+) -> Arc<HybridDatabase> {
+    let db = make_db(architecture, nodes, opts);
+    workload.create_schema(&db).expect("schema creation succeeds");
+    workload.load(&db, scale, 42).expect("data load succeeds");
+    db.finish_load().expect("replication catch-up succeeds");
+    db
+}
+
+/// Run one benchmark configuration against a prepared database.
+pub(crate) fn run_config(
+    db: &Arc<HybridDatabase>,
+    workload: &dyn Workload,
+    config: BenchConfig,
+) -> BenchmarkResult {
+    BenchmarkDriver::new(config)
+        .run(db, workload)
+        .expect("benchmark run succeeds")
+}
+
+/// Shorthand for a run's OLTP mean latency in milliseconds.
+pub(crate) fn fmt_ms(ms: f64) -> String {
+    format!("{ms:.2}")
+}
+
+/// Shorthand for a ratio such as "5.9x".
+pub(crate) fn fmt_ratio(r: f64) -> String {
+    format!("{r:.2}x")
+}
+
+/// Measure the peak throughput of one agent class by driving it far beyond
+/// saturation for a short window (the paper's "saturation value that a single
+/// workload can reach in the test cluster").
+pub(crate) fn measure_peak(
+    db: &Arc<HybridDatabase>,
+    workload: &dyn Workload,
+    class: WorkClass,
+    opts: ExpOptions,
+) -> f64 {
+    let duration = if opts.quick {
+        Duration::from_millis(300)
+    } else {
+        Duration::from_millis(800)
+    };
+    let threads = if opts.quick { 4 } else { 8 };
+    let overdrive = 200_000.0;
+    let config = match class {
+        WorkClass::Olap => BenchConfig {
+            label: "peak-olap".into(),
+            oltp: AgentConfig::disabled(),
+            olap: AgentConfig::new(threads, overdrive),
+            hybrid: AgentConfig::disabled(),
+            duration,
+            warmup: Duration::from_millis(50),
+            ..BenchConfig::default()
+        },
+        WorkClass::Hybrid => BenchConfig {
+            label: "peak-hybrid".into(),
+            oltp: AgentConfig::disabled(),
+            olap: AgentConfig::disabled(),
+            hybrid: AgentConfig::new(threads, overdrive),
+            duration,
+            warmup: Duration::from_millis(50),
+            ..BenchConfig::default()
+        },
+        _ => BenchConfig {
+            label: "peak-oltp".into(),
+            oltp: AgentConfig::new(threads, overdrive),
+            olap: AgentConfig::disabled(),
+            hybrid: AgentConfig::disabled(),
+            duration,
+            warmup: Duration::from_millis(50),
+            ..BenchConfig::default()
+        },
+    };
+    let result = run_config(db, workload, config);
+    match class {
+        WorkClass::Olap => result.olap_throughput(),
+        WorkClass::Hybrid => result.hybrid_throughput(),
+        _ => result.oltp_throughput(),
+    }
+    .max(1.0)
+}

@@ -1,0 +1,118 @@
+//! Figure 10: scalability of the dual-engine and shared-nothing architectures
+//! as the cluster grows from 4 to 16 nodes.
+
+use super::{fmt_ms, prepared_db_with_nodes, run_config, ExpOptions};
+use olxpbench::framework::report::render_table;
+use olxpbench::prelude::*;
+
+/// Figure 10: OLTP latency, OLTP latency under OLAP pressure, and OLxP latency
+/// as the cluster size increases.  Data size and target request rates grow in
+/// proportion to the cluster, as in the paper.
+pub fn fig10_scalability(opts: ExpOptions) -> String {
+    let node_counts: &[usize] = if opts.quick { &[4, 8] } else { &[4, 8, 16] };
+    let archs = [
+        (EngineArchitecture::DualEngine, "TiDB-like (dual engine)"),
+        (EngineArchitecture::SharedNothing, "OceanBase-like (shared nothing)"),
+    ];
+
+    let mut oltp_rows = Vec::new();
+    let mut mixed_rows = Vec::new();
+    let mut olxp_rows = Vec::new();
+
+    for (arch, arch_name) in archs {
+        for &nodes in node_counts {
+            let workload = Subenchmark::new();
+            let scale = (opts.scale() * nodes as u32 / 4).max(1);
+            let db = prepared_db_with_nodes(arch, &workload, opts, nodes, scale);
+            let per_node_rate = if opts.quick { 15.0 } else { 30.0 };
+            let oltp_rate = per_node_rate * nodes as f64;
+            let olap_rate = (nodes as f64 / 4.0) * if opts.quick { 6.0 } else { 10.0 };
+            let hybrid_rate = (nodes as f64 / 4.0) * if opts.quick { 4.0 } else { 8.0 };
+
+            // (a) OLTP latency.
+            let oltp = run_config(
+                &db,
+                &workload,
+                BenchConfig {
+                    label: format!("{arch_name} {nodes}n oltp"),
+                    oltp: AgentConfig::new(6, oltp_rate),
+                    olap: AgentConfig::disabled(),
+                    hybrid: AgentConfig::disabled(),
+                    duration: opts.duration(),
+                    warmup: opts.warmup(),
+                    ..BenchConfig::default()
+                },
+            );
+            let summary = oltp.oltp.unwrap_or_default();
+            oltp_rows.push(vec![
+                arch_name.to_string(),
+                nodes.to_string(),
+                format!("{oltp_rate:.0}"),
+                fmt_ms(summary.mean_ms),
+                fmt_ms(summary.p95_ms),
+            ]);
+
+            // (b) OLTP latency with OLAP interference.
+            let mixed = run_config(
+                &db,
+                &workload,
+                BenchConfig {
+                    label: format!("{arch_name} {nodes}n oltp+olap"),
+                    oltp: AgentConfig::new(6, oltp_rate),
+                    olap: AgentConfig::new(2, olap_rate),
+                    hybrid: AgentConfig::disabled(),
+                    duration: opts.duration(),
+                    warmup: opts.warmup(),
+                    ..BenchConfig::default()
+                },
+            );
+            let base_mean = summary.mean_ms.max(1e-9);
+            let mixed_summary = mixed.oltp.unwrap_or_default();
+            mixed_rows.push(vec![
+                arch_name.to_string(),
+                nodes.to_string(),
+                fmt_ms(mixed_summary.mean_ms),
+                fmt_ms(mixed_summary.p95_ms),
+                format!("{:.1}%", 100.0 * (mixed_summary.mean_ms / base_mean - 1.0)),
+            ]);
+
+            // (c) OLxP latency.
+            let olxp = run_config(
+                &db,
+                &workload,
+                BenchConfig {
+                    label: format!("{arch_name} {nodes}n olxp"),
+                    oltp: AgentConfig::disabled(),
+                    olap: AgentConfig::disabled(),
+                    hybrid: AgentConfig::new(4, hybrid_rate),
+                    duration: opts.duration(),
+                    warmup: opts.warmup(),
+                    ..BenchConfig::default()
+                },
+            );
+            let olxp_summary = olxp.hybrid.unwrap_or_default();
+            olxp_rows.push(vec![
+                arch_name.to_string(),
+                nodes.to_string(),
+                fmt_ms(olxp_summary.mean_ms),
+                fmt_ms(olxp_summary.p95_ms),
+            ]);
+        }
+    }
+
+    format!(
+        "Figure 10 — Latency as the cluster size increases (data and rates scaled proportionally)\n\n\
+         (a) OLTP latency\n{}\n\
+         (b) OLTP latency with OLAP interference\n{}\n\
+         (c) OLxP latency\n{}",
+        render_table(
+            &["architecture", "nodes", "request rate (tps)", "mean (ms)", "p95 (ms)"],
+            &oltp_rows
+        ),
+        render_table(
+            &["architecture", "nodes", "mean (ms)", "p95 (ms)", "increase under OLAP"],
+            &mixed_rows
+        ),
+        render_table(&["architecture", "nodes", "mean (ms)", "p95 (ms)"], &olxp_rows),
+    )
+}

@@ -1,0 +1,214 @@
+//! Figures 7, 8 and 9 (per-benchmark OLTP / OLAP / OLxP rate sweeps on both
+//! engine architectures) and the §VI-D findings table.
+
+use super::{fmt_ms, fmt_ratio, measure_peak, prepared_db, run_config, ExpOptions};
+use olxpbench::framework::report::render_table;
+use olxpbench::prelude::*;
+use std::sync::Arc;
+
+const ARCHS: [(EngineArchitecture, &str); 2] = [
+    (EngineArchitecture::SingleEngine, "MemSQL-like (single engine)"),
+    (EngineArchitecture::DualEngine, "TiDB-like (dual engine)"),
+];
+
+fn fractions(opts: ExpOptions) -> Vec<f64> {
+    if opts.quick {
+        vec![0.5, 1.0]
+    } else {
+        vec![0.25, 0.5, 0.75, 1.0]
+    }
+}
+
+/// Throughput sweep for one benchmark: part (a) OLTP under OLAP pressure,
+/// part (b) OLAP under OLTP pressure, part (c) OLxP (hybrid transactions).
+pub fn figure_sweep(opts: ExpOptions, benchmark: &str) -> String {
+    let figure = match benchmark {
+        "subenchmark" => "Figure 7",
+        "fibenchmark" => "Figure 8",
+        "tabenchmark" => "Figure 9",
+        other => other,
+    };
+    let workload = workload_by_name(benchmark).expect("known benchmark");
+
+    let mut oltp_rows: Vec<Vec<String>> = Vec::new();
+    let mut olap_rows: Vec<Vec<String>> = Vec::new();
+    let mut olxp_rows: Vec<Vec<String>> = Vec::new();
+
+    for (arch, arch_name) in ARCHS {
+        let db = prepared_db(arch, workload.as_ref(), opts);
+        let peak_oltp = measure_peak(&db, workload.as_ref(), WorkClass::Oltp, opts);
+        let peak_olap = measure_peak(&db, workload.as_ref(), WorkClass::Olap, opts);
+        let peak_hybrid = measure_peak(&db, workload.as_ref(), WorkClass::Hybrid, opts);
+
+        // (a) OLTP throughput vs transactional request rate, with and without
+        // analytical pressure.
+        let olap_pressures = [0.0, 0.5];
+        for &tx_fraction in &fractions(opts) {
+            for &olap_fraction in &olap_pressures {
+                let tx_rate = (peak_oltp * tx_fraction).max(1.0);
+                let olap_rate = peak_olap * olap_fraction;
+                let config = BenchConfig {
+                    label: format!("{benchmark} {arch_name} oltp"),
+                    oltp: AgentConfig::new(6, tx_rate),
+                    olap: if olap_rate > 0.0 {
+                        AgentConfig::new(2, olap_rate.max(0.5))
+                    } else {
+                        AgentConfig::disabled()
+                    },
+                    hybrid: AgentConfig::disabled(),
+                    duration: opts.duration(),
+                    warmup: opts.warmup(),
+                    ..BenchConfig::default()
+                };
+                let result = run_config(&db, workload.as_ref(), config);
+                let summary = result.oltp.unwrap_or_default();
+                oltp_rows.push(vec![
+                    arch_name.to_string(),
+                    format!("{tx_rate:.0}"),
+                    format!("{olap_rate:.1}"),
+                    format!("{:.1}", summary.throughput),
+                    fmt_ms(summary.mean_ms),
+                    fmt_ms(summary.p95_ms),
+                ]);
+            }
+        }
+
+        // (b) OLAP throughput vs analytical request rate, with and without
+        // transactional pressure.
+        let tx_pressures = [0.0, 0.5];
+        for &olap_fraction in &fractions(opts) {
+            for &tx_fraction in &tx_pressures {
+                let olap_rate = (peak_olap * olap_fraction).max(0.5);
+                let tx_rate = peak_oltp * tx_fraction;
+                let config = BenchConfig {
+                    label: format!("{benchmark} {arch_name} olap"),
+                    oltp: if tx_rate > 0.0 {
+                        AgentConfig::new(4, tx_rate.max(1.0))
+                    } else {
+                        AgentConfig::disabled()
+                    },
+                    olap: AgentConfig::new(2, olap_rate),
+                    hybrid: AgentConfig::disabled(),
+                    duration: opts.duration(),
+                    warmup: opts.warmup(),
+                    ..BenchConfig::default()
+                };
+                let result = run_config(&db, workload.as_ref(), config);
+                let summary = result.olap.unwrap_or_default();
+                olap_rows.push(vec![
+                    arch_name.to_string(),
+                    format!("{olap_rate:.1}"),
+                    format!("{tx_rate:.0}"),
+                    format!("{:.2}", summary.throughput),
+                    fmt_ms(summary.mean_ms),
+                ]);
+            }
+        }
+
+        // (c) OLxP (hybrid transaction) throughput vs request rate.
+        for &hybrid_fraction in &fractions(opts) {
+            let hybrid_rate = (peak_hybrid * hybrid_fraction).max(0.5);
+            let config = BenchConfig {
+                label: format!("{benchmark} {arch_name} olxp"),
+                oltp: AgentConfig::disabled(),
+                olap: AgentConfig::disabled(),
+                hybrid: AgentConfig::new(4, hybrid_rate),
+                duration: opts.duration(),
+                warmup: opts.warmup(),
+                ..BenchConfig::default()
+            };
+            let result = run_config(&db, workload.as_ref(), config);
+            let summary = result.hybrid.unwrap_or_default();
+            olxp_rows.push(vec![
+                arch_name.to_string(),
+                format!("{hybrid_rate:.1}"),
+                format!("{:.2}", summary.throughput),
+                fmt_ms(summary.mean_ms),
+                fmt_ms(summary.p95_ms),
+            ]);
+        }
+    }
+
+    format!(
+        "{figure} — {benchmark}: OLTP, OLAP and OLxP performance on both architectures\n\n\
+         (a) Throughput of OLTP\n{}\n\
+         (b) Throughput of OLAP\n{}\n\
+         (c) Throughput of OLxP (hybrid transactions)\n{}",
+        render_table(
+            &[
+                "engine",
+                "transactional req/s",
+                "analytical req/s",
+                "OLTP throughput (tps)",
+                "mean latency (ms)",
+                "p95 (ms)",
+            ],
+            &oltp_rows
+        ),
+        render_table(
+            &[
+                "engine",
+                "analytical req/s",
+                "transactional req/s",
+                "OLAP throughput (qps)",
+                "mean latency (ms)",
+            ],
+            &olap_rows
+        ),
+        render_table(
+            &[
+                "engine",
+                "OLxP req/s",
+                "OLxP throughput (tps)",
+                "mean latency (ms)",
+                "p95 (ms)",
+            ],
+            &olxp_rows
+        ),
+    )
+}
+
+/// §VI-D: the main findings — peak-throughput gaps between the two engines
+/// for every benchmark and workload class.
+pub fn findings(opts: ExpOptions) -> String {
+    let mut rows = Vec::new();
+    for benchmark in ["subenchmark", "fibenchmark", "tabenchmark"] {
+        let workload = workload_by_name(benchmark).unwrap();
+        let mut peaks: Vec<(f64, f64, f64)> = Vec::new();
+        for (arch, _) in ARCHS {
+            let db: Arc<HybridDatabase> = prepared_db(arch, workload.as_ref(), opts);
+            peaks.push((
+                measure_peak(&db, workload.as_ref(), WorkClass::Oltp, opts),
+                measure_peak(&db, workload.as_ref(), WorkClass::Olap, opts),
+                measure_peak(&db, workload.as_ref(), WorkClass::Hybrid, opts),
+            ));
+        }
+        let (single, dual) = (peaks[0], peaks[1]);
+        rows.push(vec![
+            benchmark.to_string(),
+            format!("{:.0}", single.0),
+            format!("{:.0}", dual.0),
+            fmt_ratio(single.0 / dual.0.max(1e-9)),
+            format!("{:.2}", single.2),
+            format!("{:.2}", dual.2),
+            fmt_ratio(dual.2 / single.2.max(1e-9)),
+        ]);
+    }
+    format!(
+        "Findings (§VI-D) — peak throughput of the two architectures\n\
+         (paper: OLTP gap 3.0x/2.6x/2.9x in favour of MemSQL; OLxP gap 3.7x/1.4x in favour of TiDB,\n\
+          reversed to 2.2x in favour of MemSQL for tabenchmark's composite-key workload)\n{}",
+        render_table(
+            &[
+                "benchmark",
+                "single-engine OLTP peak (tps)",
+                "dual-engine OLTP peak (tps)",
+                "OLTP gap (single/dual)",
+                "single-engine OLxP peak (tps)",
+                "dual-engine OLxP peak (tps)",
+                "OLxP gap (dual/single)",
+            ],
+            &rows
+        )
+    )
+}

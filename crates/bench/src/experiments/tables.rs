@@ -1,0 +1,74 @@
+//! Table I and Table II.
+
+use olxpbench::framework::report::render_table;
+use olxpbench::prelude::*;
+
+/// Table I: qualitative comparison of OLxPBench against the five prior HTAP
+/// benchmarks discussed in the paper.
+pub fn table1() -> String {
+    let features: Vec<WorkloadFeatures> = olxp_suites().iter().map(|w| w.features()).collect();
+    let comparison = BenchmarkComparison::paper_table1(&features);
+    let headers = [
+        "Name",
+        "Online transaction",
+        "Analytical query",
+        "Hybrid transaction",
+        "Real-time query",
+        "Semantically consistent schema",
+        "General benchmark",
+        "Domain-specific benchmark",
+    ];
+    let rows: Vec<Vec<String>> = comparison.rows.iter().map(|f| f.table1_row()).collect();
+    format!(
+        "Table I — Comparison of OLxPBench with state-of-the-art and state-of-the-practice benchmarks\n{}",
+        render_table(&headers, &rows)
+    )
+}
+
+/// Table II: quantitative features of the three OLxPBench workloads.
+pub fn table2() -> String {
+    let headers = [
+        "Benchmark",
+        "Tables",
+        "Columns",
+        "Indexes",
+        "OLTP Transactions",
+        "Read-only OLTP",
+        "Queries",
+        "Hybrid Transactions",
+        "Read-only Hybrid",
+    ];
+    let rows: Vec<Vec<String>> = olxp_suites()
+        .iter()
+        .map(|w| w.features().table2_row())
+        .collect();
+    format!(
+        "Table II — Features of the OLxPBench workloads\n{}",
+        render_table(&headers, &rows)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_lists_six_benchmarks_and_olxp_has_everything() {
+        let t = table1();
+        for name in ["CH-benCHmark", "CBTR", "HTAPBench", "ADAPT", "HAP", "OLxPBench"] {
+            assert!(t.contains(name), "missing row {name}");
+        }
+        let olxp_line = t.lines().find(|l| l.contains("OLxPBench")).unwrap();
+        assert!(!olxp_line.contains("no"), "OLxPBench satisfies every column");
+    }
+
+    #[test]
+    fn table2_matches_paper_counts() {
+        let t = table2();
+        assert!(t.contains("subenchmark"));
+        assert!(t.contains("fibenchmark"));
+        assert!(t.contains("tabenchmark"));
+        assert!(t.contains("92"), "subenchmark column count");
+        assert!(t.contains("51"), "tabenchmark column count");
+    }
+}

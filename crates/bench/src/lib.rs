@@ -1,0 +1,19 @@
+//! # olxpbench-bench
+//!
+//! The experiment harness that regenerates every table and figure of the
+//! OLxPBench paper's evaluation, plus Criterion micro-benchmarks for the
+//! substrate crates.
+//!
+//! Run a single experiment with
+//!
+//! ```text
+//! cargo run -p olxpbench-bench --release --bin olxp-experiments -- fig7
+//! ```
+//!
+//! or all of them with `-- all` (append `--quick` for a scaled-down pass).
+//! The mapping from experiment ids to the paper's tables/figures is documented
+//! in `DESIGN.md`; measured outputs are recorded in `EXPERIMENTS.md`.
+
+pub mod experiments;
+
+pub use experiments::{all_experiment_ids, run_experiment, ExpOptions};

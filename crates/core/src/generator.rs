@@ -1,0 +1,191 @@
+//! Request-schedule generation and weighted transaction choice.
+//!
+//! "The open-loop mode sends the requests with the precise request rate
+//! control mechanism because the open-loop load generator sends the request
+//! without waiting for the previous request to come back.  However, in a
+//! closed-loop mode, the response of a request triggers the sending of a new
+//! request." (§IV-C)
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::time::Duration;
+
+/// A schedule of request send times for one agent thread.
+pub trait RequestSchedule {
+    /// The ideal send time of request `k` relative to the start of the run, or
+    /// `None` if the schedule does not prescribe send times (closed loop).
+    fn send_time(&self, k: u64) -> Option<Duration>;
+
+    /// Whether latency should be measured from the scheduled send time
+    /// (open loop — includes queueing delay) or from the actual send.
+    fn measures_from_schedule(&self) -> bool;
+}
+
+/// Open-loop schedule: this thread sends requests `thread_index`,
+/// `thread_index + threads`, `thread_index + 2*threads`, ... of a global
+/// constant-rate stream.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OpenLoopSchedule {
+    /// Aggregate request rate across all threads (requests/second).
+    pub rate: f64,
+    /// Number of threads sharing the stream.
+    pub threads: usize,
+    /// This thread's index within the group.
+    pub thread_index: usize,
+}
+
+impl OpenLoopSchedule {
+    /// Create a schedule; `rate` must be positive.
+    pub fn new(rate: f64, threads: usize, thread_index: usize) -> OpenLoopSchedule {
+        OpenLoopSchedule {
+            rate: rate.max(f64::MIN_POSITIVE),
+            threads: threads.max(1),
+            thread_index,
+        }
+    }
+}
+
+impl RequestSchedule for OpenLoopSchedule {
+    fn send_time(&self, k: u64) -> Option<Duration> {
+        let global_index = self.thread_index as u64 + k * self.threads as u64;
+        Some(Duration::from_secs_f64(global_index as f64 / self.rate))
+    }
+
+    fn measures_from_schedule(&self) -> bool {
+        true
+    }
+}
+
+/// Closed-loop schedule: send the next request as soon as the previous one
+/// finished.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ClosedLoopSchedule;
+
+impl RequestSchedule for ClosedLoopSchedule {
+    fn send_time(&self, _k: u64) -> Option<Duration> {
+        None
+    }
+
+    fn measures_from_schedule(&self) -> bool {
+        false
+    }
+}
+
+/// Weighted random choice among transaction templates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WeightedChoice {
+    cumulative: Vec<u64>,
+    total: u64,
+}
+
+impl WeightedChoice {
+    /// Build from per-item weights.  Zero-weight items are never chosen; an
+    /// all-zero weight vector behaves as uniform.
+    pub fn new(weights: &[u32]) -> WeightedChoice {
+        let mut effective: Vec<u64> = weights.iter().map(|&w| u64::from(w)).collect();
+        if effective.iter().all(|&w| w == 0) {
+            effective = vec![1; weights.len().max(1)];
+        }
+        let mut cumulative = Vec::with_capacity(effective.len());
+        let mut total = 0u64;
+        for w in effective {
+            total += w;
+            cumulative.push(total);
+        }
+        WeightedChoice { cumulative, total }
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.cumulative.len()
+    }
+
+    /// True when there are no items.
+    pub fn is_empty(&self) -> bool {
+        self.cumulative.is_empty()
+    }
+
+    /// Pick an index according to the weights.
+    pub fn pick(&self, rng: &mut StdRng) -> usize {
+        if self.cumulative.is_empty() {
+            return 0;
+        }
+        let x = rng.gen_range(0..self.total);
+        self.cumulative.partition_point(|&c| c <= x)
+    }
+
+    /// Probability of picking `index`.
+    pub fn probability(&self, index: usize) -> f64 {
+        if index >= self.cumulative.len() || self.total == 0 {
+            return 0.0;
+        }
+        let prev = if index == 0 {
+            0
+        } else {
+            self.cumulative[index - 1]
+        };
+        (self.cumulative[index] - prev) as f64 / self.total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn open_loop_schedule_interleaves_threads() {
+        let rate = 100.0; // 10 ms between global requests
+        let t0 = OpenLoopSchedule::new(rate, 2, 0);
+        let t1 = OpenLoopSchedule::new(rate, 2, 1);
+        assert_eq!(t0.send_time(0), Some(Duration::from_millis(0)));
+        assert_eq!(t1.send_time(0), Some(Duration::from_millis(10)));
+        assert_eq!(t0.send_time(1), Some(Duration::from_millis(20)));
+        assert_eq!(t1.send_time(1), Some(Duration::from_millis(30)));
+        assert!(t0.measures_from_schedule());
+    }
+
+    #[test]
+    fn closed_loop_has_no_schedule() {
+        let s = ClosedLoopSchedule;
+        assert_eq!(s.send_time(5), None);
+        assert!(!s.measures_from_schedule());
+    }
+
+    #[test]
+    fn weighted_choice_respects_weights() {
+        let choice = WeightedChoice::new(&[45, 43, 4, 4, 4]);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut counts = [0usize; 5];
+        for _ in 0..20_000 {
+            counts[choice.pick(&mut rng)] += 1;
+        }
+        // NewOrder (45%) should be picked far more often than StockLevel (4%).
+        assert!(counts[0] > counts[2] * 5);
+        let total: usize = counts.iter().sum();
+        assert_eq!(total, 20_000);
+        assert!((choice.probability(0) - 0.45).abs() < 1e-9);
+        assert!((choice.probability(4) - 0.04).abs() < 1e-9);
+        assert_eq!(choice.probability(9), 0.0);
+    }
+
+    #[test]
+    fn zero_weights_fall_back_to_uniform() {
+        let choice = WeightedChoice::new(&[0, 0, 0]);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..100 {
+            seen.insert(choice.pick(&mut rng));
+        }
+        assert_eq!(seen.len(), 3);
+    }
+
+    #[test]
+    fn zero_weight_entries_are_never_picked() {
+        let choice = WeightedChoice::new(&[10, 0, 10]);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            assert_ne!(choice.pick(&mut rng), 1);
+        }
+    }
+}

@@ -1,0 +1,173 @@
+//! Result summaries and report formatting.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The latency distribution and throughput of one request class, in the units
+/// the paper reports (milliseconds and requests/second).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct LatencySummary {
+    /// Number of successful requests measured.
+    pub count: u64,
+    /// Number of failed requests.
+    pub errors: u64,
+    /// Requests per second over the measurement window.
+    pub throughput: f64,
+    /// Mean latency (ms).
+    pub mean_ms: f64,
+    /// Standard deviation of latency (ms).
+    pub std_dev_ms: f64,
+    /// Minimum latency (ms).
+    pub min_ms: f64,
+    /// Median latency (ms).
+    pub median_ms: f64,
+    /// 90th percentile latency (ms).
+    pub p90_ms: f64,
+    /// 95th percentile latency (ms).
+    pub p95_ms: f64,
+    /// 99.9th percentile latency (ms).
+    pub p999_ms: f64,
+    /// 99.99th percentile latency (ms).
+    pub p9999_ms: f64,
+    /// Maximum latency (ms).
+    pub max_ms: f64,
+}
+
+impl LatencySummary {
+    /// Mean latency relative to a baseline summary (the normalisation used by
+    /// Figures 3, 5 and 6).
+    pub fn normalized_mean(&self, baseline: &LatencySummary) -> f64 {
+        if baseline.mean_ms <= 0.0 {
+            return 0.0;
+        }
+        self.mean_ms / baseline.mean_ms
+    }
+
+    /// Throughput relative to a baseline summary.
+    pub fn normalized_throughput(&self, baseline: &LatencySummary) -> f64 {
+        if baseline.throughput <= 0.0 {
+            return 0.0;
+        }
+        self.throughput / baseline.throughput
+    }
+}
+
+impl fmt::Display for LatencySummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} err={} thr={:.2}/s mean={:.2}ms sd={:.2}ms min={:.2} p50={:.2} p90={:.2} p95={:.2} p99.9={:.2} p99.99={:.2} max={:.2}",
+            self.count,
+            self.errors,
+            self.throughput,
+            self.mean_ms,
+            self.std_dev_ms,
+            self.min_ms,
+            self.median_ms,
+            self.p90_ms,
+            self.p95_ms,
+            self.p999_ms,
+            self.p9999_ms,
+            self.max_ms
+        )
+    }
+}
+
+/// A named latency summary (one request class of one run).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClassReport {
+    /// Class name ("oltp", "olap", "olxp").
+    pub class: String,
+    /// The summary.
+    pub summary: LatencySummary,
+}
+
+/// Render a simple fixed-width text table (used by the experiment harness to
+/// print the paper's tables and figure series).
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            } else {
+                widths.push(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        let mut line = String::from("|");
+        for (i, cell) in cells.iter().enumerate() {
+            let w = widths.get(i).copied().unwrap_or(cell.len());
+            line.push_str(&format!(" {cell:<w$} |"));
+        }
+        line.push('\n');
+        line
+    };
+    let header_cells: Vec<String> = headers.iter().map(|s| s.to_string()).collect();
+    out.push_str(&fmt_row(&header_cells, &widths));
+    let mut sep = String::from("|");
+    for w in &widths {
+        sep.push_str(&format!("{}|", "-".repeat(w + 2)));
+    }
+    sep.push('\n');
+    out.push_str(&sep);
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalisation_against_baseline() {
+        let baseline = LatencySummary {
+            mean_ms: 10.0,
+            throughput: 100.0,
+            ..LatencySummary::default()
+        };
+        let loaded = LatencySummary {
+            mean_ms: 59.0,
+            throughput: 17.0,
+            ..LatencySummary::default()
+        };
+        assert!((loaded.normalized_mean(&baseline) - 5.9).abs() < 1e-9);
+        assert!((loaded.normalized_throughput(&baseline) - 0.17).abs() < 1e-9);
+        let empty = LatencySummary::default();
+        assert_eq!(loaded.normalized_mean(&empty), 0.0);
+    }
+
+    #[test]
+    fn display_contains_percentiles() {
+        let s = LatencySummary {
+            count: 10,
+            p95_ms: 12.5,
+            ..LatencySummary::default()
+        };
+        let text = s.to_string();
+        assert!(text.contains("p95=12.50"));
+        assert!(text.contains("n=10"));
+    }
+
+    #[test]
+    fn render_table_aligns_columns() {
+        let table = render_table(
+            &["name", "tps"],
+            &[
+                vec!["subenchmark".into(), "800".into()],
+                vec!["fi".into(), "23476".into()],
+            ],
+        );
+        let lines: Vec<&str> = table.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("name"));
+        assert!(lines[2].contains("subenchmark"));
+        // All rows have the same width.
+        assert_eq!(lines[0].len(), lines[2].len());
+        assert_eq!(lines[2].len(), lines[3].len());
+    }
+}

@@ -1,0 +1,229 @@
+//! Latency statistics.
+//!
+//! The OLxPBench statistics module "aggregates the above metrics and stores
+//! the min, max, medium, 90th, 95th, 99.9th, and 99.99th percentile latency"
+//! (§IV-C).  [`LatencyRecorder`] collects raw samples and computes exactly
+//! those plus mean, standard deviation and throughput.
+
+use std::time::Duration;
+
+/// Collects latency samples (in nanoseconds) for one class of requests.
+#[derive(Debug, Clone, Default)]
+pub struct LatencyRecorder {
+    samples: Vec<u64>,
+    errors: u64,
+}
+
+impl LatencyRecorder {
+    /// Create an empty recorder.
+    pub fn new() -> LatencyRecorder {
+        LatencyRecorder::default()
+    }
+
+    /// Create a recorder with pre-allocated capacity.
+    pub fn with_capacity(capacity: usize) -> LatencyRecorder {
+        LatencyRecorder {
+            samples: Vec::with_capacity(capacity),
+            errors: 0,
+        }
+    }
+
+    /// Record one successful request's latency.
+    pub fn record(&mut self, latency: Duration) {
+        self.samples.push(latency.as_nanos() as u64);
+    }
+
+    /// Record one successful request's latency in nanoseconds.
+    pub fn record_nanos(&mut self, nanos: u64) {
+        self.samples.push(nanos);
+    }
+
+    /// Record a failed request (not counted in the latency distribution).
+    pub fn record_error(&mut self) {
+        self.errors += 1;
+    }
+
+    /// Number of successful samples.
+    pub fn count(&self) -> u64 {
+        self.samples.len() as u64
+    }
+
+    /// Number of failed requests.
+    pub fn errors(&self) -> u64 {
+        self.errors
+    }
+
+    /// Merge another recorder into this one (used to combine per-thread
+    /// recorders).
+    pub fn merge(&mut self, other: &LatencyRecorder) {
+        self.samples.extend_from_slice(&other.samples);
+        self.errors += other.errors;
+    }
+
+    /// Raw samples (nanoseconds), unsorted.
+    pub fn samples(&self) -> &[u64] {
+        &self.samples
+    }
+
+    /// Mean latency in nanoseconds (0 when empty).
+    pub fn mean_nanos(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().map(|&v| v as f64).sum::<f64>() / self.samples.len() as f64
+    }
+
+    /// Population standard deviation in nanoseconds.
+    pub fn std_dev_nanos(&self) -> f64 {
+        if self.samples.len() < 2 {
+            return 0.0;
+        }
+        let mean = self.mean_nanos();
+        let var = self
+            .samples
+            .iter()
+            .map(|&v| {
+                let d = v as f64 - mean;
+                d * d
+            })
+            .sum::<f64>()
+            / self.samples.len() as f64;
+        var.sqrt()
+    }
+
+    /// The `q`-quantile (0.0–1.0) of the latency distribution, in nanoseconds,
+    /// using the nearest-rank method.
+    pub fn quantile_nanos(&self, q: f64) -> u64 {
+        if self.samples.is_empty() {
+            return 0;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_unstable();
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        sorted[rank - 1]
+    }
+
+    /// Minimum latency in nanoseconds.
+    pub fn min_nanos(&self) -> u64 {
+        self.samples.iter().copied().min().unwrap_or(0)
+    }
+
+    /// Maximum latency in nanoseconds.
+    pub fn max_nanos(&self) -> u64 {
+        self.samples.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Throughput in requests per second given the measurement window.
+    pub fn throughput(&self, window: Duration) -> f64 {
+        let secs = window.as_secs_f64();
+        if secs <= 0.0 {
+            return 0.0;
+        }
+        self.samples.len() as f64 / secs
+    }
+
+    /// Summarise into a [`crate::report::LatencySummary`].
+    pub fn summarize(&self, window: Duration) -> crate::report::LatencySummary {
+        crate::report::LatencySummary {
+            count: self.count(),
+            errors: self.errors(),
+            throughput: self.throughput(window),
+            mean_ms: self.mean_nanos() / 1e6,
+            std_dev_ms: self.std_dev_nanos() / 1e6,
+            min_ms: self.min_nanos() as f64 / 1e6,
+            median_ms: self.quantile_nanos(0.50) as f64 / 1e6,
+            p90_ms: self.quantile_nanos(0.90) as f64 / 1e6,
+            p95_ms: self.quantile_nanos(0.95) as f64 / 1e6,
+            p999_ms: self.quantile_nanos(0.999) as f64 / 1e6,
+            p9999_ms: self.quantile_nanos(0.9999) as f64 / 1e6,
+            max_ms: self.max_nanos() as f64 / 1e6,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn recorder_with(values: &[u64]) -> LatencyRecorder {
+        let mut r = LatencyRecorder::new();
+        for &v in values {
+            r.record_nanos(v);
+        }
+        r
+    }
+
+    #[test]
+    fn empty_recorder_yields_zeroes() {
+        let r = LatencyRecorder::new();
+        assert_eq!(r.count(), 0);
+        assert_eq!(r.mean_nanos(), 0.0);
+        assert_eq!(r.quantile_nanos(0.95), 0);
+        assert_eq!(r.throughput(Duration::from_secs(1)), 0.0);
+    }
+
+    #[test]
+    fn mean_std_and_extremes() {
+        let r = recorder_with(&[100, 200, 300, 400]);
+        assert_eq!(r.mean_nanos(), 250.0);
+        assert_eq!(r.min_nanos(), 100);
+        assert_eq!(r.max_nanos(), 400);
+        assert!((r.std_dev_nanos() - 111.803).abs() < 0.01);
+    }
+
+    #[test]
+    fn quantiles_use_nearest_rank() {
+        let values: Vec<u64> = (1..=100).collect();
+        let r = recorder_with(&values);
+        assert_eq!(r.quantile_nanos(0.50), 50);
+        assert_eq!(r.quantile_nanos(0.90), 90);
+        assert_eq!(r.quantile_nanos(0.95), 95);
+        assert_eq!(r.quantile_nanos(0.999), 100);
+        assert_eq!(r.quantile_nanos(1.0), 100);
+        assert_eq!(r.quantile_nanos(0.0), 1);
+    }
+
+    #[test]
+    fn quantiles_match_exact_sort_on_random_data() {
+        // A lightweight deterministic pseudo-random sequence.
+        let mut x: u64 = 0x2545F4914F6CDD1D;
+        let mut values = Vec::new();
+        for _ in 0..1000 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            values.push(x % 1_000_000);
+        }
+        let r = recorder_with(&values);
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        let q95 = r.quantile_nanos(0.95);
+        let rank = ((0.95 * sorted.len() as f64).ceil() as usize) - 1;
+        assert_eq!(q95, sorted[rank]);
+    }
+
+    #[test]
+    fn merge_and_errors() {
+        let mut a = recorder_with(&[10, 20]);
+        a.record_error();
+        let mut b = recorder_with(&[30]);
+        b.record_error();
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.errors(), 2);
+        assert_eq!(a.max_nanos(), 30);
+    }
+
+    #[test]
+    fn throughput_and_summary() {
+        let r = recorder_with(&[1_000_000; 200]);
+        let window = Duration::from_secs(2);
+        assert_eq!(r.throughput(window), 100.0);
+        let s = r.summarize(window);
+        assert_eq!(s.count, 200);
+        assert!((s.mean_ms - 1.0).abs() < 1e-9);
+        assert!((s.throughput - 100.0).abs() < 1e-9);
+        assert_eq!(s.median_ms, 1.0);
+    }
+}

@@ -1,0 +1,227 @@
+//! Workload abstractions.
+//!
+//! OLxPBench contains "nine built-in workloads with different types and
+//! complexity" (§IV-B): for each of the three benchmarks there is an online
+//! transaction workload, an analytical query workload and a hybrid transaction
+//! workload.  These traits are what a benchmark implements; the driver only
+//! depends on them, which is what makes the framework "easy to extend with new
+//! hybrid database back-ends" and new benchmarks.
+
+use crate::error::{BenchError, BenchResult};
+use crate::features::WorkloadFeatures;
+use olxp_engine::{EngineResult, HybridDatabase, Session};
+use olxp_query::Plan;
+use rand::rngs::StdRng;
+use std::sync::Arc;
+
+/// Kind of benchmark in the general/domain-specific classification (§III-B3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WorkloadKind {
+    /// General benchmark for cross-system performance comparison
+    /// (subenchmark, inspired by TPC-C).
+    General,
+    /// Domain-specific benchmark for a particular application scenario
+    /// (fibenchmark: banking; tabenchmark: telecom).
+    DomainSpecific,
+}
+
+/// An online transaction template (e.g. TPC-C `NewOrder`).
+pub trait OnlineTransaction: Send + Sync {
+    /// Transaction name as reported in results.
+    fn name(&self) -> &str;
+
+    /// True when the transaction performs no writes.
+    fn is_read_only(&self) -> bool;
+
+    /// Execute one instance of the transaction.  The implementation is
+    /// responsible for beginning and committing its transaction through the
+    /// session (typically via [`Session::run_transaction`]).
+    fn execute(&self, session: &Session, rng: &mut StdRng) -> EngineResult<()>;
+}
+
+/// A standalone analytical query template (e.g. the Orders Analytical Report
+/// Query Q1 of subenchmark).
+pub trait AnalyticalQuery: Send + Sync {
+    /// Query name as reported in results.
+    fn name(&self) -> &str;
+
+    /// Base tables the query reads (used by the semantic-consistency check).
+    fn tables(&self) -> Vec<String>;
+
+    /// Build the query plan for one execution.
+    fn plan(&self, rng: &mut StdRng) -> Plan;
+
+    /// Execute the query through the session (default: submit the plan as a
+    /// standalone analytical query).
+    fn execute(&self, session: &Session, rng: &mut StdRng) -> EngineResult<()> {
+        session.analytical_query(&self.plan(rng)).map(|_| ())
+    }
+}
+
+/// A hybrid transaction template: an online transaction with a real-time query
+/// executed in-between its statements — the behaviour pattern OLxPBench
+/// introduces ("making a quick decision while consulting real-time analysis").
+pub trait HybridTransaction: Send + Sync {
+    /// Transaction name as reported in results.
+    fn name(&self) -> &str;
+
+    /// True when the transaction performs no writes.
+    fn is_read_only(&self) -> bool;
+
+    /// Execute one instance of the hybrid transaction.
+    fn execute(&self, session: &Session, rng: &mut StdRng) -> EngineResult<()>;
+}
+
+/// A weighted mix of named transactions.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TransactionMix {
+    entries: Vec<(String, u32)>,
+}
+
+impl TransactionMix {
+    /// Create a mix from `(name, weight)` pairs.
+    pub fn new(entries: Vec<(&str, u32)>) -> TransactionMix {
+        TransactionMix {
+            entries: entries
+                .into_iter()
+                .map(|(n, w)| (n.to_string(), w))
+                .collect(),
+        }
+    }
+
+    /// The `(name, weight)` pairs.
+    pub fn entries(&self) -> &[(String, u32)] {
+        &self.entries
+    }
+
+    /// Total weight.
+    pub fn total_weight(&self) -> u32 {
+        self.entries.iter().map(|(_, w)| w).sum()
+    }
+
+    /// Weight of one entry (0 when absent).
+    pub fn weight_of(&self, name: &str) -> u32 {
+        self.entries
+            .iter()
+            .find(|(n, _)| n == name)
+            .map_or(0, |(_, w)| *w)
+    }
+
+    /// Replace the weight of `name` (adding it if missing).
+    pub fn set_weight(&mut self, name: &str, weight: u32) {
+        match self.entries.iter_mut().find(|(n, _)| n == name) {
+            Some(entry) => entry.1 = weight,
+            None => self.entries.push((name.to_string(), weight)),
+        }
+    }
+
+    /// Weights in the order of `names`, defaulting to 1 for unknown names.
+    pub fn weights_for(&self, names: &[&str]) -> Vec<u32> {
+        names
+            .iter()
+            .map(|n| {
+                let w = self.weight_of(n);
+                if w == 0 && !self.entries.iter().any(|(en, _)| en == n) {
+                    1
+                } else {
+                    w
+                }
+            })
+            .collect()
+    }
+
+    /// Validate that the mix is non-empty and has positive total weight.
+    pub fn validate(&self) -> BenchResult<()> {
+        if self.entries.is_empty() {
+            return Err(BenchError::Workload("transaction mix is empty".into()));
+        }
+        if self.total_weight() == 0 {
+            return Err(BenchError::Workload(
+                "transaction mix has zero total weight".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// A complete OLxPBench benchmark: schema, loader and the three workloads.
+pub trait Workload: Send + Sync {
+    /// Benchmark name (`subenchmark`, `fibenchmark`, `tabenchmark`, ...).
+    fn name(&self) -> &str;
+
+    /// General or domain-specific.
+    fn kind(&self) -> WorkloadKind;
+
+    /// Create the benchmark's tables in the target database.
+    fn create_schema(&self, db: &Arc<HybridDatabase>) -> EngineResult<()>;
+
+    /// Populate the tables at the given scale factor.
+    fn load(&self, db: &Arc<HybridDatabase>, scale_factor: u32, seed: u64) -> EngineResult<()>;
+
+    /// The online transaction templates.
+    fn online_transactions(&self) -> Vec<Arc<dyn OnlineTransaction>>;
+
+    /// The analytical query templates.
+    fn analytical_queries(&self) -> Vec<Arc<dyn AnalyticalQuery>>;
+
+    /// The hybrid transaction templates.
+    fn hybrid_transactions(&self) -> Vec<Arc<dyn HybridTransaction>>;
+
+    /// Default weights for the online transaction mix.
+    fn default_online_mix(&self) -> TransactionMix;
+
+    /// Default weights for the hybrid transaction mix.
+    fn default_hybrid_mix(&self) -> TransactionMix;
+
+    /// Feature summary for Table I / Table II.
+    fn features(&self) -> WorkloadFeatures;
+
+    /// Names of tables written by online transactions (defaults to every
+    /// table created by the schema; override for stitch-schema benchmarks
+    /// where OLTP only touches a subset).
+    fn oltp_tables(&self) -> Vec<String> {
+        self.features().table_names.clone()
+    }
+
+    /// Names of tables read by analytical queries (derived from the query
+    /// templates).
+    fn olap_tables(&self) -> Vec<String> {
+        let mut tables: Vec<String> = Vec::new();
+        for q in self.analytical_queries() {
+            for t in q.tables() {
+                if !tables.contains(&t) {
+                    tables.push(t);
+                }
+            }
+        }
+        tables
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mix_weights_and_validation() {
+        let mut mix = TransactionMix::new(vec![("NewOrder", 45), ("Payment", 43), ("Delivery", 4)]);
+        assert_eq!(mix.total_weight(), 92);
+        assert_eq!(mix.weight_of("Payment"), 43);
+        assert_eq!(mix.weight_of("Nope"), 0);
+        mix.set_weight("Payment", 10);
+        assert_eq!(mix.weight_of("Payment"), 10);
+        mix.set_weight("StockLevel", 4);
+        assert_eq!(mix.weight_of("StockLevel"), 4);
+        assert!(mix.validate().is_ok());
+
+        assert!(TransactionMix::default().validate().is_err());
+        let zero = TransactionMix::new(vec![("a", 0)]);
+        assert!(zero.validate().is_err());
+    }
+
+    #[test]
+    fn weights_for_defaults_unknown_names_to_one() {
+        let mix = TransactionMix::new(vec![("a", 5)]);
+        assert_eq!(mix.weights_for(&["a", "b"]), vec![5, 1]);
+    }
+}

@@ -1,0 +1,228 @@
+//! Engine configuration.
+
+use crate::error::{EngineError, EngineResult};
+use olxp_storage::{CostParams, StorageMedium};
+use olxp_txn::IsolationLevel;
+use serde::{Deserialize, Serialize};
+
+/// The three architectural archetypes evaluated in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EngineArchitecture {
+    /// MemSQL-like: a single engine serving OLTP and OLAP from memory-resident
+    /// storage, read-committed isolation, vertical partitioning.
+    SingleEngine,
+    /// TiDB-like: SSD-resident row store for transactions, asynchronously
+    /// replicated columnar replicas for standalone analytical queries,
+    /// repeatable-read snapshot isolation, dedicated analytical nodes.
+    DualEngine,
+    /// OceanBase-like shared-nothing deployment (used by the scalability
+    /// experiment): every node is identical and serves both workloads,
+    /// SSD-resident storage, snapshot isolation.
+    SharedNothing,
+}
+
+impl EngineArchitecture {
+    /// Short display name used in reports ("MemSQL-like" / "TiDB-like" /
+    /// "OceanBase-like").
+    pub fn display_name(self) -> &'static str {
+        match self {
+            EngineArchitecture::SingleEngine => "single-engine (MemSQL-like)",
+            EngineArchitecture::DualEngine => "dual-engine (TiDB-like)",
+            EngineArchitecture::SharedNothing => "shared-nothing (OceanBase-like)",
+        }
+    }
+}
+
+/// Full engine configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EngineConfig {
+    /// Architecture archetype.
+    pub architecture: EngineArchitecture,
+    /// Number of cluster nodes (the paper uses 4 for the main experiments and
+    /// 4/8/16 for the scalability study).
+    pub nodes: usize,
+    /// Worker threads modelled per node (the paper's servers expose 24
+    /// hardware threads; the default is scaled down with the data sizes).
+    pub workers_per_node: usize,
+    /// Buffer-pool capacity per node, in pages.
+    pub buffer_pool_pages: u64,
+    /// Storage service-time model.
+    pub cost: CostParams,
+    /// Multiplier converting simulated service nanoseconds into real elapsed
+    /// nanoseconds.  `1.0` runs the model in real time; smaller values speed
+    /// experiments up uniformly without changing any ratio.
+    pub time_scale: f64,
+    /// Maximum replication records applied per opportunistic catch-up step.
+    pub replication_batch: usize,
+    /// Fraction (0–100) of standalone analytical queries the dual engine's
+    /// optimizer routes to the row store instead of the columnar replica
+    /// ("the scan tables operations can occur in the row store of TiKV or the
+    /// column store of TiFlash", §V-B1).
+    pub analytical_rowstore_percent: u64,
+    /// Lock wait timeout in milliseconds.
+    pub lock_wait_timeout_ms: u64,
+}
+
+impl EngineConfig {
+    /// MemSQL-like single engine on the default 4-node cluster.
+    pub fn single_engine() -> EngineConfig {
+        EngineConfig {
+            architecture: EngineArchitecture::SingleEngine,
+            nodes: 4,
+            workers_per_node: 6,
+            buffer_pool_pages: 512,
+            cost: CostParams::default(),
+            time_scale: 1.0,
+            replication_batch: 512,
+            analytical_rowstore_percent: 100,
+            lock_wait_timeout_ms: 500,
+        }
+    }
+
+    /// TiDB-like dual engine on the default 4-node cluster.
+    pub fn dual_engine() -> EngineConfig {
+        EngineConfig {
+            architecture: EngineArchitecture::DualEngine,
+            nodes: 4,
+            workers_per_node: 6,
+            buffer_pool_pages: 512,
+            cost: CostParams::default(),
+            time_scale: 1.0,
+            replication_batch: 512,
+            analytical_rowstore_percent: 40,
+            lock_wait_timeout_ms: 500,
+        }
+    }
+
+    /// OceanBase-like shared-nothing cluster (scalability experiment only).
+    pub fn shared_nothing() -> EngineConfig {
+        EngineConfig {
+            architecture: EngineArchitecture::SharedNothing,
+            analytical_rowstore_percent: 70,
+            ..EngineConfig::dual_engine()
+        }
+    }
+
+    /// Override the cluster size (builder style).
+    pub fn with_nodes(mut self, nodes: usize) -> EngineConfig {
+        self.nodes = nodes;
+        self
+    }
+
+    /// Override the per-node worker count (builder style).
+    pub fn with_workers_per_node(mut self, workers: usize) -> EngineConfig {
+        self.workers_per_node = workers;
+        self
+    }
+
+    /// Override the time scale (builder style).
+    pub fn with_time_scale(mut self, scale: f64) -> EngineConfig {
+        self.time_scale = scale;
+        self
+    }
+
+    /// Override the cost model (builder style).
+    pub fn with_cost(mut self, cost: CostParams) -> EngineConfig {
+        self.cost = cost;
+        self
+    }
+
+    /// Storage medium implied by the architecture.
+    pub fn medium(&self) -> StorageMedium {
+        match self.architecture {
+            EngineArchitecture::SingleEngine => StorageMedium::Memory,
+            EngineArchitecture::DualEngine | EngineArchitecture::SharedNothing => {
+                StorageMedium::Ssd
+            }
+        }
+    }
+
+    /// Default isolation level implied by the architecture.
+    pub fn default_isolation(&self) -> IsolationLevel {
+        match self.architecture {
+            EngineArchitecture::SingleEngine => IsolationLevel::ReadCommitted,
+            EngineArchitecture::DualEngine | EngineArchitecture::SharedNothing => {
+                IsolationLevel::RepeatableRead
+            }
+        }
+    }
+
+    /// Whether standalone analytical queries can be served by dedicated
+    /// analytical (columnar) nodes.
+    pub fn has_dedicated_analytical_nodes(&self) -> bool {
+        matches!(self.architecture, EngineArchitecture::DualEngine)
+    }
+
+    /// Validate the configuration.
+    pub fn validate(&self) -> EngineResult<()> {
+        if self.nodes == 0 {
+            return Err(EngineError::Config("nodes must be >= 1".into()));
+        }
+        if self.workers_per_node == 0 {
+            return Err(EngineError::Config("workers_per_node must be >= 1".into()));
+        }
+        if !(self.time_scale.is_finite() && self.time_scale >= 0.0) {
+            return Err(EngineError::Config(
+                "time_scale must be a non-negative finite number".into(),
+            ));
+        }
+        if self.analytical_rowstore_percent > 100 {
+            return Err(EngineError::Config(
+                "analytical_rowstore_percent must be in 0..=100".into(),
+            ));
+        }
+        if self.replication_batch == 0 {
+            return Err(EngineError::Config("replication_batch must be >= 1".into()));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn archetypes_have_paper_consistent_properties() {
+        let single = EngineConfig::single_engine();
+        let dual = EngineConfig::dual_engine();
+        assert_eq!(single.medium(), StorageMedium::Memory);
+        assert_eq!(dual.medium(), StorageMedium::Ssd);
+        assert_eq!(single.default_isolation(), IsolationLevel::ReadCommitted);
+        assert_eq!(dual.default_isolation(), IsolationLevel::RepeatableRead);
+        assert!(dual.has_dedicated_analytical_nodes());
+        assert!(!single.has_dedicated_analytical_nodes());
+        assert!(single.validate().is_ok());
+        assert!(dual.validate().is_ok());
+        assert!(EngineConfig::shared_nothing().validate().is_ok());
+    }
+
+    #[test]
+    fn builder_overrides() {
+        let cfg = EngineConfig::dual_engine()
+            .with_nodes(16)
+            .with_workers_per_node(2)
+            .with_time_scale(0.25);
+        assert_eq!(cfg.nodes, 16);
+        assert_eq!(cfg.workers_per_node, 2);
+        assert!((cfg.time_scale - 0.25).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        assert!(EngineConfig::dual_engine().with_nodes(0).validate().is_err());
+        assert!(EngineConfig::dual_engine()
+            .with_workers_per_node(0)
+            .validate()
+            .is_err());
+        let mut cfg = EngineConfig::dual_engine();
+        cfg.time_scale = f64::NAN;
+        assert!(cfg.validate().is_err());
+        let mut cfg = EngineConfig::dual_engine();
+        cfg.analytical_rowstore_percent = 200;
+        assert!(cfg.validate().is_err());
+        let mut cfg = EngineConfig::dual_engine();
+        cfg.replication_batch = 0;
+        assert!(cfg.validate().is_err());
+    }
+}

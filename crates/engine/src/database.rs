@@ -1,0 +1,411 @@
+//! The HTAP database facade.
+
+use crate::cluster::Cluster;
+use crate::config::{EngineArchitecture, EngineConfig};
+use crate::error::{EngineError, EngineResult};
+use crate::metrics::{EngineMetrics, MetricsSnapshot, WorkClass};
+use crate::session::Session;
+use olxp_storage::{
+    Catalog, ColumnTable, Key, MutationOp, ReplicationLog, Replicator, Row, RowTable, TableSchema,
+};
+use olxp_txn::TransactionManager;
+use parking_lot::{Mutex, RwLock};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Which physical store a standalone analytical query is routed to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AnalyticalRoute {
+    /// Served by the row store (TiKV-style scan).
+    RowStore,
+    /// Served by the columnar replicas (TiFlash-style scan).
+    ColumnStore,
+}
+
+/// An in-process HTAP database instance configured as one of the paper's
+/// architectural archetypes.
+///
+/// The database owns the catalog, the row tables, the columnar replicas, the
+/// replication pipeline between them, the transaction manager, the simulated
+/// cluster and the engine metrics.  Benchmark threads interact with it through
+/// [`Session`]s obtained from [`HybridDatabase::session`].
+pub struct HybridDatabase {
+    config: EngineConfig,
+    catalog: Catalog,
+    row_tables: RwLock<Arc<HashMap<String, Arc<RowTable>>>>,
+    col_tables: RwLock<Arc<HashMap<String, Arc<ColumnTable>>>>,
+    txn_mgr: TransactionManager,
+    replication: Arc<ReplicationLog>,
+    replicator: Mutex<Replicator>,
+    cluster: Cluster,
+    metrics: EngineMetrics,
+    olap_route_counter: AtomicU64,
+    commit_counter: AtomicU64,
+}
+
+impl HybridDatabase {
+    /// Create a database with the given configuration.
+    pub fn new(config: EngineConfig) -> EngineResult<Arc<HybridDatabase>> {
+        config.validate()?;
+        let replication = Arc::new(ReplicationLog::new());
+        let replicator = Replicator::new(Arc::clone(&replication));
+        let cluster = Cluster::from_config(&config);
+        let txn_mgr =
+            TransactionManager::with_lock_timeout(Duration::from_millis(config.lock_wait_timeout_ms));
+        Ok(Arc::new(HybridDatabase {
+            config,
+            catalog: Catalog::new(),
+            row_tables: RwLock::new(Arc::new(HashMap::new())),
+            col_tables: RwLock::new(Arc::new(HashMap::new())),
+            txn_mgr,
+            replication,
+            replicator: Mutex::new(replicator),
+            cluster,
+            metrics: EngineMetrics::new(),
+            olap_route_counter: AtomicU64::new(0),
+            commit_counter: AtomicU64::new(0),
+        }))
+    }
+
+    /// Convenience constructor for the MemSQL-like archetype.
+    pub fn single_engine() -> Arc<HybridDatabase> {
+        HybridDatabase::new(EngineConfig::single_engine()).expect("default config is valid")
+    }
+
+    /// Convenience constructor for the TiDB-like archetype.
+    pub fn dual_engine() -> Arc<HybridDatabase> {
+        HybridDatabase::new(EngineConfig::dual_engine()).expect("default config is valid")
+    }
+
+    /// Engine configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// The schema catalog.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// The simulated cluster.
+    pub fn cluster(&self) -> &Cluster {
+        &self.cluster
+    }
+
+    /// The transaction manager.
+    pub fn txn_manager(&self) -> &TransactionManager {
+        &self.txn_mgr
+    }
+
+    /// Engine metrics.
+    pub fn metrics(&self) -> &EngineMetrics {
+        &self.metrics
+    }
+
+    /// Snapshot of engine metrics.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.metrics.snapshot()
+    }
+
+    /// Create a table: a row table always, plus a columnar replica registered
+    /// with the replication pipeline.
+    pub fn create_table(&self, schema: TableSchema) -> EngineResult<()> {
+        let schema = self.catalog.create_table(schema)?;
+        let row_table = Arc::new(RowTable::new(Arc::clone(&schema)));
+        let col_table = Arc::new(ColumnTable::new(Arc::clone(&schema)));
+        {
+            let mut map = self.row_tables.write();
+            let mut new_map = HashMap::clone(map.as_ref());
+            new_map.insert(schema.name().to_string(), Arc::clone(&row_table));
+            *map = Arc::new(new_map);
+        }
+        {
+            let mut map = self.col_tables.write();
+            let mut new_map = HashMap::clone(map.as_ref());
+            new_map.insert(schema.name().to_string(), Arc::clone(&col_table));
+            *map = Arc::new(new_map);
+        }
+        self.replicator
+            .lock()
+            .register(schema.name().to_string(), col_table);
+        Ok(())
+    }
+
+    /// Shared snapshot of the row tables (cheap to clone, used by query sources).
+    pub fn row_tables(&self) -> Arc<HashMap<String, Arc<RowTable>>> {
+        Arc::clone(&self.row_tables.read())
+    }
+
+    /// Shared snapshot of the columnar replicas.
+    pub fn col_tables(&self) -> Arc<HashMap<String, Arc<ColumnTable>>> {
+        Arc::clone(&self.col_tables.read())
+    }
+
+    /// The row table for `name`.
+    pub fn row_table(&self, name: &str) -> EngineResult<Arc<RowTable>> {
+        self.row_tables
+            .read()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| EngineError::UnknownTable(name.to_string()))
+    }
+
+    /// The columnar replica for `name`.
+    pub fn col_table(&self, name: &str) -> EngineResult<Arc<ColumnTable>> {
+        self.col_tables
+            .read()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| EngineError::UnknownTable(name.to_string()))
+    }
+
+    /// Open a session.  Each benchmark driver thread owns one session.
+    pub fn session(self: &Arc<Self>) -> Session {
+        Session::new(Arc::clone(self))
+    }
+
+    // ------------------------------------------------------------------
+    // Bulk loading
+    // ------------------------------------------------------------------
+
+    /// Load a row outside of any transaction (benchmark data population).
+    ///
+    /// Loading bypasses the cost model and the cluster so that experiment
+    /// setup time does not pollute measurements; the rows are still shipped
+    /// through the replication log so the columnar replicas converge.
+    pub fn load_row(&self, table: &str, row: Row) -> EngineResult<()> {
+        let row_table = self.row_table(table)?;
+        let ts = self.txn_mgr.oracle().load_ts();
+        let key = row_table.schema().primary_key_of(&row);
+        row_table.insert(row.clone(), ts)?;
+        self.replication
+            .append(table, MutationOp::Insert, key, Some(row), ts);
+        Ok(())
+    }
+
+    /// Finish bulk loading: apply all pending replication so the columnar
+    /// replicas are complete before measurement starts.
+    pub fn finish_load(&self) -> EngineResult<usize> {
+        let applied = self.replicator.lock().catch_up()?;
+        self.metrics.add_replication_applied(applied as u64);
+        Ok(applied)
+    }
+
+    // ------------------------------------------------------------------
+    // Replication
+    // ------------------------------------------------------------------
+
+    /// Apply one batch of pending replication records (asynchronous log
+    /// replication step).  Called opportunistically by sessions.
+    pub fn replicate_step(&self) -> EngineResult<usize> {
+        let applied = self
+            .replicator
+            .lock()
+            .apply_pending(self.config.replication_batch)?;
+        if applied > 0 {
+            self.metrics.add_replication_applied(applied as u64);
+        }
+        Ok(applied)
+    }
+
+    /// Records appended to the replication log but not yet applied.
+    pub fn replication_lag(&self) -> u64 {
+        self.replication.lag_records()
+    }
+
+    /// The shared replication log (used by tests and metrics).
+    pub fn replication_log(&self) -> &Arc<ReplicationLog> {
+        &self.replication
+    }
+
+    // ------------------------------------------------------------------
+    // Routing and accounting (used by `Session`)
+    // ------------------------------------------------------------------
+
+    /// Decide where the next standalone analytical query runs.
+    ///
+    /// The dual engine routes `analytical_rowstore_percent` of queries to the
+    /// row store (the optimizer's choice in TiDB, §V-B1) and the remainder to
+    /// the columnar replicas on dedicated analytical nodes.  The single engine
+    /// and the shared-nothing configuration always compete with OLTP on the
+    /// same nodes, which is the point of the comparison.
+    pub fn route_analytical(&self) -> AnalyticalRoute {
+        let n = self.olap_route_counter.fetch_add(1, Ordering::Relaxed);
+        let percent = self.config.analytical_rowstore_percent;
+        if (n % 100) < percent {
+            AnalyticalRoute::RowStore
+        } else {
+            AnalyticalRoute::ColumnStore
+        }
+    }
+
+    /// Charge `service_nanos` of simulated work of `class` to `node`,
+    /// blocking for queueing plus scaled service time.
+    pub fn charge(&self, node: usize, class: WorkClass, service_nanos: u64) {
+        let occupation = self.cluster.occupy(node, service_nanos);
+        self.metrics.add_busy(class, occupation.service_nanos);
+        self.metrics
+            .add_queue_wait(class, occupation.queue_wait_nanos);
+    }
+
+    /// Record a commit and trigger an opportunistic replication step every few
+    /// commits so the columnar replicas keep up without a background thread.
+    pub fn note_commit(&self) {
+        self.metrics.add_commit();
+        let n = self.commit_counter.fetch_add(1, Ordering::Relaxed);
+        if n % 32 == 0 {
+            let _ = self.replicate_step();
+        }
+    }
+
+    /// Record an abort.
+    pub fn note_abort(&self) {
+        self.metrics.add_abort();
+    }
+
+    // ------------------------------------------------------------------
+    // Derived metrics
+    // ------------------------------------------------------------------
+
+    /// Lock overhead: time spent blocked (row-lock waits plus worker-queue
+    /// waits) relative to the simulated busy time.  This is the quantity the
+    /// paper measures with `perf` lock samples in Figure 4.
+    pub fn lock_overhead(&self) -> f64 {
+        let snapshot = self.metrics.snapshot();
+        let busy = snapshot.total_busy_nanos() as f64;
+        if busy == 0.0 {
+            return 0.0;
+        }
+        let lock_wait = self.txn_mgr.locks().stats().wait_nanos as f64;
+        let queue_wait = snapshot.total_queue_wait_nanos() as f64;
+        (lock_wait + queue_wait) / busy
+    }
+
+    /// Whether this database models the MemSQL-like single engine.
+    pub fn is_single_engine(&self) -> bool {
+        self.config.architecture == EngineArchitecture::SingleEngine
+    }
+
+    /// Total number of live rows across all row tables (for sanity checks).
+    pub fn total_live_rows(&self) -> usize {
+        let ts = self.txn_mgr.oracle().read_ts();
+        self.row_tables
+            .read()
+            .values()
+            .map(|t| t.live_row_count(ts))
+            .sum()
+    }
+
+    /// Approximate number of keys in a table's row store (physical size used
+    /// by the cost model for full scans).
+    pub fn table_key_count(&self, table: &str) -> usize {
+        self.row_tables
+            .read()
+            .get(table)
+            .map_or(0, |t| t.key_count())
+    }
+
+    /// Look up the partition (storage node) owning a key.
+    pub fn partition_for(&self, table: &str, key: &Key) -> usize {
+        self.cluster.partition_for(table, key)
+    }
+}
+
+impl std::fmt::Debug for HybridDatabase {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HybridDatabase")
+            .field("architecture", &self.config.architecture)
+            .field("nodes", &self.config.nodes)
+            .field("tables", &self.catalog.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use olxp_storage::{ColumnDef, DataType, Value};
+
+    fn item_schema() -> TableSchema {
+        TableSchema::new(
+            "ITEM",
+            vec![
+                ColumnDef::new("i_id", DataType::Int, false),
+                ColumnDef::new("i_price", DataType::Decimal, false),
+            ],
+            vec!["i_id"],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn create_table_registers_row_and_column_stores() {
+        let db = HybridDatabase::dual_engine();
+        db.create_table(item_schema()).unwrap();
+        assert!(db.row_table("ITEM").is_ok());
+        assert!(db.col_table("ITEM").is_ok());
+        assert!(matches!(
+            db.row_table("NOPE"),
+            Err(EngineError::UnknownTable(_))
+        ));
+    }
+
+    #[test]
+    fn load_rows_replicate_to_column_store() {
+        let db = HybridDatabase::dual_engine();
+        db.create_table(item_schema()).unwrap();
+        for i in 0..100 {
+            db.load_row("ITEM", Row::new(vec![Value::Int(i), Value::Decimal(i * 10)]))
+                .unwrap();
+        }
+        assert!(db.replication_lag() > 0);
+        let applied = db.finish_load().unwrap();
+        assert_eq!(applied, 100);
+        assert_eq!(db.replication_lag(), 0);
+        assert_eq!(db.col_table("ITEM").unwrap().live_row_count(), 100);
+        assert_eq!(db.total_live_rows(), 100);
+        assert_eq!(db.table_key_count("ITEM"), 100);
+    }
+
+    #[test]
+    fn analytical_routing_follows_configured_percentage() {
+        let mut config = EngineConfig::dual_engine();
+        config.analytical_rowstore_percent = 25;
+        let db = HybridDatabase::new(config).unwrap();
+        let row_routed = (0..100)
+            .filter(|_| db.route_analytical() == AnalyticalRoute::RowStore)
+            .count();
+        assert_eq!(row_routed, 25);
+        let single = HybridDatabase::single_engine();
+        assert_eq!(single.route_analytical(), AnalyticalRoute::RowStore);
+    }
+
+    #[test]
+    fn charge_accumulates_metrics() {
+        let db = HybridDatabase::new(
+            EngineConfig::single_engine()
+                .with_nodes(1)
+                .with_time_scale(0.0),
+        )
+        .unwrap();
+        db.charge(0, WorkClass::Oltp, 5_000);
+        db.charge(0, WorkClass::Olap, 10_000);
+        let snapshot = db.metrics_snapshot();
+        assert_eq!(snapshot.busy_nanos[0], 5_000);
+        assert_eq!(snapshot.busy_nanos[1], 10_000);
+    }
+
+    #[test]
+    fn invalid_config_is_rejected() {
+        let bad = EngineConfig::dual_engine().with_nodes(0);
+        assert!(HybridDatabase::new(bad).is_err());
+    }
+
+    #[test]
+    fn lock_overhead_is_zero_without_work() {
+        let db = HybridDatabase::single_engine();
+        assert_eq!(db.lock_overhead(), 0.0);
+    }
+}

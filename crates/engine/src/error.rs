@@ -1,0 +1,90 @@
+//! Engine errors.
+
+use olxp_query::QueryError;
+use olxp_storage::StorageError;
+use olxp_txn::TxnError;
+use std::fmt;
+
+/// Result alias for engine operations.
+pub type EngineResult<T> = Result<T, EngineError>;
+
+/// Errors returned by the engine's session API.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// Transaction-layer error (conflicts, aborts, invalid state).
+    Txn(TxnError),
+    /// Storage-layer error.
+    Storage(StorageError),
+    /// Query-layer error.
+    Query(QueryError),
+    /// The requested table is not registered with the engine.
+    UnknownTable(String),
+    /// Engine configuration is invalid.
+    Config(String),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Txn(e) => write!(f, "{e}"),
+            EngineError::Storage(e) => write!(f, "{e}"),
+            EngineError::Query(e) => write!(f, "{e}"),
+            EngineError::UnknownTable(t) => write!(f, "unknown table: {t}"),
+            EngineError::Config(msg) => write!(f, "invalid engine configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<TxnError> for EngineError {
+    fn from(e: TxnError) -> Self {
+        EngineError::Txn(e)
+    }
+}
+
+impl From<StorageError> for EngineError {
+    fn from(e: StorageError) -> Self {
+        EngineError::Storage(e)
+    }
+}
+
+impl From<QueryError> for EngineError {
+    fn from(e: QueryError) -> Self {
+        EngineError::Query(e)
+    }
+}
+
+impl EngineError {
+    /// True when the enclosing transaction should simply be retried
+    /// (wait-die aborts, lock timeouts and snapshot write conflicts).
+    pub fn is_retryable(&self) -> bool {
+        match self {
+            EngineError::Txn(e) => e.is_retryable(),
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retryability_follows_txn_layer() {
+        let retry: EngineError = TxnError::Aborted {
+            table: "t".into(),
+            key: "k".into(),
+        }
+        .into();
+        assert!(retry.is_retryable());
+        let not: EngineError = StorageError::TableNotFound("t".into()).into();
+        assert!(!not.is_retryable());
+    }
+
+    #[test]
+    fn conversions_preserve_messages() {
+        let e: EngineError = QueryError::InvalidPlan("no aggregates".into()).into();
+        assert!(e.to_string().contains("no aggregates"));
+    }
+}

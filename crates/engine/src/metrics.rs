@@ -1,0 +1,244 @@
+//! Engine-side metrics.
+//!
+//! The experiment harness reads these counters to compute the quantities the
+//! paper reports beyond plain latency/throughput: the normalized lock overhead
+//! of Figure 4, scan volumes, buffer-pool churn and replication lag.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Classification of work for accounting purposes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WorkClass {
+    /// Online transaction statements.
+    Oltp,
+    /// Standalone analytical queries.
+    Olap,
+    /// Hybrid transactions (online transaction with an embedded real-time query).
+    Hybrid,
+    /// Bulk data loading (not charged to any experiment).
+    Load,
+}
+
+impl WorkClass {
+    fn index(self) -> usize {
+        match self {
+            WorkClass::Oltp => 0,
+            WorkClass::Olap => 1,
+            WorkClass::Hybrid => 2,
+            WorkClass::Load => 3,
+        }
+    }
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            WorkClass::Oltp => "oltp",
+            WorkClass::Olap => "olap",
+            WorkClass::Hybrid => "hybrid",
+            WorkClass::Load => "load",
+        }
+    }
+}
+
+/// Atomic counters maintained by the engine.
+#[derive(Debug, Default)]
+pub struct EngineMetrics {
+    busy_nanos: [AtomicU64; 4],
+    queue_wait_nanos: [AtomicU64; 4],
+    statements: [AtomicU64; 4],
+    commits: AtomicU64,
+    aborts: AtomicU64,
+    row_rows_scanned: AtomicU64,
+    col_rows_scanned: AtomicU64,
+    buffer_misses: AtomicU64,
+    replication_applied: AtomicU64,
+    distributed_commits: AtomicU64,
+}
+
+/// A point-in-time copy of [`EngineMetrics`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MetricsSnapshot {
+    /// Simulated service nanoseconds, per work class `[oltp, olap, hybrid, load]`.
+    pub busy_nanos: [u64; 4],
+    /// Real nanoseconds spent queueing for node workers, per work class.
+    pub queue_wait_nanos: [u64; 4],
+    /// Statements executed, per work class.
+    pub statements: [u64; 4],
+    /// Transactions committed through the engine.
+    pub commits: u64,
+    /// Transactions aborted through the engine.
+    pub aborts: u64,
+    /// Physical rows scanned from row stores.
+    pub row_rows_scanned: u64,
+    /// Physical rows scanned from column stores.
+    pub col_rows_scanned: u64,
+    /// Buffer-pool page misses.
+    pub buffer_misses: u64,
+    /// Replication log records applied to columnar replicas.
+    pub replication_applied: u64,
+    /// Commits that required two-phase commit across partitions.
+    pub distributed_commits: u64,
+}
+
+impl MetricsSnapshot {
+    /// Total simulated busy time across all classes.
+    pub fn total_busy_nanos(&self) -> u64 {
+        self.busy_nanos.iter().sum()
+    }
+
+    /// Total queue wait across all classes.
+    pub fn total_queue_wait_nanos(&self) -> u64 {
+        self.queue_wait_nanos.iter().sum()
+    }
+
+    /// Difference between two snapshots (`self - earlier`), element-wise.
+    pub fn delta_since(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {
+        let mut out = MetricsSnapshot::default();
+        for i in 0..4 {
+            out.busy_nanos[i] = self.busy_nanos[i].saturating_sub(earlier.busy_nanos[i]);
+            out.queue_wait_nanos[i] =
+                self.queue_wait_nanos[i].saturating_sub(earlier.queue_wait_nanos[i]);
+            out.statements[i] = self.statements[i].saturating_sub(earlier.statements[i]);
+        }
+        out.commits = self.commits.saturating_sub(earlier.commits);
+        out.aborts = self.aborts.saturating_sub(earlier.aborts);
+        out.row_rows_scanned = self.row_rows_scanned.saturating_sub(earlier.row_rows_scanned);
+        out.col_rows_scanned = self.col_rows_scanned.saturating_sub(earlier.col_rows_scanned);
+        out.buffer_misses = self.buffer_misses.saturating_sub(earlier.buffer_misses);
+        out.replication_applied = self
+            .replication_applied
+            .saturating_sub(earlier.replication_applied);
+        out.distributed_commits = self
+            .distributed_commits
+            .saturating_sub(earlier.distributed_commits);
+        out
+    }
+}
+
+impl EngineMetrics {
+    /// Create zeroed metrics.
+    pub fn new() -> EngineMetrics {
+        EngineMetrics::default()
+    }
+
+    /// Record simulated service time.
+    pub fn add_busy(&self, class: WorkClass, nanos: u64) {
+        self.busy_nanos[class.index()].fetch_add(nanos, Ordering::Relaxed);
+    }
+
+    /// Record real queue wait time.
+    pub fn add_queue_wait(&self, class: WorkClass, nanos: u64) {
+        self.queue_wait_nanos[class.index()].fetch_add(nanos, Ordering::Relaxed);
+    }
+
+    /// Record one executed statement.
+    pub fn add_statement(&self, class: WorkClass) {
+        self.statements[class.index()].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a commit.
+    pub fn add_commit(&self) {
+        self.commits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record an abort.
+    pub fn add_abort(&self) {
+        self.aborts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record rows scanned from a row store.
+    pub fn add_row_rows_scanned(&self, rows: u64) {
+        self.row_rows_scanned.fetch_add(rows, Ordering::Relaxed);
+    }
+
+    /// Record rows scanned from a column store.
+    pub fn add_col_rows_scanned(&self, rows: u64) {
+        self.col_rows_scanned.fetch_add(rows, Ordering::Relaxed);
+    }
+
+    /// Record buffer-pool misses.
+    pub fn add_buffer_misses(&self, misses: u64) {
+        self.buffer_misses.fetch_add(misses, Ordering::Relaxed);
+    }
+
+    /// Record applied replication records.
+    pub fn add_replication_applied(&self, records: u64) {
+        self.replication_applied.fetch_add(records, Ordering::Relaxed);
+    }
+
+    /// Record a two-phase (multi-partition) commit.
+    pub fn add_distributed_commit(&self) {
+        self.distributed_commits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Take a snapshot of every counter.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let read = |arr: &[AtomicU64; 4]| {
+            [
+                arr[0].load(Ordering::Relaxed),
+                arr[1].load(Ordering::Relaxed),
+                arr[2].load(Ordering::Relaxed),
+                arr[3].load(Ordering::Relaxed),
+            ]
+        };
+        MetricsSnapshot {
+            busy_nanos: read(&self.busy_nanos),
+            queue_wait_nanos: read(&self.queue_wait_nanos),
+            statements: read(&self.statements),
+            commits: self.commits.load(Ordering::Relaxed),
+            aborts: self.aborts.load(Ordering::Relaxed),
+            row_rows_scanned: self.row_rows_scanned.load(Ordering::Relaxed),
+            col_rows_scanned: self.col_rows_scanned.load(Ordering::Relaxed),
+            buffer_misses: self.buffer_misses.load(Ordering::Relaxed),
+            replication_applied: self.replication_applied.load(Ordering::Relaxed),
+            distributed_commits: self.distributed_commits.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_per_class() {
+        let m = EngineMetrics::new();
+        m.add_busy(WorkClass::Oltp, 100);
+        m.add_busy(WorkClass::Olap, 200);
+        m.add_busy(WorkClass::Hybrid, 50);
+        m.add_statement(WorkClass::Oltp);
+        m.add_statement(WorkClass::Oltp);
+        m.add_commit();
+        let s = m.snapshot();
+        assert_eq!(s.busy_nanos[0], 100);
+        assert_eq!(s.busy_nanos[1], 200);
+        assert_eq!(s.busy_nanos[2], 50);
+        assert_eq!(s.statements[0], 2);
+        assert_eq!(s.total_busy_nanos(), 350);
+        assert_eq!(s.commits, 1);
+    }
+
+    #[test]
+    fn delta_since_subtracts() {
+        let m = EngineMetrics::new();
+        m.add_busy(WorkClass::Oltp, 100);
+        m.add_commit();
+        let early = m.snapshot();
+        m.add_busy(WorkClass::Oltp, 40);
+        m.add_commit();
+        m.add_buffer_misses(7);
+        let late = m.snapshot();
+        let d = late.delta_since(&early);
+        assert_eq!(d.busy_nanos[0], 40);
+        assert_eq!(d.commits, 1);
+        assert_eq!(d.buffer_misses, 7);
+    }
+
+    #[test]
+    fn work_class_names() {
+        assert_eq!(WorkClass::Oltp.name(), "oltp");
+        assert_eq!(WorkClass::Olap.name(), "olap");
+        assert_eq!(WorkClass::Hybrid.name(), "hybrid");
+        assert_eq!(WorkClass::Load.name(), "load");
+    }
+}

@@ -1,0 +1,293 @@
+//! Property-based tests (proptest) over the core data structures and
+//! invariants of the stack: key ordering, MVCC visibility, replication
+//! convergence, percentile estimation, the weighted generator and the LIKE
+//! matcher.
+
+use olxpbench::framework::stats::LatencyRecorder;
+use olxpbench::framework::WeightedChoice;
+use olxpbench::prelude::*;
+use olxpbench::query::expr::like_match;
+use olxpbench::storage::{ColumnTable, MutationOp, ReplicationLog, Replicator, RowTable};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn simple_schema() -> Arc<TableSchema> {
+    Arc::new(
+        TableSchema::new(
+            "T",
+            vec![
+                ColumnDef::new("id", DataType::Int, false),
+                ColumnDef::new("val", DataType::Int, false),
+            ],
+            vec!["id"],
+        )
+        .unwrap(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Composite keys order lexicographically, exactly like tuples of their
+    /// components.
+    #[test]
+    fn key_ordering_matches_tuple_ordering(a in proptest::collection::vec(-1000i64..1000, 1..4),
+                                           b in proptest::collection::vec(-1000i64..1000, 1..4)) {
+        let ka = Key::ints(&a);
+        let kb = Key::ints(&b);
+        prop_assert_eq!(ka.cmp(&kb), a.cmp(&b));
+    }
+
+    /// Every key that starts with a prefix sorts strictly below the prefix's
+    /// upper bound, and keys outside the prefix do not.
+    #[test]
+    fn prefix_upper_bound_brackets_all_extensions(prefix in proptest::collection::vec(0i64..100, 1..3),
+                                                  suffix in proptest::collection::vec(-50i64..50, 0..3)) {
+        let p = Key::ints(&prefix);
+        let upper = p.prefix_upper_bound().unwrap();
+        let mut extended = prefix.clone();
+        extended.extend(&suffix);
+        let k = Key::ints(&extended);
+        prop_assert!(k >= p);
+        prop_assert!(k < upper);
+    }
+
+    /// MVCC visibility: a reader at timestamp `t` sees exactly the newest
+    /// version committed at or before `t`.
+    #[test]
+    fn mvcc_visibility_selects_newest_committed_version(updates in proptest::collection::vec(1i64..1000, 1..12),
+                                                        probe in 0u64..40) {
+        let table = RowTable::new(simple_schema());
+        table
+            .insert(Row::new(vec![Value::Int(1), Value::Int(0)]), 1)
+            .unwrap();
+        // Version k is committed at timestamp 2*(k+1).
+        for (k, value) in updates.iter().enumerate() {
+            table
+                .update(
+                    &Key::int(1),
+                    Row::new(vec![Value::Int(1), Value::Int(*value)]),
+                    2 * (k as u64 + 1),
+                )
+                .unwrap();
+        }
+        let visible = table.get(&Key::int(1), probe);
+        if probe == 0 {
+            prop_assert!(visible.is_none());
+        } else {
+            // The newest update with commit_ts <= probe, if any; otherwise the insert.
+            let newest = updates
+                .iter()
+                .enumerate()
+                .filter(|(k, _)| 2 * (*k as u64 + 1) <= probe)
+                .map(|(_, v)| *v)
+                .last()
+                .unwrap_or(0);
+            prop_assert_eq!(visible.unwrap()[1].clone(), Value::Int(newest));
+        }
+    }
+
+    /// Replication convergence: applying the log reproduces the row store's
+    /// live contents in the column store, regardless of the operation mix.
+    #[test]
+    fn replication_converges_to_row_store_contents(ops in proptest::collection::vec((0u8..3, 0i64..20, -100i64..100), 1..60)) {
+        let schema = simple_schema();
+        let row_table = RowTable::new(Arc::clone(&schema));
+        let col_table = Arc::new(ColumnTable::new(Arc::clone(&schema)));
+        let log = Arc::new(ReplicationLog::new());
+        let mut replicator = Replicator::new(Arc::clone(&log));
+        replicator.register("T", Arc::clone(&col_table));
+
+        let mut ts = 1u64;
+        for (op, id, val) in ops {
+            ts += 1;
+            let key = Key::int(id);
+            let row = Row::new(vec![Value::Int(id), Value::Int(val)]);
+            match op {
+                0 => {
+                    if row_table.get(&key, ts).is_none()
+                        && row_table.insert(row.clone(), ts).is_ok()
+                    {
+                        log.append("T", MutationOp::Insert, key, Some(row), ts);
+                    }
+                }
+                1 => {
+                    if row_table.get(&key, ts).is_some()
+                        && row_table.update(&key, row.clone(), ts).is_ok()
+                    {
+                        log.append("T", MutationOp::Update, key, Some(row), ts);
+                    }
+                }
+                _ => {
+                    if row_table.get(&key, ts).is_some() && row_table.delete(&key, ts).is_ok() {
+                        log.append("T", MutationOp::Delete, key, None, ts);
+                    }
+                }
+            }
+        }
+        replicator.catch_up().unwrap();
+        prop_assert_eq!(log.lag_records(), 0);
+        prop_assert_eq!(col_table.live_row_count(), row_table.live_row_count(ts + 1));
+
+        // Every live row matches the replica's image.
+        let mut mismatch = false;
+        row_table.scan(ts + 1, |key, row| {
+            let mut found = false;
+            col_table.scan_rows(|crow| {
+                if &schema.primary_key_of(crow) == key {
+                    found = crow == row.as_ref();
+                }
+            });
+            if !found {
+                mismatch = true;
+            }
+        });
+        prop_assert!(!mismatch, "columnar replica diverged from the row store");
+    }
+
+    /// The nearest-rank quantile estimator agrees with an exact sorted lookup.
+    #[test]
+    fn latency_quantiles_match_exact_sort(samples in proptest::collection::vec(1u64..10_000_000, 1..300),
+                                          q in 0.0f64..1.0) {
+        let mut recorder = LatencyRecorder::new();
+        for &s in &samples {
+            recorder.record_nanos(s);
+        }
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        prop_assert_eq!(recorder.quantile_nanos(q), sorted[rank - 1]);
+        prop_assert_eq!(recorder.min_nanos(), *sorted.first().unwrap());
+        prop_assert_eq!(recorder.max_nanos(), *sorted.last().unwrap());
+        prop_assert!(recorder.mean_nanos() >= recorder.min_nanos() as f64 - 1e-9);
+        prop_assert!(recorder.mean_nanos() <= recorder.max_nanos() as f64 + 1e-9);
+    }
+
+    /// Throughput is samples divided by the window, independent of sample values.
+    #[test]
+    fn throughput_is_count_over_window(samples in proptest::collection::vec(1u64..1_000_000, 0..100),
+                                       millis in 1u64..10_000) {
+        let mut recorder = LatencyRecorder::new();
+        for &s in &samples {
+            recorder.record_nanos(s);
+        }
+        let window = Duration::from_millis(millis);
+        let expected = samples.len() as f64 / window.as_secs_f64();
+        prop_assert!((recorder.throughput(window) - expected).abs() < 1e-6);
+    }
+
+    /// The weighted generator never picks zero-weight entries and covers every
+    /// positive-weight entry given enough draws.
+    #[test]
+    fn weighted_choice_respects_zero_weights(weights in proptest::collection::vec(0u32..5, 1..8), seed in 0u64..1000) {
+        prop_assume!(weights.iter().any(|&w| w > 0));
+        let choice = WeightedChoice::new(&weights);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut seen = vec![false; weights.len()];
+        for _ in 0..500 {
+            let picked = choice.pick(&mut rng);
+            prop_assert!(weights[picked] > 0, "picked zero-weight entry {picked}");
+            seen[picked] = true;
+        }
+        for (i, &w) in weights.iter().enumerate() {
+            if w > 0 && weights.iter().filter(|&&x| x > 0).count() <= 3 {
+                prop_assert!(seen[i], "entry {i} with weight {w} never picked in 500 draws");
+            }
+        }
+    }
+
+    /// The LIKE matcher agrees with a simple contains/prefix/suffix oracle for
+    /// the pattern shapes the workloads use.
+    #[test]
+    fn like_matcher_agrees_with_oracle(text in "[a-c]{0,12}", needle in "[a-c]{0,4}") {
+        prop_assert_eq!(like_match(&text, &format!("%{needle}%")), text.contains(&needle));
+        prop_assert_eq!(like_match(&text, &format!("{needle}%")), text.starts_with(&needle));
+        prop_assert_eq!(like_match(&text, &format!("%{needle}")), text.ends_with(&needle));
+        prop_assert_eq!(like_match(&text, &text), true);
+    }
+
+    /// Values round-trip through decimal arithmetic without losing the scale.
+    #[test]
+    fn decimal_arithmetic_keeps_cent_precision(a in -1_000_000i64..1_000_000, b in -1_000_000i64..1_000_000) {
+        let x = Value::Decimal(a);
+        let y = Value::Decimal(b);
+        prop_assert_eq!(x.checked_add(&y), Some(Value::Decimal(a + b)));
+        prop_assert_eq!(x.checked_sub(&y), Some(Value::Decimal(a - b)));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// End-to-end engine property: after any sequence of committed balance
+    /// transfers, the total amount of money in the bank is unchanged
+    /// (fibenchmark's core invariant), and the columnar replicas converge to
+    /// the same total.
+    #[test]
+    fn money_is_conserved_across_transfers(transfers in proptest::collection::vec((1i64..50, 1i64..50, 1i64..500), 1..25)) {
+        let db = HybridDatabase::new(EngineConfig::dual_engine().with_time_scale(0.0)).unwrap();
+        let workload = Fibenchmark::new();
+        workload.create_schema(&db).unwrap();
+        // A tiny bank keeps the property test fast.
+        {
+            use olxpbench::prelude::*;
+            for custid in 1..=50i64 {
+                db.load_row("ACCOUNT", Row::new(vec![Value::Int(custid), Value::Str(format!("c{custid}"))])).unwrap();
+                db.load_row("SAVINGS", Row::new(vec![Value::Int(custid), Value::Decimal(10_000)])).unwrap();
+                db.load_row("CHECKING", Row::new(vec![Value::Int(custid), Value::Decimal(5_000)])).unwrap();
+            }
+        }
+        db.finish_load().unwrap();
+        let session = db.session();
+
+        let total = |db: &Arc<HybridDatabase>| -> i64 {
+            let ts = db.txn_manager().oracle().read_ts();
+            let mut sum = 0i64;
+            for table in ["SAVINGS", "CHECKING"] {
+                db.row_table(table).unwrap().scan(ts, |_, row| {
+                    if let Value::Decimal(v) = row[1] {
+                        sum += v;
+                    }
+                });
+            }
+            sum
+        };
+        let before = total(db.database_ref());
+
+        for (from, to, amount) in transfers {
+            if from == to {
+                continue;
+            }
+            let result = session.run_transaction(WorkClass::Oltp, 5, |s, txn| {
+                let from_key = Key::int(from);
+                let to_key = Key::int(to);
+                let mut from_row = s.read(txn, "CHECKING", &from_key)?.expect("account exists");
+                let mut to_row = s.read(txn, "CHECKING", &to_key)?.expect("account exists");
+                let from_bal = match from_row[1] { Value::Decimal(v) => v, _ => 0 };
+                let to_bal = match to_row[1] { Value::Decimal(v) => v, _ => 0 };
+                from_row.set(1, Value::Decimal(from_bal - amount));
+                to_row.set(1, Value::Decimal(to_bal + amount));
+                s.update(txn, "CHECKING", &from_key, from_row)?;
+                s.update(txn, "CHECKING", &to_key, to_row)?;
+                Ok(())
+            });
+            prop_assert!(result.is_ok(), "transfer failed: {result:?}");
+        }
+        let after = total(db.database_ref());
+        prop_assert_eq!(before, after, "money must be conserved");
+    }
+}
+
+/// Helper trait to appease the closure above (sessions hand out `&Arc<HybridDatabase>`).
+trait DatabaseRef {
+    fn database_ref(&self) -> &Arc<HybridDatabase>;
+}
+
+impl DatabaseRef for Arc<HybridDatabase> {
+    fn database_ref(&self) -> &Arc<HybridDatabase> {
+        self
+    }
+}

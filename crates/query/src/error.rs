@@ -1,0 +1,67 @@
+//! Query-layer errors.
+
+use olxp_storage::StorageError;
+use std::fmt;
+
+/// Result alias for query operations.
+pub type QueryResult<T> = Result<T, QueryError>;
+
+/// Errors produced while planning or executing a query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryError {
+    /// A plan referenced a column position that the input does not have.
+    ColumnOutOfRange {
+        /// The requested position.
+        position: usize,
+        /// The width of the input rows.
+        width: usize,
+    },
+    /// An expression was applied to values of the wrong type.
+    TypeError(String),
+    /// The plan is malformed (e.g. aggregate without aggregates).
+    InvalidPlan(String),
+    /// Error bubbled up from storage.
+    Storage(StorageError),
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::ColumnOutOfRange { position, width } => {
+                write!(f, "column #{position} out of range for row of width {width}")
+            }
+            QueryError::TypeError(msg) => write!(f, "type error: {msg}"),
+            QueryError::InvalidPlan(msg) => write!(f, "invalid plan: {msg}"),
+            QueryError::Storage(e) => write!(f, "storage error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+impl From<StorageError> for QueryError {
+    fn from(e: StorageError) -> Self {
+        QueryError::Storage(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_mention_positions() {
+        let e = QueryError::ColumnOutOfRange {
+            position: 9,
+            width: 3,
+        };
+        assert!(e.to_string().contains('9'));
+        assert!(e.to_string().contains('3'));
+    }
+
+    #[test]
+    fn storage_error_converts() {
+        let e: QueryError = StorageError::TableNotFound("ORDERS".into()).into();
+        assert!(matches!(e, QueryError::Storage(_)));
+    }
+}

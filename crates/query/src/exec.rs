@@ -1,0 +1,552 @@
+//! Plan interpreter.
+
+use crate::error::{QueryError, QueryResult};
+use crate::expr::AggFunc;
+use crate::plan::{AggSpec, JoinKind, Plan, SortKey};
+use crate::source::{DataSource, SourceKind};
+use olxp_storage::{Row, Value};
+use std::collections::HashMap;
+
+/// Work counters accumulated while executing a plan.
+///
+/// The engine converts these into service time through the storage cost model,
+/// so they deliberately count *physical* work (rows examined) rather than
+/// logical output sizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ExecStats {
+    /// Which store served the base-table accesses.
+    pub source_kind: Option<SourceKind>,
+    /// Physical rows examined by table scans.
+    pub rows_scanned: u64,
+    /// Physical entries examined by index lookups.
+    pub index_entries: u64,
+    /// Number of full table scans performed.
+    pub full_scans: u64,
+    /// Hash-join probe operations (probes plus emitted matches).
+    pub join_probes: u64,
+    /// Rows used to build join hash tables.
+    pub join_build_rows: u64,
+    /// Rows fed into aggregation operators.
+    pub agg_input_rows: u64,
+    /// Rows fed into sort operators.
+    pub sort_rows: u64,
+    /// Rows produced by the plan root.
+    pub output_rows: u64,
+}
+
+impl ExecStats {
+    /// Total physical rows touched (scan + index), the headline input to the
+    /// scan cost model.
+    pub fn physical_rows(&self) -> u64 {
+        self.rows_scanned + self.index_entries
+    }
+
+    /// Merge another stats record into this one (used when a transaction runs
+    /// several statements).
+    pub fn merge(&mut self, other: &ExecStats) {
+        if self.source_kind.is_none() {
+            self.source_kind = other.source_kind;
+        }
+        self.rows_scanned += other.rows_scanned;
+        self.index_entries += other.index_entries;
+        self.full_scans += other.full_scans;
+        self.join_probes += other.join_probes;
+        self.join_build_rows += other.join_build_rows;
+        self.agg_input_rows += other.agg_input_rows;
+        self.sort_rows += other.sort_rows;
+        self.output_rows += other.output_rows;
+    }
+}
+
+/// Result of executing a plan: the output rows and the work counters.
+#[derive(Debug, Clone, Default)]
+pub struct QueryOutput {
+    /// Output rows of the plan root.
+    pub rows: Vec<Row>,
+    /// Work performed.
+    pub stats: ExecStats,
+}
+
+/// Execute `plan` against `source`.
+pub fn execute(plan: &Plan, source: &dyn DataSource) -> QueryResult<QueryOutput> {
+    let mut stats = ExecStats {
+        source_kind: Some(source.kind()),
+        ..ExecStats::default()
+    };
+    let rows = run(plan, source, &mut stats)?;
+    stats.output_rows = rows.len() as u64;
+    Ok(QueryOutput { rows, stats })
+}
+
+fn run(plan: &Plan, source: &dyn DataSource, stats: &mut ExecStats) -> QueryResult<Vec<Row>> {
+    match plan {
+        Plan::TableScan { table, filter } => {
+            let mut rows = Vec::new();
+            let mut err = None;
+            let examined = source.scan(table, &mut |row| {
+                if err.is_some() {
+                    return;
+                }
+                match filter {
+                    Some(f) => match f.matches(row.values()) {
+                        Ok(true) => rows.push(row.clone()),
+                        Ok(false) => {}
+                        Err(e) => err = Some(e),
+                    },
+                    None => rows.push(row.clone()),
+                }
+            })?;
+            if let Some(e) = err {
+                return Err(e);
+            }
+            stats.rows_scanned += examined as u64;
+            stats.full_scans += 1;
+            Ok(rows)
+        }
+        Plan::IndexScan {
+            table,
+            index,
+            prefix,
+            filter,
+        } => {
+            let (mut rows, examined) = source.index_lookup(table, *index, prefix)?;
+            stats.index_entries += examined as u64;
+            if let Some(f) = filter {
+                let mut kept = Vec::with_capacity(rows.len());
+                for row in rows.drain(..) {
+                    if f.matches(row.values())? {
+                        kept.push(row);
+                    }
+                }
+                rows = kept;
+            }
+            Ok(rows)
+        }
+        Plan::Filter { input, predicate } => {
+            let rows = run(input, source, stats)?;
+            let mut kept = Vec::with_capacity(rows.len());
+            for row in rows {
+                if predicate.matches(row.values())? {
+                    kept.push(row);
+                }
+            }
+            Ok(kept)
+        }
+        Plan::Project { input, exprs } => {
+            let rows = run(input, source, stats)?;
+            let mut out = Vec::with_capacity(rows.len());
+            for row in rows {
+                let mut values = Vec::with_capacity(exprs.len());
+                for e in exprs {
+                    values.push(e.eval(row.values())?);
+                }
+                out.push(Row::new(values));
+            }
+            Ok(out)
+        }
+        Plan::Join {
+            left,
+            right,
+            left_keys,
+            right_keys,
+            kind,
+        } => {
+            if left_keys.len() != right_keys.len() || left_keys.is_empty() {
+                return Err(QueryError::InvalidPlan(
+                    "join key lists must be non-empty and of equal length".into(),
+                ));
+            }
+            let left_rows = run(left, source, stats)?;
+            let right_rows = run(right, source, stats)?;
+            // Build on the right, probe with the left so LeftOuter can emit
+            // unmatched left rows.
+            stats.join_build_rows += right_rows.len() as u64;
+            let right_width = right_rows.first().map_or(0, Row::arity);
+            let mut hash: HashMap<Vec<Value>, Vec<&Row>> = HashMap::with_capacity(right_rows.len());
+            for row in &right_rows {
+                let key = extract_key(row, right_keys)?;
+                hash.entry(key).or_default().push(row);
+            }
+            let mut out = Vec::new();
+            for lrow in &left_rows {
+                stats.join_probes += 1;
+                let key = extract_key(lrow, left_keys)?;
+                match hash.get(&key) {
+                    Some(matches) => {
+                        for rrow in matches {
+                            stats.join_probes += 1;
+                            let mut values = lrow.values().to_vec();
+                            values.extend_from_slice(rrow.values());
+                            out.push(Row::new(values));
+                        }
+                    }
+                    None => {
+                        if *kind == JoinKind::LeftOuter {
+                            let mut values = lrow.values().to_vec();
+                            values.extend(std::iter::repeat(Value::Null).take(right_width));
+                            out.push(Row::new(values));
+                        }
+                    }
+                }
+            }
+            Ok(out)
+        }
+        Plan::Aggregate {
+            input,
+            group_by,
+            aggregates,
+        } => {
+            if aggregates.is_empty() {
+                return Err(QueryError::InvalidPlan(
+                    "aggregate node requires at least one aggregate".into(),
+                ));
+            }
+            let rows = run(input, source, stats)?;
+            stats.agg_input_rows += rows.len() as u64;
+            aggregate(&rows, group_by, aggregates)
+        }
+        Plan::Sort { input, keys } => {
+            let mut rows = run(input, source, stats)?;
+            stats.sort_rows += rows.len() as u64;
+            sort_rows(&mut rows, keys)?;
+            Ok(rows)
+        }
+        Plan::Limit { input, limit } => {
+            let mut rows = run(input, source, stats)?;
+            rows.truncate(*limit);
+            Ok(rows)
+        }
+    }
+}
+
+fn extract_key(row: &Row, positions: &[usize]) -> QueryResult<Vec<Value>> {
+    positions
+        .iter()
+        .map(|&p| {
+            row.get(p).cloned().ok_or(QueryError::ColumnOutOfRange {
+                position: p,
+                width: row.arity(),
+            })
+        })
+        .collect()
+}
+
+#[derive(Debug, Clone)]
+struct AggState {
+    count: u64,
+    sum: f64,
+    min: Option<Value>,
+    max: Option<Value>,
+}
+
+impl AggState {
+    fn new() -> AggState {
+        AggState {
+            count: 0,
+            sum: 0.0,
+            min: None,
+            max: None,
+        }
+    }
+
+    fn update(&mut self, value: &Value) {
+        if value.is_null() {
+            return;
+        }
+        self.count += 1;
+        if let Some(v) = value.as_f64() {
+            self.sum += v;
+        }
+        match &self.min {
+            Some(m) if value >= m => {}
+            _ => self.min = Some(value.clone()),
+        }
+        match &self.max {
+            Some(m) if value <= m => {}
+            _ => self.max = Some(value.clone()),
+        }
+    }
+
+    fn finalize(&self, func: AggFunc) -> Value {
+        match func {
+            AggFunc::Count => Value::Int(self.count as i64),
+            AggFunc::Sum => Value::Float(self.sum),
+            AggFunc::Avg => {
+                if self.count == 0 {
+                    Value::Null
+                } else {
+                    Value::Float(self.sum / self.count as f64)
+                }
+            }
+            AggFunc::Min => self.min.clone().unwrap_or(Value::Null),
+            AggFunc::Max => self.max.clone().unwrap_or(Value::Null),
+        }
+    }
+}
+
+fn aggregate(rows: &[Row], group_by: &[usize], aggregates: &[AggSpec]) -> QueryResult<Vec<Row>> {
+    let mut groups: HashMap<Vec<Value>, Vec<AggState>> = HashMap::new();
+    let mut order: Vec<Vec<Value>> = Vec::new();
+    for row in rows {
+        let key = extract_key(row, group_by)?;
+        let states = match groups.get_mut(&key) {
+            Some(states) => states,
+            None => {
+                order.push(key.clone());
+                groups
+                    .entry(key.clone())
+                    .or_insert_with(|| vec![AggState::new(); aggregates.len()])
+            }
+        };
+        for (state, spec) in states.iter_mut().zip(aggregates) {
+            let value = row.get(spec.column).ok_or(QueryError::ColumnOutOfRange {
+                position: spec.column,
+                width: row.arity(),
+            })?;
+            state.update(value);
+        }
+    }
+    if groups.is_empty() && group_by.is_empty() {
+        // Global aggregate over zero rows still yields one row.
+        let states = vec![AggState::new(); aggregates.len()];
+        let values: Vec<Value> = states
+            .iter()
+            .zip(aggregates)
+            .map(|(s, a)| s.finalize(a.func))
+            .collect();
+        return Ok(vec![Row::new(values)]);
+    }
+    let mut out = Vec::with_capacity(groups.len());
+    for key in order {
+        let states = &groups[&key];
+        let mut values = key.clone();
+        for (state, spec) in states.iter().zip(aggregates) {
+            values.push(state.finalize(spec.func));
+        }
+        out.push(Row::new(values));
+    }
+    Ok(out)
+}
+
+fn sort_rows(rows: &mut [Row], keys: &[SortKey]) -> QueryResult<()> {
+    // Validate positions up front so sorting itself cannot fail.
+    if let Some(first) = rows.first() {
+        for key in keys {
+            if key.column >= first.arity() {
+                return Err(QueryError::ColumnOutOfRange {
+                    position: key.column,
+                    width: first.arity(),
+                });
+            }
+        }
+    }
+    rows.sort_by(|a, b| {
+        for key in keys {
+            let (x, y) = (&a[key.column], &b[key.column]);
+            let ord = if key.ascending { x.cmp(y) } else { y.cmp(x) };
+            if ord != std::cmp::Ordering::Equal {
+                return ord;
+            }
+        }
+        std::cmp::Ordering::Equal
+    });
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::QueryBuilder;
+    use crate::expr::{col, lit};
+    use crate::source::RowSource;
+    use olxp_storage::{ColumnDef, DataType, Key, RowTable, TableSchema};
+    use std::collections::HashMap as StdHashMap;
+    use std::sync::Arc;
+
+    fn fixture() -> StdHashMap<String, Arc<RowTable>> {
+        let orders = Arc::new(RowTable::new(Arc::new(
+            TableSchema::new(
+                "ORDERS",
+                vec![
+                    ColumnDef::new("o_id", DataType::Int, false),
+                    ColumnDef::new("o_cid", DataType::Int, false),
+                    ColumnDef::new("o_amount", DataType::Decimal, false),
+                ],
+                vec!["o_id"],
+            )
+            .unwrap(),
+        )));
+        let customers = Arc::new(RowTable::new(Arc::new(
+            TableSchema::new(
+                "CUSTOMER",
+                vec![
+                    ColumnDef::new("c_id", DataType::Int, false),
+                    ColumnDef::new("c_name", DataType::Str, false),
+                ],
+                vec!["c_id"],
+            )
+            .unwrap(),
+        )));
+        for (o, c, amount) in [(1, 10, 500), (2, 10, 300), (3, 20, 800), (4, 30, 100)] {
+            orders
+                .insert(
+                    Row::new(vec![Value::Int(o), Value::Int(c), Value::Decimal(amount)]),
+                    5,
+                )
+                .unwrap();
+        }
+        for (c, name) in [(10, "alice"), (20, "bob")] {
+            customers
+                .insert(Row::new(vec![Value::Int(c), Value::Str(name.into())]), 5)
+                .unwrap();
+        }
+        let mut tables = StdHashMap::new();
+        tables.insert("ORDERS".to_string(), orders);
+        tables.insert("CUSTOMER".to_string(), customers);
+        tables
+    }
+
+    #[test]
+    fn scan_filter_project() {
+        let tables = fixture();
+        let source = RowSource::new(&tables, 10);
+        let plan = QueryBuilder::scan("ORDERS")
+            .filter(col(1).eq(lit(10)))
+            .project(vec![col(0), col(2)])
+            .build();
+        let out = execute(&plan, &source).unwrap();
+        assert_eq!(out.rows.len(), 2);
+        assert_eq!(out.rows[0].arity(), 2);
+        assert_eq!(out.stats.rows_scanned, 4);
+        assert_eq!(out.stats.full_scans, 1);
+        assert_eq!(out.stats.output_rows, 2);
+    }
+
+    #[test]
+    fn index_scan_uses_prefix() {
+        let tables = fixture();
+        let source = RowSource::new(&tables, 10);
+        let plan = QueryBuilder::index_scan("ORDERS", None, Key::int(3)).build();
+        let out = execute(&plan, &source).unwrap();
+        assert_eq!(out.rows.len(), 1);
+        assert_eq!(out.stats.full_scans, 0);
+        assert!(out.stats.index_entries >= 1);
+    }
+
+    #[test]
+    fn inner_and_left_outer_join() {
+        let tables = fixture();
+        let source = RowSource::new(&tables, 10);
+        let inner = QueryBuilder::scan("ORDERS")
+            .join(QueryBuilder::scan("CUSTOMER"), vec![1], vec![0], JoinKind::Inner)
+            .build();
+        let out = execute(&inner, &source).unwrap();
+        assert_eq!(out.rows.len(), 3, "order 4 has no matching customer");
+        assert_eq!(out.rows[0].arity(), 5);
+        assert!(out.stats.join_probes > 0);
+        assert_eq!(out.stats.join_build_rows, 2);
+
+        let outer = QueryBuilder::scan("ORDERS")
+            .join(
+                QueryBuilder::scan("CUSTOMER"),
+                vec![1],
+                vec![0],
+                JoinKind::LeftOuter,
+            )
+            .build();
+        let out = execute(&outer, &source).unwrap();
+        assert_eq!(out.rows.len(), 4);
+        let unmatched = out
+            .rows
+            .iter()
+            .find(|r| r[0] == Value::Int(4))
+            .expect("order 4 present");
+        assert!(unmatched[3].is_null());
+    }
+
+    #[test]
+    fn group_by_aggregation() {
+        let tables = fixture();
+        let source = RowSource::new(&tables, 10);
+        let plan = QueryBuilder::scan("ORDERS")
+            .aggregate(
+                vec![1],
+                vec![
+                    AggSpec::new(AggFunc::Count, 0),
+                    AggSpec::new(AggFunc::Sum, 2),
+                    AggSpec::new(AggFunc::Min, 2),
+                ],
+            )
+            .sort(vec![SortKey::asc(0)])
+            .build();
+        let out = execute(&plan, &source).unwrap();
+        assert_eq!(out.rows.len(), 3);
+        // customer 10: two orders totalling 8.00, min 3.00
+        assert_eq!(out.rows[0][0], Value::Int(10));
+        assert_eq!(out.rows[0][1], Value::Int(2));
+        assert_eq!(out.rows[0][2], Value::Float(8.0));
+        assert_eq!(out.rows[0][3], Value::Decimal(300));
+        assert_eq!(out.stats.agg_input_rows, 4);
+        assert_eq!(out.stats.sort_rows, 3);
+    }
+
+    #[test]
+    fn global_aggregate_on_empty_input_yields_one_row() {
+        let tables = fixture();
+        let source = RowSource::new(&tables, 10);
+        let plan = QueryBuilder::scan("ORDERS")
+            .filter(col(0).gt(lit(1000)))
+            .aggregate(vec![], vec![AggSpec::new(AggFunc::Count, 0), AggSpec::new(AggFunc::Min, 2)])
+            .build();
+        let out = execute(&plan, &source).unwrap();
+        assert_eq!(out.rows.len(), 1);
+        assert_eq!(out.rows[0][0], Value::Int(0));
+        assert!(out.rows[0][1].is_null());
+    }
+
+    #[test]
+    fn sort_and_limit() {
+        let tables = fixture();
+        let source = RowSource::new(&tables, 10);
+        let plan = QueryBuilder::scan("ORDERS")
+            .sort(vec![SortKey::desc(2)])
+            .limit(2)
+            .build();
+        let out = execute(&plan, &source).unwrap();
+        assert_eq!(out.rows.len(), 2);
+        assert_eq!(out.rows[0][2], Value::Decimal(800));
+        assert_eq!(out.rows[1][2], Value::Decimal(500));
+    }
+
+    #[test]
+    fn malformed_join_is_rejected() {
+        let tables = fixture();
+        let source = RowSource::new(&tables, 10);
+        let plan = QueryBuilder::scan("ORDERS")
+            .join(QueryBuilder::scan("CUSTOMER"), vec![], vec![], JoinKind::Inner)
+            .build();
+        assert!(matches!(
+            execute(&plan, &source),
+            Err(QueryError::InvalidPlan(_))
+        ));
+    }
+
+    #[test]
+    fn stats_merge_accumulates() {
+        let mut a = ExecStats {
+            rows_scanned: 5,
+            ..ExecStats::default()
+        };
+        let b = ExecStats {
+            rows_scanned: 7,
+            join_probes: 3,
+            source_kind: Some(SourceKind::RowStore),
+            ..ExecStats::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.rows_scanned, 12);
+        assert_eq!(a.join_probes, 3);
+        assert_eq!(a.source_kind, Some(SourceKind::RowStore));
+        assert_eq!(a.physical_rows(), 12);
+    }
+}

@@ -1,0 +1,99 @@
+//! Error types shared by the storage layer.
+
+use std::fmt;
+
+/// Result alias used across the storage crate.
+pub type StorageResult<T> = Result<T, StorageError>;
+
+/// Errors produced by the storage layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorageError {
+    /// A table with the given name was not found in the catalog.
+    TableNotFound(String),
+    /// A column with the given name was not found in the schema.
+    ColumnNotFound { table: String, column: String },
+    /// An index with the given name was not found in the schema.
+    IndexNotFound { table: String, index: String },
+    /// A row with the given primary key already exists.
+    DuplicateKey { table: String, key: String },
+    /// A row with the given primary key was not found.
+    KeyNotFound { table: String, key: String },
+    /// The value supplied does not match the declared column type.
+    TypeMismatch {
+        column: String,
+        expected: &'static str,
+        got: &'static str,
+    },
+    /// The row has the wrong number of columns for the schema.
+    ArityMismatch { expected: usize, got: usize },
+    /// A NOT NULL column received a NULL value.
+    NullViolation { column: String },
+    /// The table already exists in the catalog.
+    TableExists(String),
+    /// Internal invariant violation (bug).
+    Internal(String),
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::TableNotFound(t) => write!(f, "table not found: {t}"),
+            StorageError::ColumnNotFound { table, column } => {
+                write!(f, "column not found: {table}.{column}")
+            }
+            StorageError::IndexNotFound { table, index } => {
+                write!(f, "index not found: {index} on {table}")
+            }
+            StorageError::DuplicateKey { table, key } => {
+                write!(f, "duplicate primary key {key} in table {table}")
+            }
+            StorageError::KeyNotFound { table, key } => {
+                write!(f, "primary key {key} not found in table {table}")
+            }
+            StorageError::TypeMismatch {
+                column,
+                expected,
+                got,
+            } => write!(f, "type mismatch for column {column}: expected {expected}, got {got}"),
+            StorageError::ArityMismatch { expected, got } => {
+                write!(f, "row arity mismatch: expected {expected} columns, got {got}")
+            }
+            StorageError::NullViolation { column } => {
+                write!(f, "NULL value for NOT NULL column {column}")
+            }
+            StorageError::TableExists(t) => write!(f, "table already exists: {t}"),
+            StorageError::Internal(msg) => write!(f, "internal storage error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = StorageError::TableNotFound("warehouse".into());
+        assert!(e.to_string().contains("warehouse"));
+        let e = StorageError::DuplicateKey {
+            table: "item".into(),
+            key: "[Int(7)]".into(),
+        };
+        assert!(e.to_string().contains("item"));
+        assert!(e.to_string().contains("Int(7)"));
+        let e = StorageError::TypeMismatch {
+            column: "price".into(),
+            expected: "Decimal",
+            got: "Str",
+        };
+        assert!(e.to_string().contains("price"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&StorageError::Internal("x".into()));
+    }
+}

@@ -1,0 +1,60 @@
+//! # olxp-storage
+//!
+//! Storage substrate for OLxPBench-RS.
+//!
+//! This crate provides the storage building blocks that the HTAP engine
+//! ([`olxp-engine`](https://docs.rs/olxp-engine)) composes into the two
+//! architectural archetypes evaluated by the OLxPBench paper:
+//!
+//! * a multi-version **row store** ([`rowstore::RowTable`]) with primary-key and
+//!   secondary (possibly composite) indexes, used for online transactions;
+//! * an append-only **column store** ([`colstore::ColumnTable`]) used for
+//!   analytical queries;
+//! * an asynchronous **replication log** ([`replication`]) that ships committed
+//!   row-store mutations into the column store, modelling TiDB's TiKV→TiFlash
+//!   log replication;
+//! * a **buffer-pool model** ([`bufferpool::BufferPool`]) that accounts for the
+//!   cache churn caused by large analytical scans (the mechanism behind the
+//!   OLTP/OLAP interference the paper measures);
+//! * a **storage cost model** ([`cost::CostParams`]) describing the relative
+//!   service times of memory-resident and SSD-resident data, which is how the
+//!   MemSQL-like (in-memory) and TiDB-like (SSD) deployments of the paper are
+//!   distinguished on a single host.
+//!
+//! Everything here is deliberately self-contained: no external database is
+//! required, and all state lives in process memory so benchmark experiments are
+//! reproducible on a laptop.
+
+pub mod bufferpool;
+pub mod catalog;
+pub mod colstore;
+pub mod cost;
+pub mod error;
+pub mod key;
+pub mod replication;
+pub mod row;
+pub mod rowstore;
+pub mod schema;
+pub mod value;
+
+pub use bufferpool::{BufferPool, BufferPoolStats};
+pub use catalog::Catalog;
+pub use colstore::{ColumnTable, ColumnTableStats};
+pub use cost::{CostParams, StorageMedium};
+pub use error::{StorageError, StorageResult};
+pub use key::Key;
+pub use replication::{LogRecord, MutationOp, ReplicationLog, Replicator};
+pub use row::Row;
+pub use rowstore::{RowTable, RowTableStats, ScanDirection};
+pub use schema::{ColumnDef, DataType, IndexDef, TableSchema};
+pub use value::Value;
+
+/// Transaction timestamp type used throughout the stack.
+///
+/// Timestamps are dense logical timestamps handed out by the transaction
+/// manager's timestamp oracle (see `olxp-txn`).  `0` is reserved as "before all
+/// transactions" and [`TS_MAX`] as "not yet ended".
+pub type Timestamp = u64;
+
+/// Sentinel for an open-ended (still visible) version.
+pub const TS_MAX: Timestamp = u64::MAX;

@@ -1,0 +1,295 @@
+//! Row-level lock manager with wait-time instrumentation.
+//!
+//! Writers take exclusive row locks before buffering a write; readers never
+//! lock (MVCC serves them a snapshot), matching the behaviour of the systems
+//! the paper evaluates.  Deadlocks are avoided with a **wait-die** policy: an
+//! older transaction waits for a younger lock holder, a younger transaction is
+//! aborted immediately and retried by the benchmark driver.
+//!
+//! The manager measures the time transactions spend blocked on locks.  The
+//! normalized lock overhead of the paper's Figure 4 is computed from
+//! [`LockStatsSnapshot::wait_nanos`] relative to the engine's busy time.
+
+use crate::error::{TxnError, TxnResult};
+use crate::TxnId;
+use olxp_storage::Key;
+use parking_lot::{Condvar, Mutex};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// A lockable resource: a row of a table.
+pub type LockTarget = (String, Key);
+
+#[derive(Debug, Clone)]
+struct LockEntry {
+    holder: TxnId,
+}
+
+/// Aggregate lock counters.
+#[derive(Debug, Default)]
+pub struct LockStats {
+    acquisitions: AtomicU64,
+    contended: AtomicU64,
+    wait_die_aborts: AtomicU64,
+    timeouts: AtomicU64,
+    wait_nanos: AtomicU64,
+}
+
+/// A point-in-time copy of [`LockStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LockStatsSnapshot {
+    /// Locks granted.
+    pub acquisitions: u64,
+    /// Lock requests that had to wait or abort because another transaction
+    /// held the lock.
+    pub contended: u64,
+    /// Requests aborted by the wait-die policy.
+    pub wait_die_aborts: u64,
+    /// Requests that gave up after the wait timeout.
+    pub timeouts: u64,
+    /// Total nanoseconds spent blocked waiting for locks.
+    pub wait_nanos: u64,
+}
+
+impl LockStats {
+    fn snapshot(&self) -> LockStatsSnapshot {
+        LockStatsSnapshot {
+            acquisitions: self.acquisitions.load(Ordering::Relaxed),
+            contended: self.contended.load(Ordering::Relaxed),
+            wait_die_aborts: self.wait_die_aborts.load(Ordering::Relaxed),
+            timeouts: self.timeouts.load(Ordering::Relaxed),
+            wait_nanos: self.wait_nanos.load(Ordering::Relaxed),
+        }
+    }
+}
+
+struct LockShard {
+    table: Mutex<HashMap<LockTarget, LockEntry>>,
+    released: Condvar,
+}
+
+/// Row-level exclusive lock manager shared by every session of an engine.
+pub struct LockManager {
+    shards: Vec<LockShard>,
+    held: Mutex<HashMap<TxnId, Vec<LockTarget>>>,
+    stats: LockStats,
+    wait_timeout: Duration,
+}
+
+impl LockManager {
+    /// Create a manager with the default wait timeout (1 second).
+    pub fn new() -> LockManager {
+        LockManager::with_timeout(Duration::from_secs(1))
+    }
+
+    /// Create a manager with an explicit lock-wait timeout.
+    pub fn with_timeout(wait_timeout: Duration) -> LockManager {
+        let shards = (0..16)
+            .map(|_| LockShard {
+                table: Mutex::new(HashMap::new()),
+                released: Condvar::new(),
+            })
+            .collect();
+        LockManager {
+            shards,
+            held: Mutex::new(HashMap::new()),
+            stats: LockStats::default(),
+            wait_timeout,
+        }
+    }
+
+    fn shard_for(&self, target: &LockTarget) -> &LockShard {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let mut hasher = DefaultHasher::new();
+        target.hash(&mut hasher);
+        let idx = (hasher.finish() as usize) % self.shards.len();
+        &self.shards[idx]
+    }
+
+    /// Acquire an exclusive lock on `(table, key)` for transaction `txn_id`.
+    ///
+    /// `txn_id` doubles as the transaction's age: smaller ids are older.
+    /// Returns the nanoseconds spent waiting (0 when granted immediately).
+    pub fn lock_exclusive(&self, txn_id: TxnId, table: &str, key: &Key) -> TxnResult<u64> {
+        let target: LockTarget = (table.to_string(), key.clone());
+        let shard = self.shard_for(&target);
+        let deadline = Instant::now() + self.wait_timeout;
+        let started = Instant::now();
+        let mut guard = shard.table.lock();
+        loop {
+            match guard.get(&target) {
+                None => {
+                    guard.insert(target.clone(), LockEntry { holder: txn_id });
+                    drop(guard);
+                    self.held.lock().entry(txn_id).or_default().push(target);
+                    self.stats.acquisitions.fetch_add(1, Ordering::Relaxed);
+                    let waited = started.elapsed().as_nanos() as u64;
+                    self.stats.wait_nanos.fetch_add(waited, Ordering::Relaxed);
+                    return Ok(waited);
+                }
+                Some(entry) if entry.holder == txn_id => {
+                    // Re-entrant acquisition.
+                    let waited = started.elapsed().as_nanos() as u64;
+                    self.stats.wait_nanos.fetch_add(waited, Ordering::Relaxed);
+                    return Ok(waited);
+                }
+                Some(entry) => {
+                    self.stats.contended.fetch_add(1, Ordering::Relaxed);
+                    // Wait-die: only an older transaction (smaller id) may wait.
+                    if txn_id > entry.holder {
+                        self.stats.wait_die_aborts.fetch_add(1, Ordering::Relaxed);
+                        let waited = started.elapsed().as_nanos() as u64;
+                        self.stats.wait_nanos.fetch_add(waited, Ordering::Relaxed);
+                        return Err(TxnError::Aborted {
+                            table: table.to_string(),
+                            key: key.to_string(),
+                        });
+                    }
+                    let timed_out = shard
+                        .released
+                        .wait_until(&mut guard, deadline)
+                        .timed_out();
+                    if timed_out {
+                        self.stats.timeouts.fetch_add(1, Ordering::Relaxed);
+                        let waited = started.elapsed().as_nanos() as u64;
+                        self.stats.wait_nanos.fetch_add(waited, Ordering::Relaxed);
+                        return Err(TxnError::LockTimeout {
+                            table: table.to_string(),
+                            key: key.to_string(),
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    /// Release every lock held by `txn_id`.
+    pub fn release_all(&self, txn_id: TxnId) {
+        let targets = self.held.lock().remove(&txn_id).unwrap_or_default();
+        for target in targets {
+            let shard = self.shard_for(&target);
+            let mut guard = shard.table.lock();
+            if guard.get(&target).map(|e| e.holder) == Some(txn_id) {
+                guard.remove(&target);
+            }
+            shard.released.notify_all();
+        }
+    }
+
+    /// Number of locks currently held by `txn_id` (for tests/metrics).
+    pub fn held_by(&self, txn_id: TxnId) -> usize {
+        self.held.lock().get(&txn_id).map_or(0, Vec::len)
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> LockStatsSnapshot {
+        self.stats.snapshot()
+    }
+}
+
+impl Default for LockManager {
+    fn default() -> Self {
+        LockManager::new()
+    }
+}
+
+impl std::fmt::Debug for LockManager {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LockManager")
+            .field("stats", &self.stats.snapshot())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn uncontended_lock_is_granted() {
+        let lm = LockManager::new();
+        let waited = lm.lock_exclusive(1, "ITEM", &Key::int(5)).unwrap();
+        assert!(waited < Duration::from_millis(100).as_nanos() as u64);
+        assert_eq!(lm.held_by(1), 1);
+        assert_eq!(lm.stats().acquisitions, 1);
+        lm.release_all(1);
+        assert_eq!(lm.held_by(1), 0);
+    }
+
+    #[test]
+    fn reentrant_lock_is_granted() {
+        let lm = LockManager::new();
+        lm.lock_exclusive(1, "ITEM", &Key::int(5)).unwrap();
+        lm.lock_exclusive(1, "ITEM", &Key::int(5)).unwrap();
+        assert_eq!(lm.held_by(1), 1);
+    }
+
+    #[test]
+    fn younger_transaction_dies_on_conflict() {
+        let lm = LockManager::new();
+        lm.lock_exclusive(1, "ITEM", &Key::int(5)).unwrap();
+        let err = lm.lock_exclusive(2, "ITEM", &Key::int(5)).unwrap_err();
+        assert!(matches!(err, TxnError::Aborted { .. }));
+        assert_eq!(lm.stats().wait_die_aborts, 1);
+    }
+
+    #[test]
+    fn older_transaction_waits_until_release() {
+        let lm = Arc::new(LockManager::new());
+        lm.lock_exclusive(5, "ITEM", &Key::int(9)).unwrap();
+        let lm2 = Arc::clone(&lm);
+        let waiter = thread::spawn(move || lm2.lock_exclusive(1, "ITEM", &Key::int(9)));
+        thread::sleep(Duration::from_millis(30));
+        lm.release_all(5);
+        let waited = waiter.join().unwrap().unwrap();
+        assert!(waited >= Duration::from_millis(10).as_nanos() as u64);
+        assert!(lm.stats().wait_nanos >= waited);
+        assert_eq!(lm.stats().contended, 1);
+    }
+
+    #[test]
+    fn older_transaction_times_out_eventually() {
+        let lm = LockManager::with_timeout(Duration::from_millis(50));
+        lm.lock_exclusive(5, "ITEM", &Key::int(9)).unwrap();
+        let err = lm.lock_exclusive(1, "ITEM", &Key::int(9)).unwrap_err();
+        assert!(matches!(err, TxnError::LockTimeout { .. }));
+        assert_eq!(lm.stats().timeouts, 1);
+    }
+
+    #[test]
+    fn locks_on_different_keys_do_not_conflict() {
+        let lm = LockManager::new();
+        lm.lock_exclusive(1, "ITEM", &Key::int(1)).unwrap();
+        lm.lock_exclusive(2, "ITEM", &Key::int(2)).unwrap();
+        lm.lock_exclusive(3, "STOCK", &Key::int(1)).unwrap();
+        assert_eq!(lm.stats().contended, 0);
+    }
+
+    #[test]
+    fn release_wakes_all_waiters() {
+        let lm = Arc::new(LockManager::new());
+        lm.lock_exclusive(10, "T", &Key::int(1)).unwrap();
+        let mut handles = Vec::new();
+        for waiter_id in 1..=3u64 {
+            let lm = Arc::clone(&lm);
+            handles.push(thread::spawn(move || {
+                lm.lock_exclusive(waiter_id, "T", &Key::int(1)).is_ok()
+            }));
+        }
+        thread::sleep(Duration::from_millis(30));
+        lm.release_all(10);
+        let successes = handles
+            .into_iter()
+            .filter(|h| matches!(h, _))
+            .map(|h| h.join().unwrap())
+            .filter(|ok| *ok)
+            .count();
+        // At least one waiter must eventually obtain the lock; the others may
+        // be serialised behind it or die by wait-die, both acceptable.
+        assert!(successes >= 1);
+    }
+}

@@ -1,0 +1,306 @@
+//! Transaction handles and write sets.
+
+use crate::isolation::IsolationLevel;
+use crate::TxnId;
+use olxp_storage::{Key, Row, Timestamp};
+use std::collections::HashMap;
+
+/// Lifecycle state of a transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TxnState {
+    /// Running; statements may still be executed.
+    Active,
+    /// Successfully committed at `commit_ts`.
+    Committed,
+    /// Rolled back (either explicitly or by a conflict).
+    Aborted,
+}
+
+/// One buffered mutation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WriteOp {
+    /// Insert a new row.
+    Insert {
+        /// Target table.
+        table: String,
+        /// Primary key of the new row.
+        key: Key,
+        /// The row image.
+        row: Row,
+    },
+    /// Replace an existing row.
+    Update {
+        /// Target table.
+        table: String,
+        /// Primary key of the row.
+        key: Key,
+        /// The new row image.
+        row: Row,
+    },
+    /// Delete a row.
+    Delete {
+        /// Target table.
+        table: String,
+        /// Primary key of the row.
+        key: Key,
+    },
+}
+
+impl WriteOp {
+    /// Target table of the operation.
+    pub fn table(&self) -> &str {
+        match self {
+            WriteOp::Insert { table, .. }
+            | WriteOp::Update { table, .. }
+            | WriteOp::Delete { table, .. } => table,
+        }
+    }
+
+    /// Primary key of the affected row.
+    pub fn key(&self) -> &Key {
+        match self {
+            WriteOp::Insert { key, .. }
+            | WriteOp::Update { key, .. }
+            | WriteOp::Delete { key, .. } => key,
+        }
+    }
+
+    /// The new row image, if any (none for deletes).
+    pub fn row(&self) -> Option<&Row> {
+        match self {
+            WriteOp::Insert { row, .. } | WriteOp::Update { row, .. } => Some(row),
+            WriteOp::Delete { .. } => None,
+        }
+    }
+}
+
+/// The ordered list of buffered writes of one transaction, with an index for
+/// read-your-own-writes lookups.
+#[derive(Debug, Default, Clone)]
+pub struct WriteSet {
+    ops: Vec<WriteOp>,
+    /// (table, key) -> index of the latest op touching that row.
+    latest: HashMap<(String, Key), usize>,
+}
+
+impl WriteSet {
+    /// Create an empty write set.
+    pub fn new() -> WriteSet {
+        WriteSet::default()
+    }
+
+    /// Append an operation.
+    pub fn push(&mut self, op: WriteOp) {
+        let entry = (op.table().to_string(), op.key().clone());
+        self.ops.push(op);
+        self.latest.insert(entry, self.ops.len() - 1);
+    }
+
+    /// All operations in execution order.
+    pub fn ops(&self) -> &[WriteOp] {
+        &self.ops
+    }
+
+    /// Number of buffered operations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True when nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Read-your-own-writes: the effect of this transaction on `(table, key)`.
+    ///
+    /// * `None` — the transaction has not touched the row.
+    /// * `Some(None)` — the transaction deleted the row.
+    /// * `Some(Some(row))` — the transaction wrote this image.
+    pub fn effective_row(&self, table: &str, key: &Key) -> Option<Option<&Row>> {
+        self.latest
+            .get(&(table.to_string(), key.clone()))
+            .map(|&idx| self.ops[idx].row())
+    }
+
+    /// Distinct (table, key) pairs written — the lock footprint.
+    pub fn touched_keys(&self) -> impl Iterator<Item = (&str, &Key)> {
+        self.latest.keys().map(|(t, k)| (t.as_str(), k))
+    }
+}
+
+/// A transaction handle.
+///
+/// The handle is a passive record: it owns the snapshot timestamp, the write
+/// set and bookkeeping counters; the engine session drives reads, writes and
+/// commit against it.
+#[derive(Debug)]
+pub struct Transaction {
+    id: TxnId,
+    isolation: IsolationLevel,
+    begin_read_ts: Timestamp,
+    state: TxnState,
+    write_set: WriteSet,
+    lock_wait_nanos: u64,
+    /// Number of statements executed (used by the engine to charge per-statement overhead).
+    statements: u64,
+}
+
+impl Transaction {
+    /// Create an active transaction (used by the manager).
+    pub fn new(id: TxnId, isolation: IsolationLevel, begin_read_ts: Timestamp) -> Transaction {
+        Transaction {
+            id,
+            isolation,
+            begin_read_ts,
+            state: TxnState::Active,
+            write_set: WriteSet::new(),
+            lock_wait_nanos: 0,
+            statements: 0,
+        }
+    }
+
+    /// Transaction id (also its wait-die age: smaller is older).
+    pub fn id(&self) -> TxnId {
+        self.id
+    }
+
+    /// Isolation level.
+    pub fn isolation(&self) -> IsolationLevel {
+        self.isolation
+    }
+
+    /// Snapshot timestamp taken at begin.
+    pub fn begin_read_ts(&self) -> Timestamp {
+        self.begin_read_ts
+    }
+
+    /// Current state.
+    pub fn state(&self) -> TxnState {
+        self.state
+    }
+
+    /// True while statements may still run.
+    pub fn is_active(&self) -> bool {
+        self.state == TxnState::Active
+    }
+
+    /// The buffered writes.
+    pub fn write_set(&self) -> &WriteSet {
+        &self.write_set
+    }
+
+    /// Mutable access to the buffered writes (engine only).
+    pub fn write_set_mut(&mut self) -> &mut WriteSet {
+        &mut self.write_set
+    }
+
+    /// Record lock wait time charged to this transaction.
+    pub fn add_lock_wait(&mut self, nanos: u64) {
+        self.lock_wait_nanos += nanos;
+    }
+
+    /// Total lock wait time charged so far.
+    pub fn lock_wait_nanos(&self) -> u64 {
+        self.lock_wait_nanos
+    }
+
+    /// Record one executed statement.
+    pub fn note_statement(&mut self) {
+        self.statements += 1;
+    }
+
+    /// Number of statements executed.
+    pub fn statements(&self) -> u64 {
+        self.statements
+    }
+
+    /// Mark committed (manager only).
+    pub fn mark_committed(&mut self) {
+        self.state = TxnState::Committed;
+    }
+
+    /// Mark aborted (manager only).
+    pub fn mark_aborted(&mut self) {
+        self.state = TxnState::Aborted;
+    }
+
+    /// Human-readable state name (for errors).
+    pub fn state_name(&self) -> &'static str {
+        match self.state {
+            TxnState::Active => "active",
+            TxnState::Committed => "committed",
+            TxnState::Aborted => "aborted",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use olxp_storage::Value;
+
+    fn row(v: i64) -> Row {
+        Row::new(vec![Value::Int(v)])
+    }
+
+    #[test]
+    fn write_set_tracks_latest_image_per_key() {
+        let mut ws = WriteSet::new();
+        ws.push(WriteOp::Insert {
+            table: "T".into(),
+            key: Key::int(1),
+            row: row(10),
+        });
+        ws.push(WriteOp::Update {
+            table: "T".into(),
+            key: Key::int(1),
+            row: row(20),
+        });
+        assert_eq!(ws.len(), 2);
+        let effective = ws.effective_row("T", &Key::int(1)).unwrap().unwrap();
+        assert_eq!(effective[0], Value::Int(20));
+        assert!(ws.effective_row("T", &Key::int(2)).is_none());
+    }
+
+    #[test]
+    fn delete_shows_as_some_none() {
+        let mut ws = WriteSet::new();
+        ws.push(WriteOp::Insert {
+            table: "T".into(),
+            key: Key::int(1),
+            row: row(10),
+        });
+        ws.push(WriteOp::Delete {
+            table: "T".into(),
+            key: Key::int(1),
+        });
+        assert_eq!(ws.effective_row("T", &Key::int(1)), Some(None));
+    }
+
+    #[test]
+    fn touched_keys_deduplicates() {
+        let mut ws = WriteSet::new();
+        for _ in 0..3 {
+            ws.push(WriteOp::Update {
+                table: "T".into(),
+                key: Key::int(7),
+                row: row(1),
+            });
+        }
+        assert_eq!(ws.touched_keys().count(), 1);
+    }
+
+    #[test]
+    fn transaction_lifecycle_bookkeeping() {
+        let mut txn = Transaction::new(3, IsolationLevel::RepeatableRead, 42);
+        assert!(txn.is_active());
+        assert_eq!(txn.begin_read_ts(), 42);
+        txn.note_statement();
+        txn.add_lock_wait(1_000);
+        assert_eq!(txn.statements(), 1);
+        assert_eq!(txn.lock_wait_nanos(), 1_000);
+        txn.mark_committed();
+        assert_eq!(txn.state(), TxnState::Committed);
+        assert!(!txn.is_active());
+    }
+}

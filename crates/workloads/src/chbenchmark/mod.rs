@@ -1,0 +1,434 @@
+//! CH-benCHmark-style stitch-schema baseline.
+//!
+//! The paper compares OLxPBench's semantically consistent schema against the
+//! "stitch schema" of CH-benCHmark (§V-B1): the nine TPC-C tables plus the
+//! TPC-H dimension tables SUPPLIER, NATION and REGION.  The online
+//! transactions are exactly the TPC-C transactions (re-used from the
+//! subenchmark), while the analytical queries mostly read the dimension tables
+//! that no online transaction ever updates.  As a result the contention
+//! between OLTP and OLAP is artificially low — which is precisely the
+//! misleading behaviour Figures 3 and 4 expose.
+//!
+//! The baseline intentionally provides **no** hybrid transactions and no
+//! real-time queries (Table I).
+
+use crate::common::{self, PlannedQuery};
+use crate::subenchmark::{oltp, schema as tpcc_schema};
+use olxp_engine::{EngineResult, HybridDatabase};
+use olxp_query::{col as qcol, lit, AggFunc, AggSpec, JoinKind, QueryBuilder, SortKey};
+use olxp_storage::{ColumnDef, DataType, Row, TableSchema, Value};
+use olxpbench_core::{
+    AnalyticalQuery, HybridTransaction, OnlineTransaction, TransactionMix, Workload,
+    WorkloadFeatures, WorkloadKind,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+/// Suppliers loaded into the SUPPLIER dimension table.
+pub const SUPPLIER_COUNT: i64 = 100;
+/// Nations loaded into the NATION dimension table.
+pub const NATION_COUNT: i64 = 25;
+/// Regions loaded into the REGION dimension table.
+pub const REGION_COUNT: i64 = 5;
+
+/// Column positions of the dimension tables.
+pub mod col {
+    /// SUPPLIER columns.
+    pub mod su {
+        pub const SUPPKEY: usize = 0;
+        pub const NATIONKEY: usize = 3;
+        pub const ACCTBAL: usize = 5;
+    }
+    /// NATION columns.
+    pub mod n {
+        pub const NATIONKEY: usize = 0;
+        pub const REGIONKEY: usize = 2;
+    }
+    /// REGION columns.
+    pub mod r {
+        pub const REGIONKEY: usize = 0;
+    }
+}
+
+/// The three TPC-H dimension tables that make the schema a stitch schema.
+pub fn dimension_schemas() -> Vec<TableSchema> {
+    let supplier = TableSchema::new(
+        "SUPPLIER",
+        vec![
+            ColumnDef::new("su_suppkey", DataType::Int, false),
+            ColumnDef::new("su_name", DataType::Str, false),
+            ColumnDef::new("su_address", DataType::Str, false),
+            ColumnDef::new("su_nationkey", DataType::Int, false),
+            ColumnDef::new("su_phone", DataType::Str, false),
+            ColumnDef::new("su_acctbal", DataType::Decimal, false),
+            ColumnDef::new("su_comment", DataType::Str, false),
+        ],
+        vec!["su_suppkey"],
+    )
+    .expect("static schema");
+    let nation = TableSchema::new(
+        "NATION",
+        vec![
+            ColumnDef::new("n_nationkey", DataType::Int, false),
+            ColumnDef::new("n_name", DataType::Str, false),
+            ColumnDef::new("n_regionkey", DataType::Int, false),
+            ColumnDef::new("n_comment", DataType::Str, false),
+        ],
+        vec!["n_nationkey"],
+    )
+    .expect("static schema");
+    let region = TableSchema::new(
+        "REGION",
+        vec![
+            ColumnDef::new("r_regionkey", DataType::Int, false),
+            ColumnDef::new("r_name", DataType::Str, false),
+            ColumnDef::new("r_comment", DataType::Str, false),
+        ],
+        vec!["r_regionkey"],
+    )
+    .expect("static schema");
+    vec![supplier, nation, region]
+}
+
+/// The CH-benCHmark baseline workload.
+pub struct ChBenchmark {
+    state: Arc<oltp::SubenchmarkState>,
+}
+
+impl ChBenchmark {
+    /// Create the workload.
+    pub fn new() -> ChBenchmark {
+        ChBenchmark {
+            state: oltp::SubenchmarkState::new(),
+        }
+    }
+}
+
+impl Default for ChBenchmark {
+    fn default() -> Self {
+        ChBenchmark::new()
+    }
+}
+
+impl Workload for ChBenchmark {
+    fn name(&self) -> &str {
+        "chbenchmark"
+    }
+
+    fn kind(&self) -> WorkloadKind {
+        WorkloadKind::General
+    }
+
+    fn create_schema(&self, db: &Arc<HybridDatabase>) -> EngineResult<()> {
+        tpcc_schema::create_schema(db)?;
+        for schema in dimension_schemas() {
+            db.create_table(schema)?;
+        }
+        Ok(())
+    }
+
+    fn load(&self, db: &Arc<HybridDatabase>, scale_factor: u32, seed: u64) -> EngineResult<()> {
+        self.state
+            .warehouses
+            .store(i64::from(scale_factor.max(1)), Ordering::Relaxed);
+        tpcc_schema::load(db, scale_factor, seed)?;
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xCAFE);
+        for r in 0..REGION_COUNT {
+            db.load_row(
+                "REGION",
+                Row::new(vec![
+                    Value::Int(r),
+                    Value::Str(format!("region-{r}")),
+                    Value::Str(common::rand_string(&mut rng, 16, 32)),
+                ]),
+            )?;
+        }
+        for n in 0..NATION_COUNT {
+            db.load_row(
+                "NATION",
+                Row::new(vec![
+                    Value::Int(n),
+                    Value::Str(format!("nation-{n:02}")),
+                    Value::Int(n % REGION_COUNT),
+                    Value::Str(common::rand_string(&mut rng, 16, 32)),
+                ]),
+            )?;
+        }
+        for s in 1..=SUPPLIER_COUNT {
+            db.load_row(
+                "SUPPLIER",
+                Row::new(vec![
+                    Value::Int(s),
+                    Value::Str(format!("supplier-{s:04}")),
+                    Value::Str(common::rand_string(&mut rng, 12, 24)),
+                    Value::Int(s % NATION_COUNT),
+                    Value::Str(common::rand_numeric_string(&mut rng, 12)),
+                    Value::Decimal(common::rand_amount_cents(&mut rng, -999.0, 9_999.0)),
+                    Value::Str(common::rand_string(&mut rng, 20, 40)),
+                ]),
+            )?;
+        }
+        Ok(())
+    }
+
+    fn online_transactions(&self) -> Vec<Arc<dyn OnlineTransaction>> {
+        // Identical to TPC-C / subenchmark.
+        vec![
+            Arc::new(oltp::NewOrder::new(Arc::clone(&self.state))),
+            Arc::new(oltp::Payment::new(Arc::clone(&self.state))),
+            Arc::new(oltp::OrderStatus::new(Arc::clone(&self.state))),
+            Arc::new(oltp::Delivery::new(Arc::clone(&self.state))),
+            Arc::new(oltp::StockLevel::new(Arc::clone(&self.state))),
+        ]
+    }
+
+    fn analytical_queries(&self) -> Vec<Arc<dyn AnalyticalQuery>> {
+        use crate::subenchmark::schema::col as tcol;
+        vec![
+            Arc::new(PlannedQuery::new(
+                "CHQ1-SupplierAccountBalanceByRegion",
+                vec!["SUPPLIER", "NATION", "REGION"],
+                |_rng| {
+                    let su_width = 7;
+                    let n_width = 4;
+                    QueryBuilder::scan("SUPPLIER")
+                        .join(
+                            QueryBuilder::scan("NATION"),
+                            vec![col::su::NATIONKEY],
+                            vec![col::n::NATIONKEY],
+                            JoinKind::Inner,
+                        )
+                        .join(
+                            QueryBuilder::scan("REGION"),
+                            vec![su_width + col::n::REGIONKEY],
+                            vec![col::r::REGIONKEY],
+                            JoinKind::Inner,
+                        )
+                        .aggregate(
+                            vec![su_width + n_width + col::r::REGIONKEY],
+                            vec![
+                                AggSpec::new(AggFunc::Count, col::su::SUPPKEY),
+                                AggSpec::new(AggFunc::Avg, col::su::ACCTBAL),
+                            ],
+                        )
+                        .sort(vec![SortKey::asc(0)])
+                        .build()
+                },
+            )),
+            Arc::new(PlannedQuery::new(
+                "CHQ2-NationsPerRegion",
+                vec!["NATION", "REGION"],
+                |_rng| {
+                    QueryBuilder::scan("NATION")
+                        .join(
+                            QueryBuilder::scan("REGION"),
+                            vec![col::n::REGIONKEY],
+                            vec![col::r::REGIONKEY],
+                            JoinKind::Inner,
+                        )
+                        .aggregate(
+                            vec![col::n::REGIONKEY],
+                            vec![AggSpec::new(AggFunc::Count, col::n::NATIONKEY)],
+                        )
+                        .sort(vec![SortKey::asc(0)])
+                        .build()
+                },
+            )),
+            Arc::new(PlannedQuery::new(
+                "CHQ3-TopSuppliers",
+                vec!["SUPPLIER"],
+                |rng| {
+                    let floor = common::uniform(rng, 0, 1_000);
+                    QueryBuilder::scan_where("SUPPLIER", qcol(col::su::ACCTBAL).gt(lit(floor)))
+                        .sort(vec![SortKey::desc(col::su::ACCTBAL)])
+                        .limit(10)
+                        .build()
+                },
+            )),
+            Arc::new(PlannedQuery::new(
+                "CHQ4-SupplierPhoneBook",
+                vec!["SUPPLIER", "NATION"],
+                |_rng| {
+                    // Another dimension-only query: suppliers listed per nation.
+                    QueryBuilder::scan("SUPPLIER")
+                        .join(
+                            QueryBuilder::scan("NATION"),
+                            vec![col::su::NATIONKEY],
+                            vec![col::n::NATIONKEY],
+                            JoinKind::Inner,
+                        )
+                        .aggregate(
+                            vec![col::su::NATIONKEY],
+                            vec![
+                                AggSpec::new(AggFunc::Count, col::su::SUPPKEY),
+                                AggSpec::new(AggFunc::Min, col::su::ACCTBAL),
+                            ],
+                        )
+                        .sort(vec![SortKey::asc(0)])
+                        .build()
+                },
+            )),
+            Arc::new(PlannedQuery::new(
+                "CHQ5-SupplierNationOrders",
+                vec!["SUPPLIER", "NATION", "ORDERS"],
+                |_rng| {
+                    // One of the few CH queries that touches an OLTP-written
+                    // table, joining ORDERS against the supplier dimension via
+                    // the stitched key (o_carrier_id vs nationkey).
+                    let su_width = 7;
+                    QueryBuilder::scan("SUPPLIER")
+                        .join(
+                            QueryBuilder::scan("NATION"),
+                            vec![col::su::NATIONKEY],
+                            vec![col::n::NATIONKEY],
+                            JoinKind::Inner,
+                        )
+                        .join(
+                            QueryBuilder::scan_where(
+                                "ORDERS",
+                                qcol(tcol::o::CARRIER_ID).is_null().not(),
+                            ),
+                            vec![su_width + col::n::REGIONKEY],
+                            vec![tcol::o::CARRIER_ID],
+                            JoinKind::Inner,
+                        )
+                        .aggregate(
+                            vec![col::su::NATIONKEY],
+                            vec![AggSpec::new(AggFunc::Count, col::su::SUPPKEY)],
+                        )
+                        .sort(vec![SortKey::desc(1)])
+                        .limit(10)
+                        .build()
+                },
+            )),
+            Arc::new(PlannedQuery::new(
+                "CHQ6-SupplierOrderAlignment",
+                vec!["SUPPLIER", "ORDERS"],
+                |_rng| {
+                    // Stitched join between SUPPLIER and the delivered ORDERS
+                    // (mod-hash relationship, as CH-benCHmark prescribes);
+                    // ORDERS is small compared to ORDER_LINE or HISTORY.
+                    QueryBuilder::scan("SUPPLIER")
+                        .join(
+                            QueryBuilder::scan_where(
+                                "ORDERS",
+                                qcol(tcol::o::CARRIER_ID).is_null().not(),
+                            ),
+                            vec![col::su::SUPPKEY],
+                            vec![tcol::o::CARRIER_ID],
+                            JoinKind::Inner,
+                        )
+                        .aggregate(
+                            vec![col::su::NATIONKEY],
+                            vec![AggSpec::new(AggFunc::Count, col::su::SUPPKEY)],
+                        )
+                        .sort(vec![SortKey::asc(0)])
+                        .build()
+                },
+            )),
+        ]
+    }
+
+    fn hybrid_transactions(&self) -> Vec<Arc<dyn HybridTransaction>> {
+        // CH-benCHmark has no hybrid transactions (Table I).
+        Vec::new()
+    }
+
+    fn default_online_mix(&self) -> TransactionMix {
+        TransactionMix::new(vec![
+            ("NewOrder", 45),
+            ("Payment", 43),
+            ("OrderStatus", 4),
+            ("Delivery", 4),
+            ("StockLevel", 4),
+        ])
+    }
+
+    fn default_hybrid_mix(&self) -> TransactionMix {
+        TransactionMix::default()
+    }
+
+    fn features(&self) -> WorkloadFeatures {
+        let mut tables = tpcc_schema::schemas();
+        tables.extend(dimension_schemas());
+        WorkloadFeatures {
+            name: self.name().to_string(),
+            table_names: tables.iter().map(|s| s.name().to_string()).collect(),
+            columns: tables.iter().map(|s| s.column_count()).sum(),
+            indexes: tables.iter().map(|s| s.indexes().len()).sum(),
+            oltp_transactions: 5,
+            read_only_oltp_percent: 8.0,
+            analytical_queries: 6,
+            hybrid_transactions: 0,
+            read_only_hybrid_percent: 0.0,
+            has_online_transaction: true,
+            has_analytical_query: true,
+            has_hybrid_transaction: false,
+            has_real_time_query: false,
+            semantically_consistent_schema: false,
+            general_benchmark: true,
+            domain_specific_benchmark: false,
+        }
+    }
+
+    fn oltp_tables(&self) -> Vec<String> {
+        // Online transactions only ever touch the nine TPC-C tables.
+        tpcc_schema::schemas()
+            .iter()
+            .map(|s| s.name().to_string())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use olxp_engine::EngineConfig;
+    use olxpbench_core::check_semantic_consistency;
+
+    #[test]
+    fn stitch_schema_has_twelve_tables_and_is_inconsistent() {
+        let ch = ChBenchmark::new();
+        let features = ch.features();
+        assert_eq!(features.tables(), 12);
+        assert!(!features.semantically_consistent_schema);
+        assert!(!features.has_hybrid_transaction);
+
+        let report = check_semantic_consistency(&ch);
+        assert!(!report.is_semantically_consistent());
+        for t in ["SUPPLIER", "NATION", "REGION"] {
+            assert!(report.olap_only_tables.contains(&t.to_string()));
+        }
+        // The stitch schema never analyses the history/warehouse/district data.
+        for t in ["HISTORY", "WAREHOUSE", "DISTRICT"] {
+            assert!(report.unanalyzed_oltp_tables.contains(&t.to_string()));
+        }
+    }
+
+    #[test]
+    fn loads_and_runs_transactions_and_queries() {
+        let db = HybridDatabase::new(EngineConfig::single_engine().with_time_scale(0.0)).unwrap();
+        let ch = ChBenchmark::new();
+        ch.create_schema(&db).unwrap();
+        ch.load(&db, 1, 9).unwrap();
+        db.finish_load().unwrap();
+        assert_eq!(db.table_key_count("SUPPLIER"), SUPPLIER_COUNT as usize);
+        assert_eq!(db.table_key_count("NATION"), NATION_COUNT as usize);
+        assert_eq!(db.table_key_count("REGION"), REGION_COUNT as usize);
+
+        let session = db.session();
+        let mut rng = StdRng::seed_from_u64(37);
+        for txn in ch.online_transactions() {
+            txn.execute(&session, &mut rng)
+                .unwrap_or_else(|e| panic!("{} failed: {e}", txn.name()));
+        }
+        for query in ch.analytical_queries() {
+            query
+                .execute(&session, &mut rng)
+                .unwrap_or_else(|e| panic!("{} failed: {e}", query.name()));
+        }
+        assert!(ch.hybrid_transactions().is_empty());
+    }
+}

@@ -1,0 +1,74 @@
+//! # olxpbench-workloads
+//!
+//! The OLxPBench workload suites (paper §IV):
+//!
+//! * [`subenchmark`] — the **general** benchmark, inspired by TPC-C retail
+//!   activity: 9 tables, the five TPC-C online transactions, nine analytical
+//!   queries and five hybrid transactions whose real-time queries model
+//!   e-commerce user behaviour (e.g. "find the lowest price of the item before
+//!   ordering it");
+//! * [`fibenchmark`] — the **banking** domain-specific benchmark, inspired by
+//!   SmallBank: 3 tables, the six SmallBank online transactions, four
+//!   analytical queries and six hybrid transactions performing real-time
+//!   financial analysis of customer accounts;
+//! * [`tabenchmark`] — the **telecom** domain-specific benchmark, inspired by
+//!   TATP: 4 tables (with the composite `(s_id, sf_type)` SUBSCRIBER primary
+//!   key the paper adds), seven online transactions, five analytical queries
+//!   and six hybrid transactions including the fuzzy subscriber search;
+//! * [`chbenchmark`] — a CH-benCHmark-style **stitch schema** baseline used by
+//!   the schema-model comparison (Figures 3 and 4): TPC-C transactions plus
+//!   analytical queries over the TPC-H dimension tables (SUPPLIER, NATION,
+//!   REGION) that online transactions never update.
+//!
+//! Every suite implements [`olxpbench_core::Workload`], so the benchmark
+//! driver and the experiment harness treat them uniformly.
+
+pub mod chbenchmark;
+pub mod common;
+pub mod fibenchmark;
+pub mod subenchmark;
+pub mod tabenchmark;
+
+pub use chbenchmark::ChBenchmark;
+pub use fibenchmark::Fibenchmark;
+pub use subenchmark::Subenchmark;
+pub use tabenchmark::Tabenchmark;
+
+use olxpbench_core::Workload;
+use std::sync::Arc;
+
+/// All OLxPBench suites (excluding the CH-benCHmark baseline), in the order
+/// the paper presents them.
+pub fn olxp_suites() -> Vec<Arc<dyn Workload>> {
+    vec![
+        Arc::new(Subenchmark::new()),
+        Arc::new(Fibenchmark::new()),
+        Arc::new(Tabenchmark::new()),
+    ]
+}
+
+/// Look up a workload by name (`subenchmark`, `fibenchmark`, `tabenchmark`,
+/// `chbenchmark`).
+pub fn workload_by_name(name: &str) -> Option<Arc<dyn Workload>> {
+    match name.to_ascii_lowercase().as_str() {
+        "subenchmark" | "su" => Some(Arc::new(Subenchmark::new())),
+        "fibenchmark" | "fi" => Some(Arc::new(Fibenchmark::new())),
+        "tabenchmark" | "ta" => Some(Arc::new(Tabenchmark::new())),
+        "chbenchmark" | "ch" | "ch-benchmark" => Some(Arc::new(ChBenchmark::new())),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suites_are_registered() {
+        assert_eq!(olxp_suites().len(), 3);
+        assert!(workload_by_name("subenchmark").is_some());
+        assert!(workload_by_name("FI").is_some());
+        assert!(workload_by_name("ch").is_some());
+        assert!(workload_by_name("unknown").is_none());
+    }
+}

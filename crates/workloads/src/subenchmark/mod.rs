@@ -1,0 +1,241 @@
+//! The subenchmark: OLxPBench's general (retail) benchmark, inspired by TPC-C.
+
+pub mod analytics;
+pub mod oltp;
+pub mod schema;
+
+use crate::common;
+use olxp_engine::{EngineResult, HybridDatabase};
+use olxpbench_core::{
+    AnalyticalQuery, HybridTransaction, OnlineTransaction, TransactionMix, Workload,
+    WorkloadFeatures, WorkloadKind,
+};
+use oltp::SubenchmarkState;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+/// The subenchmark workload.
+///
+/// "The subenchmark is inspired by TPC-C, which is not bound to a specific
+/// scenario, and the community considers a general benchmark for OLTP system
+/// evaluation." (§IV-B1)  It keeps the five TPC-C online transactions
+/// (write-heavy, 8 % read-only), adds nine analytical queries over the same
+/// semantically consistent schema and five hybrid transactions (60 % read-only)
+/// whose real-time queries model e-commerce user behaviour.
+pub struct Subenchmark {
+    state: Arc<SubenchmarkState>,
+}
+
+impl Subenchmark {
+    /// Create the workload.
+    pub fn new() -> Subenchmark {
+        Subenchmark {
+            state: SubenchmarkState::new(),
+        }
+    }
+
+    /// Shared run-time state (warehouse count, surrogate key counters).
+    pub fn state(&self) -> &Arc<SubenchmarkState> {
+        &self.state
+    }
+}
+
+impl Default for Subenchmark {
+    fn default() -> Self {
+        Subenchmark::new()
+    }
+}
+
+impl Workload for Subenchmark {
+    fn name(&self) -> &str {
+        "subenchmark"
+    }
+
+    fn kind(&self) -> WorkloadKind {
+        WorkloadKind::General
+    }
+
+    fn create_schema(&self, db: &Arc<HybridDatabase>) -> EngineResult<()> {
+        schema::create_schema(db)
+    }
+
+    fn load(&self, db: &Arc<HybridDatabase>, scale_factor: u32, seed: u64) -> EngineResult<()> {
+        self.state
+            .warehouses
+            .store(i64::from(scale_factor.max(1)), Ordering::Relaxed);
+        schema::load(db, scale_factor, seed)
+    }
+
+    fn online_transactions(&self) -> Vec<Arc<dyn OnlineTransaction>> {
+        vec![
+            Arc::new(oltp::NewOrder::new(Arc::clone(&self.state))),
+            Arc::new(oltp::Payment::new(Arc::clone(&self.state))),
+            Arc::new(oltp::OrderStatus::new(Arc::clone(&self.state))),
+            Arc::new(oltp::Delivery::new(Arc::clone(&self.state))),
+            Arc::new(oltp::StockLevel::new(Arc::clone(&self.state))),
+        ]
+    }
+
+    fn analytical_queries(&self) -> Vec<Arc<dyn AnalyticalQuery>> {
+        analytics::analytical_queries()
+    }
+
+    fn hybrid_transactions(&self) -> Vec<Arc<dyn HybridTransaction>> {
+        analytics::hybrid_transactions(&self.state)
+    }
+
+    fn default_online_mix(&self) -> TransactionMix {
+        // The TPC-C mix: 8 % of transactions (OrderStatus + StockLevel) are
+        // read-only.
+        TransactionMix::new(vec![
+            ("NewOrder", 45),
+            ("Payment", 43),
+            ("OrderStatus", 4),
+            ("Delivery", 4),
+            ("StockLevel", 4),
+        ])
+    }
+
+    fn default_hybrid_mix(&self) -> TransactionMix {
+        TransactionMix::new(vec![
+            ("X1-NewOrderBestPrice", 20),
+            ("X2-PaymentSpendingCheck", 20),
+            ("X3-OrderStatusDistrictTrend", 20),
+            ("X4-StockLevelGlobalView", 20),
+            ("X5-BrowseBestSellers", 20),
+        ])
+    }
+
+    fn features(&self) -> WorkloadFeatures {
+        let schemas = schema::schemas();
+        WorkloadFeatures {
+            name: self.name().to_string(),
+            table_names: schemas.iter().map(|s| s.name().to_string()).collect(),
+            columns: schemas.iter().map(|s| s.column_count()).sum(),
+            indexes: schemas.iter().map(|s| s.indexes().len()).sum(),
+            oltp_transactions: 5,
+            read_only_oltp_percent: 8.0,
+            analytical_queries: 9,
+            hybrid_transactions: 5,
+            read_only_hybrid_percent: 60.0,
+            has_online_transaction: true,
+            has_analytical_query: true,
+            has_hybrid_transaction: true,
+            has_real_time_query: true,
+            semantically_consistent_schema: true,
+            general_benchmark: true,
+            domain_specific_benchmark: false,
+        }
+    }
+}
+
+/// Re-export the schema constants for experiments.
+pub use schema::{CUSTOMERS_PER_DISTRICT, DISTRICTS_PER_WAREHOUSE, ITEM_COUNT, ORDERS_PER_DISTRICT};
+
+/// Convenience: a loaded subenchmark database for tests and examples.
+pub fn prepare_database(
+    db: &Arc<HybridDatabase>,
+    workload: &Subenchmark,
+    scale: u32,
+    seed: u64,
+) -> EngineResult<()> {
+    workload.create_schema(db)?;
+    workload.load(db, scale, seed)?;
+    db.finish_load()?;
+    let _ = common::synthetic_timestamp(0);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use olxp_engine::EngineConfig;
+    use olxpbench_core::check_semantic_consistency;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn loaded_db() -> (Arc<HybridDatabase>, Subenchmark) {
+        let db = HybridDatabase::new(EngineConfig::single_engine().with_time_scale(0.0)).unwrap();
+        let workload = Subenchmark::new();
+        prepare_database(&db, &workload, 1, 7).unwrap();
+        (db, workload)
+    }
+
+    #[test]
+    fn features_match_table2() {
+        let features = Subenchmark::new().features();
+        assert_eq!(features.tables(), 9);
+        assert_eq!(features.columns, 92);
+        assert_eq!(features.indexes, 3);
+        assert_eq!(features.oltp_transactions, 5);
+        assert_eq!(features.analytical_queries, 9);
+        assert_eq!(features.hybrid_transactions, 5);
+        assert!((features.read_only_oltp_percent - 8.0).abs() < f64::EPSILON);
+        assert!((features.read_only_hybrid_percent - 60.0).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn schema_is_semantically_consistent() {
+        let workload = Subenchmark::new();
+        let report = check_semantic_consistency(&workload);
+        assert!(report.is_semantically_consistent());
+        // The analytical side covers HISTORY, WAREHOUSE and DISTRICT — the
+        // tables CH-benCHmark's stitch schema never analyses.
+        assert!(report.olap_tables.contains(&"HISTORY".to_string()));
+        assert!(report.olap_tables.contains(&"WAREHOUSE".to_string()));
+        assert!(report.olap_tables.contains(&"DISTRICT".to_string()));
+    }
+
+    #[test]
+    fn every_online_transaction_executes() {
+        let (db, workload) = loaded_db();
+        let session = db.session();
+        let mut rng = StdRng::seed_from_u64(11);
+        for txn in workload.online_transactions() {
+            for _ in 0..3 {
+                txn.execute(&session, &mut rng)
+                    .unwrap_or_else(|e| panic!("{} failed: {e}", txn.name()));
+            }
+        }
+        assert!(db.metrics_snapshot().commits >= 15);
+    }
+
+    #[test]
+    fn every_analytical_query_executes() {
+        let (db, workload) = loaded_db();
+        let session = db.session();
+        let mut rng = StdRng::seed_from_u64(13);
+        for query in workload.analytical_queries() {
+            query
+                .execute(&session, &mut rng)
+                .unwrap_or_else(|e| panic!("{} failed: {e}", query.name()));
+        }
+        let metrics = db.metrics_snapshot();
+        assert!(metrics.statements[1] >= 9);
+    }
+
+    #[test]
+    fn every_hybrid_transaction_executes() {
+        let (db, workload) = loaded_db();
+        let session = db.session();
+        let mut rng = StdRng::seed_from_u64(17);
+        for hybrid in workload.hybrid_transactions() {
+            hybrid
+                .execute(&session, &mut rng)
+                .unwrap_or_else(|e| panic!("{} failed: {e}", hybrid.name()));
+        }
+        let metrics = db.metrics_snapshot();
+        assert!(metrics.busy_nanos[2] > 0, "hybrid work recorded");
+    }
+
+    #[test]
+    fn new_order_advances_district_counter() {
+        let (db, workload) = loaded_db();
+        let session = db.session();
+        let mut rng = StdRng::seed_from_u64(19);
+        let orders_before = db.table_key_count("ORDERS");
+        let new_order = &workload.online_transactions()[0];
+        new_order.execute(&session, &mut rng).unwrap();
+        assert_eq!(db.table_key_count("ORDERS"), orders_before + 1);
+    }
+}

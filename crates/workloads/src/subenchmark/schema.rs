@@ -1,0 +1,546 @@
+//! Subenchmark schema and data loader.
+//!
+//! The subenchmark keeps the nine TPC-C tables (92 columns in total) and the
+//! third normal form of the original benchmark; analytical queries operate on
+//! the *same* tables the online transactions write (semantically consistent
+//! schema).  Three secondary indexes support the customer-by-last-name,
+//! orders-by-customer and item-by-name lookups.
+
+use crate::common;
+use olxp_engine::{EngineResult, HybridDatabase};
+use olxp_storage::{ColumnDef, DataType, Row, TableSchema, Value};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+/// Number of items in the ITEM table (scaled down from TPC-C's 100 000).
+pub const ITEM_COUNT: i64 = 10_000;
+/// Districts per warehouse.
+pub const DISTRICTS_PER_WAREHOUSE: i64 = 10;
+/// Customers per district (scaled down from TPC-C's 3 000).
+pub const CUSTOMERS_PER_DISTRICT: i64 = 60;
+/// Initial orders per district.
+pub const ORDERS_PER_DISTRICT: i64 = 150;
+/// The most recent orders of a district that start in NEW_ORDER.
+pub const NEW_ORDERS_PER_DISTRICT: i64 = 30;
+
+/// Column positions used by the transactions and queries.
+pub mod col {
+    /// WAREHOUSE columns.
+    pub mod w {
+        pub const ID: usize = 0;
+        pub const NAME: usize = 1;
+        pub const TAX: usize = 7;
+        pub const YTD: usize = 8;
+    }
+    /// DISTRICT columns.
+    pub mod d {
+        pub const ID: usize = 0;
+        pub const W_ID: usize = 1;
+        pub const TAX: usize = 8;
+        pub const YTD: usize = 9;
+        pub const NEXT_O_ID: usize = 10;
+    }
+    /// CUSTOMER columns.
+    pub mod c {
+        pub const ID: usize = 0;
+        pub const D_ID: usize = 1;
+        pub const W_ID: usize = 2;
+        pub const FIRST: usize = 3;
+        pub const LAST: usize = 5;
+        pub const CREDIT: usize = 13;
+        pub const DISCOUNT: usize = 15;
+        pub const BALANCE: usize = 16;
+        pub const YTD_PAYMENT: usize = 17;
+        pub const PAYMENT_CNT: usize = 18;
+        pub const DELIVERY_CNT: usize = 19;
+    }
+    /// HISTORY columns.
+    pub mod h {
+        pub const ID: usize = 0;
+        pub const C_ID: usize = 1;
+        pub const C_D_ID: usize = 2;
+        pub const C_W_ID: usize = 3;
+        pub const D_ID: usize = 4;
+        pub const W_ID: usize = 5;
+        pub const DATE: usize = 6;
+        pub const AMOUNT: usize = 7;
+    }
+    /// NEW_ORDER columns.
+    pub mod no {
+        pub const O_ID: usize = 0;
+        pub const D_ID: usize = 1;
+        pub const W_ID: usize = 2;
+    }
+    /// ORDERS columns.
+    pub mod o {
+        pub const ID: usize = 0;
+        pub const D_ID: usize = 1;
+        pub const W_ID: usize = 2;
+        pub const C_ID: usize = 3;
+        pub const ENTRY_D: usize = 4;
+        pub const CARRIER_ID: usize = 5;
+        pub const OL_CNT: usize = 6;
+        pub const ALL_LOCAL: usize = 7;
+    }
+    /// ORDER_LINE columns.
+    pub mod ol {
+        pub const O_ID: usize = 0;
+        pub const D_ID: usize = 1;
+        pub const W_ID: usize = 2;
+        pub const NUMBER: usize = 3;
+        pub const I_ID: usize = 4;
+        pub const SUPPLY_W_ID: usize = 5;
+        pub const DELIVERY_D: usize = 6;
+        pub const QUANTITY: usize = 7;
+        pub const AMOUNT: usize = 8;
+    }
+    /// ITEM columns.
+    pub mod i {
+        pub const ID: usize = 0;
+        pub const IM_ID: usize = 1;
+        pub const NAME: usize = 2;
+        pub const PRICE: usize = 3;
+    }
+    /// STOCK columns.
+    pub mod s {
+        pub const I_ID: usize = 0;
+        pub const W_ID: usize = 1;
+        pub const QUANTITY: usize = 2;
+        pub const YTD: usize = 13;
+        pub const ORDER_CNT: usize = 14;
+        pub const REMOTE_CNT: usize = 15;
+    }
+}
+
+fn int(name: &str) -> ColumnDef {
+    ColumnDef::new(name, DataType::Int, false)
+}
+fn int_null(name: &str) -> ColumnDef {
+    ColumnDef::new(name, DataType::Int, true)
+}
+fn s(name: &str) -> ColumnDef {
+    ColumnDef::new(name, DataType::Str, false)
+}
+fn dec(name: &str) -> ColumnDef {
+    ColumnDef::new(name, DataType::Decimal, false)
+}
+fn ts(name: &str) -> ColumnDef {
+    ColumnDef::new(name, DataType::Timestamp, false)
+}
+fn ts_null(name: &str) -> ColumnDef {
+    ColumnDef::new(name, DataType::Timestamp, true)
+}
+
+/// The nine subenchmark table schemas in creation order.
+pub fn schemas() -> Vec<TableSchema> {
+    let warehouse = TableSchema::new(
+        "WAREHOUSE",
+        vec![
+            int("w_id"),
+            s("w_name"),
+            s("w_street_1"),
+            s("w_street_2"),
+            s("w_city"),
+            s("w_state"),
+            s("w_zip"),
+            dec("w_tax"),
+            dec("w_ytd"),
+        ],
+        vec!["w_id"],
+    )
+    .expect("static schema");
+
+    let district = TableSchema::new(
+        "DISTRICT",
+        vec![
+            int("d_id"),
+            int("d_w_id"),
+            s("d_name"),
+            s("d_street_1"),
+            s("d_street_2"),
+            s("d_city"),
+            s("d_state"),
+            s("d_zip"),
+            dec("d_tax"),
+            dec("d_ytd"),
+            int("d_next_o_id"),
+        ],
+        vec!["d_w_id", "d_id"],
+    )
+    .expect("static schema")
+    .with_foreign_key(vec!["d_w_id"], "WAREHOUSE", vec!["w_id"])
+    .expect("static schema");
+
+    let customer = TableSchema::new(
+        "CUSTOMER",
+        vec![
+            int("c_id"),
+            int("c_d_id"),
+            int("c_w_id"),
+            s("c_first"),
+            s("c_middle"),
+            s("c_last"),
+            s("c_street_1"),
+            s("c_street_2"),
+            s("c_city"),
+            s("c_state"),
+            s("c_zip"),
+            s("c_phone"),
+            ts("c_since"),
+            s("c_credit"),
+            dec("c_credit_lim"),
+            dec("c_discount"),
+            dec("c_balance"),
+            dec("c_ytd_payment"),
+            int("c_payment_cnt"),
+            int("c_delivery_cnt"),
+            s("c_data"),
+        ],
+        vec!["c_w_id", "c_d_id", "c_id"],
+    )
+    .expect("static schema")
+    .with_index("idx_customer_name", vec!["c_w_id", "c_d_id", "c_last"], false)
+    .expect("static schema")
+    .with_foreign_key(vec!["c_w_id", "c_d_id"], "DISTRICT", vec!["d_w_id", "d_id"])
+    .expect("static schema");
+
+    let history = TableSchema::new(
+        "HISTORY",
+        vec![
+            int("h_id"),
+            int("h_c_id"),
+            int("h_c_d_id"),
+            int("h_c_w_id"),
+            int("h_d_id"),
+            int("h_w_id"),
+            ts("h_date"),
+            dec("h_amount"),
+        ],
+        vec!["h_id"],
+    )
+    .expect("static schema")
+    .with_foreign_key(
+        vec!["h_c_w_id", "h_c_d_id", "h_c_id"],
+        "CUSTOMER",
+        vec!["c_w_id", "c_d_id", "c_id"],
+    )
+    .expect("static schema");
+
+    let new_order = TableSchema::new(
+        "NEW_ORDER",
+        vec![int("no_o_id"), int("no_d_id"), int("no_w_id")],
+        vec!["no_w_id", "no_d_id", "no_o_id"],
+    )
+    .expect("static schema");
+
+    let orders = TableSchema::new(
+        "ORDERS",
+        vec![
+            int("o_id"),
+            int("o_d_id"),
+            int("o_w_id"),
+            int("o_c_id"),
+            ts("o_entry_d"),
+            int_null("o_carrier_id"),
+            int("o_ol_cnt"),
+            int("o_all_local"),
+        ],
+        vec!["o_w_id", "o_d_id", "o_id"],
+    )
+    .expect("static schema")
+    .with_index("idx_orders_customer", vec!["o_w_id", "o_d_id", "o_c_id"], false)
+    .expect("static schema")
+    .with_foreign_key(
+        vec!["o_w_id", "o_d_id", "o_c_id"],
+        "CUSTOMER",
+        vec!["c_w_id", "c_d_id", "c_id"],
+    )
+    .expect("static schema");
+
+    let order_line = TableSchema::new(
+        "ORDER_LINE",
+        vec![
+            int("ol_o_id"),
+            int("ol_d_id"),
+            int("ol_w_id"),
+            int("ol_number"),
+            int("ol_i_id"),
+            int("ol_supply_w_id"),
+            ts_null("ol_delivery_d"),
+            int("ol_quantity"),
+            dec("ol_amount"),
+            s("ol_dist_info"),
+        ],
+        vec!["ol_w_id", "ol_d_id", "ol_o_id", "ol_number"],
+    )
+    .expect("static schema")
+    .with_foreign_key(
+        vec!["ol_w_id", "ol_d_id", "ol_o_id"],
+        "ORDERS",
+        vec!["o_w_id", "o_d_id", "o_id"],
+    )
+    .expect("static schema");
+
+    let item = TableSchema::new(
+        "ITEM",
+        vec![int("i_id"), int("i_im_id"), s("i_name"), dec("i_price"), s("i_data")],
+        vec!["i_id"],
+    )
+    .expect("static schema")
+    .with_index("idx_item_name", vec!["i_name"], false)
+    .expect("static schema");
+
+    let stock = TableSchema::new(
+        "STOCK",
+        vec![
+            int("s_i_id"),
+            int("s_w_id"),
+            int("s_quantity"),
+            s("s_dist_01"),
+            s("s_dist_02"),
+            s("s_dist_03"),
+            s("s_dist_04"),
+            s("s_dist_05"),
+            s("s_dist_06"),
+            s("s_dist_07"),
+            s("s_dist_08"),
+            s("s_dist_09"),
+            s("s_dist_10"),
+            dec("s_ytd"),
+            int("s_order_cnt"),
+            int("s_remote_cnt"),
+            s("s_data"),
+        ],
+        vec!["s_w_id", "s_i_id"],
+    )
+    .expect("static schema")
+    .with_foreign_key(vec!["s_i_id"], "ITEM", vec!["i_id"])
+    .expect("static schema");
+
+    vec![
+        warehouse, district, customer, history, new_order, orders, order_line, item, stock,
+    ]
+}
+
+/// Create the subenchmark tables.
+pub fn create_schema(db: &Arc<HybridDatabase>) -> EngineResult<()> {
+    for schema in schemas() {
+        db.create_table(schema)?;
+    }
+    Ok(())
+}
+
+/// Populate the subenchmark tables with `warehouses` warehouses.
+pub fn load(db: &Arc<HybridDatabase>, warehouses: u32, seed: u64) -> EngineResult<()> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let warehouses = i64::from(warehouses.max(1));
+
+    // ITEM is shared across warehouses.
+    for i_id in 1..=ITEM_COUNT {
+        db.load_row(
+            "ITEM",
+            Row::new(vec![
+                Value::Int(i_id),
+                Value::Int(common::uniform(&mut rng, 1, 100)),
+                Value::Str(format!("item-{:04}", i_id % 500)),
+                Value::Decimal(common::rand_amount_cents(&mut rng, 1.0, 100.0)),
+                Value::Str(common::rand_string(&mut rng, 16, 32)),
+            ]),
+        )?;
+    }
+
+    let mut history_id = 0i64;
+    for w_id in 1..=warehouses {
+        db.load_row(
+            "WAREHOUSE",
+            Row::new(vec![
+                Value::Int(w_id),
+                Value::Str(format!("warehouse-{w_id}")),
+                Value::Str(common::rand_string(&mut rng, 8, 16)),
+                Value::Str(common::rand_string(&mut rng, 8, 16)),
+                Value::Str(common::rand_string(&mut rng, 6, 12)),
+                Value::Str("CA".into()),
+                Value::Str(common::rand_numeric_string(&mut rng, 9)),
+                Value::Decimal(common::uniform(&mut rng, 0, 20)),
+                Value::Decimal(30_000_000),
+            ]),
+        )?;
+        // STOCK mirrors ITEM per warehouse.
+        for i_id in 1..=ITEM_COUNT {
+            let mut values = vec![
+                Value::Int(i_id),
+                Value::Int(w_id),
+                Value::Int(common::uniform(&mut rng, 10, 100)),
+            ];
+            for _ in 0..10 {
+                values.push(Value::Str(common::rand_string(&mut rng, 12, 24)));
+            }
+            values.push(Value::Decimal(0));
+            values.push(Value::Int(0));
+            values.push(Value::Int(0));
+            values.push(Value::Str(common::rand_string(&mut rng, 16, 32)));
+            db.load_row("STOCK", Row::new(values))?;
+        }
+        for d_id in 1..=DISTRICTS_PER_WAREHOUSE {
+            db.load_row(
+                "DISTRICT",
+                Row::new(vec![
+                    Value::Int(d_id),
+                    Value::Int(w_id),
+                    Value::Str(format!("district-{w_id}-{d_id}")),
+                    Value::Str(common::rand_string(&mut rng, 8, 16)),
+                    Value::Str(common::rand_string(&mut rng, 8, 16)),
+                    Value::Str(common::rand_string(&mut rng, 6, 12)),
+                    Value::Str("CA".into()),
+                    Value::Str(common::rand_numeric_string(&mut rng, 9)),
+                    Value::Decimal(common::uniform(&mut rng, 0, 20)),
+                    Value::Decimal(3_000_000),
+                    Value::Int(ORDERS_PER_DISTRICT + 1),
+                ]),
+            )?;
+            for c_id in 1..=CUSTOMERS_PER_DISTRICT {
+                history_id += 1;
+                db.load_row(
+                    "CUSTOMER",
+                    Row::new(vec![
+                        Value::Int(c_id),
+                        Value::Int(d_id),
+                        Value::Int(w_id),
+                        Value::Str(common::rand_string(&mut rng, 6, 12)),
+                        Value::Str("OE".into()),
+                        Value::Str(common::last_name(if c_id <= 10 {
+                            c_id - 1
+                        } else {
+                            common::uniform(&mut rng, 0, 999)
+                        })),
+                        Value::Str(common::rand_string(&mut rng, 8, 16)),
+                        Value::Str(common::rand_string(&mut rng, 8, 16)),
+                        Value::Str(common::rand_string(&mut rng, 6, 12)),
+                        Value::Str("CA".into()),
+                        Value::Str(common::rand_numeric_string(&mut rng, 9)),
+                        Value::Str(common::rand_numeric_string(&mut rng, 16)),
+                        Value::Timestamp(common::synthetic_timestamp(c_id)),
+                        Value::Str(if common::uniform(&mut rng, 0, 9) == 0 {
+                            "BC".into()
+                        } else {
+                            "GC".into()
+                        }),
+                        Value::Decimal(5_000_000),
+                        Value::Decimal(common::uniform(&mut rng, 0, 50)),
+                        Value::Decimal(-1_000),
+                        Value::Decimal(1_000),
+                        Value::Int(1),
+                        Value::Int(0),
+                        Value::Str(common::rand_string(&mut rng, 32, 64)),
+                    ]),
+                )?;
+                db.load_row(
+                    "HISTORY",
+                    Row::new(vec![
+                        Value::Int(history_id),
+                        Value::Int(c_id),
+                        Value::Int(d_id),
+                        Value::Int(w_id),
+                        Value::Int(d_id),
+                        Value::Int(w_id),
+                        Value::Timestamp(common::synthetic_timestamp(history_id)),
+                        Value::Decimal(1_000),
+                    ]),
+                )?;
+            }
+            for o_id in 1..=ORDERS_PER_DISTRICT {
+                let c_id = common::uniform(&mut rng, 1, CUSTOMERS_PER_DISTRICT);
+                let ol_cnt = common::uniform(&mut rng, 5, 15);
+                let delivered = o_id <= ORDERS_PER_DISTRICT - NEW_ORDERS_PER_DISTRICT;
+                db.load_row(
+                    "ORDERS",
+                    Row::new(vec![
+                        Value::Int(o_id),
+                        Value::Int(d_id),
+                        Value::Int(w_id),
+                        Value::Int(c_id),
+                        Value::Timestamp(common::synthetic_timestamp(o_id)),
+                        if delivered {
+                            Value::Int(common::uniform(&mut rng, 1, 10))
+                        } else {
+                            Value::Null
+                        },
+                        Value::Int(ol_cnt),
+                        Value::Int(1),
+                    ]),
+                )?;
+                if !delivered {
+                    db.load_row(
+                        "NEW_ORDER",
+                        Row::new(vec![Value::Int(o_id), Value::Int(d_id), Value::Int(w_id)]),
+                    )?;
+                }
+                for ol_number in 1..=ol_cnt {
+                    db.load_row(
+                        "ORDER_LINE",
+                        Row::new(vec![
+                            Value::Int(o_id),
+                            Value::Int(d_id),
+                            Value::Int(w_id),
+                            Value::Int(ol_number),
+                            Value::Int(common::uniform(&mut rng, 1, ITEM_COUNT)),
+                            Value::Int(w_id),
+                            if delivered {
+                                Value::Timestamp(common::synthetic_timestamp(o_id))
+                            } else {
+                                Value::Null
+                            },
+                            Value::Int(common::uniform(&mut rng, 1, 10)),
+                            Value::Decimal(common::rand_amount_cents(&mut rng, 0.01, 99.99)),
+                            Value::Str(common::rand_string(&mut rng, 12, 24)),
+                        ]),
+                    )?;
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use olxp_engine::EngineConfig;
+
+    #[test]
+    fn schema_matches_table2_counts() {
+        let schemas = schemas();
+        assert_eq!(schemas.len(), 9);
+        let columns: usize = schemas.iter().map(|s| s.column_count()).sum();
+        assert_eq!(columns, 92, "Table II: subenchmark has 92 columns");
+        let indexes: usize = schemas.iter().map(|s| s.indexes().len()).sum();
+        assert_eq!(indexes, 3, "Table II: subenchmark has 3 indexes");
+    }
+
+    #[test]
+    fn load_populates_expected_row_counts() {
+        let db = HybridDatabase::new(EngineConfig::single_engine().with_time_scale(0.0)).unwrap();
+        create_schema(&db).unwrap();
+        load(&db, 1, 1).unwrap();
+        db.finish_load().unwrap();
+        assert_eq!(db.table_key_count("ITEM"), ITEM_COUNT as usize);
+        assert_eq!(db.table_key_count("WAREHOUSE"), 1);
+        assert_eq!(db.table_key_count("DISTRICT"), 10);
+        assert_eq!(
+            db.table_key_count("CUSTOMER"),
+            (DISTRICTS_PER_WAREHOUSE * CUSTOMERS_PER_DISTRICT) as usize
+        );
+        assert_eq!(
+            db.table_key_count("ORDERS"),
+            (DISTRICTS_PER_WAREHOUSE * ORDERS_PER_DISTRICT) as usize
+        );
+        assert_eq!(
+            db.table_key_count("NEW_ORDER"),
+            (DISTRICTS_PER_WAREHOUSE * NEW_ORDERS_PER_DISTRICT) as usize
+        );
+        assert!(db.table_key_count("ORDER_LINE") >= (DISTRICTS_PER_WAREHOUSE * ORDERS_PER_DISTRICT * 5) as usize);
+        // Columnar replicas converged.
+        assert_eq!(db.col_table("ITEM").unwrap().live_row_count(), ITEM_COUNT as usize);
+    }
+}

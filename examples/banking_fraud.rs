@@ -1,0 +1,91 @@
+//! Banking scenario: real-time account analytics next to a payment workload.
+//!
+//! The fibenchmark models the paper's financial domain.  This example drives
+//! the six SmallBank-style online transactions while a single analytical agent
+//! keeps asking account-level questions (wealth distribution, overdrawn
+//! accounts) — the sort of real-time fraud/risk monitoring the paper motivates
+//! — and then issues one ad-hoc analytical query through the session API to
+//! show the query-building interface.
+//!
+//! ```text
+//! cargo run -p olxpbench --release --example banking_fraud
+//! ```
+
+use olxpbench::prelude::*;
+use std::time::Duration;
+
+fn main() {
+    let db = HybridDatabase::new(EngineConfig::dual_engine()).expect("valid config");
+    let workload = Fibenchmark::new();
+
+    let config = BenchConfig {
+        label: "banking".into(),
+        oltp: AgentConfig::new(4, 600.0),
+        olap: AgentConfig::new(1, 6.0),
+        hybrid: AgentConfig::new(2, 30.0),
+        warmup: Duration::from_millis(300),
+        duration: Duration::from_secs(2),
+        scale_factor: 2,
+        ..BenchConfig::default()
+    };
+    let driver = BenchmarkDriver::new(config);
+    driver.prepare(&db, &workload).expect("schema + load");
+    let result = driver.run(&db, &workload).expect("benchmark run");
+
+    println!("=== fibenchmark under mixed load ===");
+    if let Some(oltp) = result.oltp {
+        println!("payments / balance checks : {oltp}");
+    }
+    if let Some(olap) = result.olap {
+        println!("account analytics         : {olap}");
+    }
+    if let Some(hybrid) = result.hybrid {
+        println!("hybrid risk checks        : {hybrid}");
+    }
+
+    // Ad-hoc real-time analysis through the public query API: how much money
+    // sits in checking accounts right now, and how many accounts are
+    // overdrawn?
+    let session = db.session();
+    let schema = db.catalog().table("CHECKING").expect("table exists");
+    let bal = schema.column_index("bal").expect("column exists");
+    let custid = schema.column_index("custid").expect("column exists");
+
+    let position = session
+        .analytical_query(
+            &QueryBuilder::scan("CHECKING")
+                .aggregate(
+                    vec![],
+                    vec![
+                        AggSpec::new(AggFunc::Sum, bal),
+                        AggSpec::new(AggFunc::Avg, bal),
+                        AggSpec::new(AggFunc::Count, custid),
+                    ],
+                )
+                .build(),
+        )
+        .expect("analytical query");
+    let overdrawn = session
+        .analytical_query(
+            &QueryBuilder::scan_where("CHECKING", col(bal).lt(lit(0)))
+                .aggregate(vec![], vec![AggSpec::new(AggFunc::Count, custid)])
+                .build(),
+        )
+        .expect("analytical query");
+
+    let row = &position.rows[0];
+    println!(
+        "\nreal-time bank position: total checking = {:.2}, average = {:.2}, accounts = {}",
+        row[0].as_f64().unwrap_or(0.0),
+        row[1].as_f64().unwrap_or(0.0),
+        row[2]
+    );
+    println!(
+        "overdrawn checking accounts right now: {}",
+        overdrawn.rows[0][0]
+    );
+    println!(
+        "replication lag when the report ran: {} records",
+        db.replication_lag()
+    );
+}

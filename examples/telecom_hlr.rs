@@ -1,0 +1,85 @@
+//! Telecom scenario: the composite-primary-key bottleneck and the fuzzy
+//! subscriber search.
+//!
+//! The tabenchmark gives SUBSCRIBER the composite primary key `(s_id, sf_type)`
+//! and deliberately leaves `sub_nbr` un-indexed.  This example measures the
+//! difference between a key-prefix lookup (fast) and the `sub_nbr` lookup that
+//! degenerates into a scan (the paper's slow query), and then runs the fuzzy
+//! subscriber search hybrid transaction.
+//!
+//! ```text
+//! cargo run -p olxpbench --release --example telecom_hlr
+//! ```
+
+use olxpbench::prelude::*;
+use std::time::Instant;
+
+fn main() {
+    let db = HybridDatabase::new(EngineConfig::dual_engine()).expect("valid config");
+    let workload = Tabenchmark::new();
+    workload.create_schema(&db).expect("schema");
+    workload.load(&db, 2, 7).expect("load");
+    db.finish_load().expect("replication");
+
+    let session = db.session();
+
+    // Fast path: lookup by the composite-key prefix (s_id).
+    let started = Instant::now();
+    let mut txn = session.begin(WorkClass::Oltp);
+    let by_key = session
+        .select_eq(&mut txn, "SUBSCRIBER", &["s_id"], &[Value::Int(1_234)])
+        .expect("indexed lookup");
+    session.commit(txn).expect("commit");
+    let indexed = started.elapsed();
+
+    // Slow path: lookup by sub_nbr, which no index covers.
+    let started = Instant::now();
+    let mut txn = session.begin(WorkClass::Oltp);
+    let by_nbr = session
+        .select_eq(
+            &mut txn,
+            "SUBSCRIBER",
+            &["sub_nbr"],
+            &[Value::Str(format!("{:015}", 1_234))],
+        )
+        .expect("scan lookup");
+    session.commit(txn).expect("commit");
+    let scanned = started.elapsed();
+
+    println!("lookup by (s_id) prefix  : {:?} -> {} rows", indexed, by_key.len());
+    println!("lookup by sub_nbr (scan) : {:?} -> {} rows", scanned, by_nbr.len());
+    println!(
+        "the un-indexed composite-key lookup is {:.0}x slower — the paper's DeleteCallForwarding slow query",
+        scanned.as_secs_f64() / indexed.as_secs_f64().max(1e-9)
+    );
+
+    // The fuzzy search hybrid transaction (X5): find subscribers whose number
+    // matches a sub-string, then fetch one of them.
+    let fuzzy = workload
+        .hybrid_transactions()
+        .into_iter()
+        .find(|h| h.name().contains("Fuzzy"))
+        .expect("fuzzy search transaction exists");
+    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(99);
+    let started = Instant::now();
+    fuzzy.execute(&session, &mut rng).expect("fuzzy search");
+    println!("fuzzy subscriber search (hybrid transaction X5) took {:?}", started.elapsed());
+
+    // A real-time HLR load report through the analytical path.
+    let schema = db.catalog().table("SUBSCRIBER").expect("table");
+    let vlr = schema.column_index("vlr_location").expect("column");
+    let s_id = schema.column_index("s_id").expect("column");
+    let report = session
+        .analytical_query(
+            &QueryBuilder::scan("SUBSCRIBER")
+                .aggregate(vec![vlr], vec![AggSpec::new(AggFunc::Count, s_id)])
+                .sort(vec![SortKey::desc(1)])
+                .limit(5)
+                .build(),
+        )
+        .expect("report");
+    println!("\nbusiest VLR locations right now:");
+    for row in &report.rows {
+        println!("  location {:>6} -> {} subscribers", row[0], row[1]);
+    }
+}
