@@ -233,23 +233,31 @@ mod tests {
 
     #[test]
     fn invalid_configs_are_rejected() {
-        let mut c = BenchConfig::default();
-        c.duration = Duration::ZERO;
-        assert!(c.validate().is_err());
-
-        let mut c = BenchConfig::default();
-        c.oltp = AgentConfig::disabled();
-        assert!(c.validate().is_err());
-
-        let mut c = BenchConfig::default();
-        c.oltp = AgentConfig {
-            threads: 2,
-            rate: -5.0,
+        let c = BenchConfig {
+            duration: Duration::ZERO,
+            ..BenchConfig::default()
         };
         assert!(c.validate().is_err());
 
-        let mut c = BenchConfig::default();
-        c.scale_factor = 0;
+        let c = BenchConfig {
+            oltp: AgentConfig::disabled(),
+            ..BenchConfig::default()
+        };
+        assert!(c.validate().is_err());
+
+        let c = BenchConfig {
+            oltp: AgentConfig {
+                threads: 2,
+                rate: -5.0,
+            },
+            ..BenchConfig::default()
+        };
+        assert!(c.validate().is_err());
+
+        let c = BenchConfig {
+            scale_factor: 0,
+            ..BenchConfig::default()
+        };
         assert!(c.validate().is_err());
     }
 

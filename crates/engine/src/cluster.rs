@@ -199,14 +199,17 @@ impl Cluster {
 /// Block the calling thread for approximately `d`.
 ///
 /// `thread::sleep` has ~50–100µs granularity on Linux, so short waits are
-/// busy-waited — but the busy wait yields to the scheduler on every iteration
-/// so that benchmark agent threads still make progress on machines with few
-/// cores (the measurement host may expose a single CPU).
+/// busy-waited on multi-core hosts. On a host with fewer cores than
+/// benchmark threads a yielding spin is counterproductive: the spinning
+/// thread keeps getting a full scheduler timeslice (~10ms) between yields
+/// while runnable peers hold the core, turning a 100µs wait into a 10ms+
+/// stall that drowns the modelled service times. On such hosts every wait
+/// goes through `thread::sleep`, trading sub-100µs precision for fairness.
 pub fn precise_delay(d: Duration) {
     if d < Duration::from_micros(3) {
         return;
     }
-    if d >= Duration::from_micros(150) {
+    if d >= Duration::from_micros(150) || low_parallelism_host() {
         std::thread::sleep(d);
         return;
     }
@@ -214,6 +217,21 @@ pub fn precise_delay(d: Duration) {
     while Instant::now() < end {
         std::thread::yield_now();
     }
+}
+
+/// True when the host exposes less parallelism than a typical benchmark run
+/// uses, so spinning would starve peer agent threads. The shape tests and
+/// experiments drive up to four agent threads plus the coordinator (five
+/// runnable threads at peak); below that many cores at least one runnable
+/// thread can end up waiting behind a spinner.
+fn low_parallelism_host() -> bool {
+    use std::sync::OnceLock;
+    static LOW: OnceLock<bool> = OnceLock::new();
+    *LOW.get_or_init(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get() < 5)
+            .unwrap_or(true)
+    })
 }
 
 #[cfg(test)]

@@ -84,7 +84,7 @@ proptest! {
                 .enumerate()
                 .filter(|(k, _)| 2 * (*k as u64 + 1) <= probe)
                 .map(|(_, v)| *v)
-                .last()
+                .next_back()
                 .unwrap_or(0);
             prop_assert_eq!(visible.unwrap()[1].clone(), Value::Int(newest));
         }

@@ -1,0 +1,70 @@
+//! Workspace smoke test: catches manifest and feature-wiring regressions
+//! fast (a broken crate rename, a dropped re-export, or a suite that silently
+//! falls out of the registry fails here in milliseconds, before the long
+//! experiment-shape suites run).
+
+use olxpbench::prelude::*;
+
+/// The paper's three suites, in presentation order.
+const PAPER_SUITES: [&str; 3] = ["subenchmark", "fibenchmark", "tabenchmark"];
+
+#[test]
+fn olxp_suites_returns_the_three_paper_suites_in_order() {
+    let suites = olxp_suites();
+    let names: Vec<&str> = suites.iter().map(|w| w.name()).collect();
+    assert_eq!(names, PAPER_SUITES);
+}
+
+#[test]
+fn workload_by_name_round_trips_every_suite() {
+    // Full names: the registry entry must hand back a workload that reports
+    // the same name, so lookups and reports stay consistent.
+    for name in PAPER_SUITES {
+        let workload = workload_by_name(name)
+            .unwrap_or_else(|| panic!("suite `{name}` missing from the registry"));
+        assert_eq!(workload.name(), name);
+        // Round-trip again through the reported name.
+        assert!(workload_by_name(workload.name()).is_some());
+    }
+
+    // Short aliases resolve to the same suites.
+    for (alias, full) in [("su", "subenchmark"), ("fi", "fibenchmark"), ("ta", "tabenchmark")] {
+        assert_eq!(workload_by_name(alias).unwrap().name(), full);
+    }
+
+    // The stitch-schema baseline is registered but is not an OLxP suite.
+    assert_eq!(workload_by_name("chbenchmark").unwrap().name(), "chbenchmark");
+    assert!(workload_by_name("nosuchbenchmark").is_none());
+}
+
+#[test]
+fn every_suite_reports_hybrid_support_and_a_consistent_schema() {
+    // Table I's claim for OLxPBench itself: all three suites provide hybrid
+    // transactions with real-time queries over a semantically consistent
+    // schema. If a manifest/feature regression drops a suite's hybrid
+    // transactions, this fails without running any benchmark.
+    for workload in olxp_suites() {
+        let features = workload.features();
+        assert!(
+            features.has_hybrid_transaction && features.has_real_time_query,
+            "{} lost its hybrid transactions",
+            workload.name()
+        );
+        assert!(
+            features.semantically_consistent_schema,
+            "{} lost schema consistency",
+            workload.name()
+        );
+    }
+}
+
+#[test]
+fn engines_construct_for_all_three_architectures() {
+    for config in [
+        EngineConfig::single_engine(),
+        EngineConfig::dual_engine(),
+        EngineConfig::shared_nothing(),
+    ] {
+        HybridDatabase::new(config.with_time_scale(0.0)).expect("engine constructs");
+    }
+}

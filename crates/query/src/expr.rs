@@ -106,18 +106,27 @@ impl Expr {
         Expr::Like(Box::new(self), pattern.into())
     }
     /// `self + other`
+    // The arithmetic builders intentionally mirror the SQL expression DSL
+    // (`col("a").add(col("b"))`); taking `Expr` by value and returning `Expr`
+    // also matches the std::ops signatures, so clippy flags the names. The
+    // workload suites build expressions through these names, and implementing
+    // the operator traits instead would change how every call site resolves.
+    #[allow(clippy::should_implement_trait)]
     pub fn add(self, other: Expr) -> Expr {
         Expr::Add(Box::new(self), Box::new(other))
     }
     /// `self - other`
+    #[allow(clippy::should_implement_trait)]
     pub fn sub(self, other: Expr) -> Expr {
         Expr::Sub(Box::new(self), Box::new(other))
     }
     /// `self * other`
+    #[allow(clippy::should_implement_trait)]
     pub fn mul(self, other: Expr) -> Expr {
         Expr::Mul(Box::new(self), Box::new(other))
     }
     /// `self / other`
+    #[allow(clippy::should_implement_trait)]
     pub fn div(self, other: Expr) -> Expr {
         Expr::Div(Box::new(self), Box::new(other))
     }

@@ -93,7 +93,7 @@ impl BufferPool {
                     .filter(|(name, _)| name.as_str() != table)
                     .map(|(name, pages)| (name.clone(), *pages))
                     .collect();
-                victims.sort_by(|a, b| b.1.cmp(&a.1));
+                victims.sort_by_key(|v| std::cmp::Reverse(v.1));
                 for (victim, victim_pages) in victims {
                     if need == 0 {
                         break;

@@ -24,6 +24,10 @@ use std::ops::Bound;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+/// Result of an index lookup: the matching `(primary key, row)` pairs plus
+/// the number of index entries examined to produce them.
+pub type IndexLookup = (Vec<(Key, Arc<Row>)>, usize);
+
 /// Direction of a range scan.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ScanDirection {
@@ -351,7 +355,7 @@ impl RowTable {
         index_pos: usize,
         key: &Key,
         read_ts: Timestamp,
-    ) -> StorageResult<(Vec<(Key, Arc<Row>)>, usize)> {
+    ) -> StorageResult<IndexLookup> {
         let index_def = self
             .schema
             .indexes()

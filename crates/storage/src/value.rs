@@ -149,16 +149,19 @@ impl Value {
     /// Integers are accepted for decimal and timestamp columns because the
     /// workload generators frequently produce whole-number amounts.
     pub fn compatible_with(&self, dtype: DataType) -> bool {
-        match (self, dtype) {
-            (Value::Null, _) => true,
-            (Value::Int(_), DataType::Int | DataType::Decimal | DataType::Timestamp) => true,
-            (Value::Decimal(_), DataType::Decimal) => true,
-            (Value::Float(_), DataType::Float) => true,
-            (Value::Str(_), DataType::Str) => true,
-            (Value::Bool(_), DataType::Bool) => true,
-            (Value::Timestamp(_), DataType::Timestamp) => true,
-            _ => false,
-        }
+        matches!(
+            (self, dtype),
+            (Value::Null, _)
+                | (
+                    Value::Int(_),
+                    DataType::Int | DataType::Decimal | DataType::Timestamp
+                )
+                | (Value::Decimal(_), DataType::Decimal)
+                | (Value::Float(_), DataType::Float)
+                | (Value::Str(_), DataType::Str)
+                | (Value::Bool(_), DataType::Bool)
+                | (Value::Timestamp(_), DataType::Timestamp)
+        )
     }
 
     /// Numeric addition (NULL-propagating). Returns `None` when the operands

@@ -1,0 +1,403 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no crates-registry access, so the workspace
+//! vendors the slice of proptest it uses: the [`proptest!`] macro,
+//! `prop_assert*` macros, [`ProptestConfig::with_cases`], range/tuple
+//! strategies, [`collection::vec`] and a small regex-subset string strategy
+//! (character classes with `{m,n}` repetition, which is all the workspace's
+//! property tests use).
+//!
+//! Shrinking is intentionally not implemented: failing cases are reported
+//! with their sampled inputs via the ordinary `assert!` panic message, and
+//! every case is derived deterministically from the case index, so failures
+//! reproduce exactly.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::ops::{Range, RangeInclusive};
+
+/// Per-test configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` random cases.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+/// Deterministic RNG machinery used by the [`proptest!`] expansion.
+pub mod test_runner {
+    use super::*;
+
+    /// The generator each test case samples from.
+    pub struct TestRng(pub(crate) StdRng);
+
+    impl TestRng {
+        /// A generator fully determined by the case index, so every failure
+        /// reproduces by re-running the test binary.
+        pub fn deterministic_rng(case: u64) -> TestRng {
+            TestRng(StdRng::seed_from_u64(
+                0x01b9_c4e5_u64 ^ case.wrapping_mul(0x9e37_79b9_7f4a_7c15),
+            ))
+        }
+    }
+}
+
+use test_runner::TestRng;
+
+/// Types that can produce one random value per test case.
+pub trait Strategy {
+    /// The type of sampled values.
+    type Value;
+
+    /// Draw one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! int_strategies {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.0.gen_range(self.clone())
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.0.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+int_strategies!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        rng.0.gen_range(self.clone())
+    }
+}
+
+/// `Just`-style constant strategy.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! tuple_strategies {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategies! {
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+/// String strategy from a regex subset: literal characters, `[a-z0-9_]`
+/// character classes (ranges and singletons) and `{m,n}` / `{n}` / `?` / `*`
+/// / `+` quantifiers on the preceding atom. Unbounded quantifiers are capped
+/// at 8 repetitions.
+impl Strategy for &str {
+    type Value = String;
+
+    fn sample(&self, rng: &mut TestRng) -> String {
+        let atoms = parse_regex_subset(self);
+        let mut out = String::new();
+        for atom in &atoms {
+            let count = rng.0.gen_range(atom.min..=atom.max);
+            for _ in 0..count {
+                let choice = rng.0.gen_range(0..atom.chars.len());
+                out.push(atom.chars[choice]);
+            }
+        }
+        out
+    }
+}
+
+struct RegexAtom {
+    chars: Vec<char>,
+    min: usize,
+    max: usize,
+}
+
+fn parse_regex_subset(pattern: &str) -> Vec<RegexAtom> {
+    let mut atoms: Vec<RegexAtom> = Vec::new();
+    let mut chars = pattern.chars().peekable();
+    while let Some(c) = chars.next() {
+        match c {
+            '[' => {
+                let mut class = Vec::new();
+                for inner in chars.by_ref() {
+                    if inner == ']' {
+                        break;
+                    }
+                    class.push(inner);
+                }
+                let mut set = Vec::new();
+                let mut i = 0;
+                while i < class.len() {
+                    // `a-z` range (a `-` needs a char on both sides).
+                    if i + 2 < class.len() && class[i + 1] == '-' {
+                        let (lo, hi) = if class[i] <= class[i + 2] {
+                            (class[i], class[i + 2])
+                        } else {
+                            (class[i + 2], class[i])
+                        };
+                        for code in lo as u32..=hi as u32 {
+                            if let Some(ch) = char::from_u32(code) {
+                                set.push(ch);
+                            }
+                        }
+                        i += 3;
+                    } else {
+                        set.push(class[i]);
+                        i += 1;
+                    }
+                }
+                atoms.push(RegexAtom {
+                    chars: if set.is_empty() { vec!['?'] } else { set },
+                    min: 1,
+                    max: 1,
+                });
+            }
+            '{' => {
+                let mut spec = String::new();
+                for inner in chars.by_ref() {
+                    if inner == '}' {
+                        break;
+                    }
+                    spec.push(inner);
+                }
+                if let Some(atom) = atoms.last_mut() {
+                    let mut parts = spec.splitn(2, ',');
+                    let min = parts.next().and_then(|p| p.trim().parse().ok()).unwrap_or(0);
+                    let max = match parts.next() {
+                        Some(p) => p.trim().parse().unwrap_or(min.max(8)),
+                        None => min,
+                    };
+                    atom.min = min;
+                    atom.max = max.max(min);
+                }
+            }
+            '?' => {
+                if let Some(atom) = atoms.last_mut() {
+                    atom.min = 0;
+                    atom.max = 1;
+                }
+            }
+            '*' => {
+                if let Some(atom) = atoms.last_mut() {
+                    atom.min = 0;
+                    atom.max = 8;
+                }
+            }
+            '+' => {
+                if let Some(atom) = atoms.last_mut() {
+                    atom.min = 1;
+                    atom.max = 8;
+                }
+            }
+            '\\' => {
+                let escaped = chars.next().unwrap_or('\\');
+                atoms.push(RegexAtom {
+                    chars: vec![escaped],
+                    min: 1,
+                    max: 1,
+                });
+            }
+            literal => atoms.push(RegexAtom {
+                chars: vec![literal],
+                min: 1,
+                max: 1,
+            }),
+        }
+    }
+    atoms
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::*;
+
+    /// Strategy producing `Vec`s of `elem` samples with length drawn from
+    /// `len`.
+    pub fn vec<S: Strategy>(elem: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { elem, len }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S: Strategy> {
+        elem: S,
+        len: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = rng.0.gen_range(self.len.clone());
+            (0..n).map(|_| self.elem.sample(rng)).collect()
+        }
+    }
+}
+
+/// Everything the [`proptest!`] macro and its tests need in scope.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::test_runner::TestRng;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Just, ProptestConfig,
+        Strategy,
+    };
+}
+
+/// Marker returned (via `Err`) when a case's inputs fail a `prop_assume!`
+/// precondition; the case loop simply moves on to the next sample.
+#[derive(Debug, Clone, Copy)]
+pub struct CaseRejected;
+
+/// Skip the current case when its sampled inputs don't satisfy a
+/// precondition. The [`proptest!`] expansion runs each case body inside a
+/// closure returning `Result<(), CaseRejected>`, so this expands to an early
+/// `return` and works from inside nested loops in the test body.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::CaseRejected);
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::CaseRejected);
+        }
+    };
+}
+
+/// Assert a condition inside a property test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Assert equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => { assert_eq!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)+) => { assert_eq!($left, $right, $($fmt)+) };
+}
+
+/// Assert inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => { assert_ne!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)+) => { assert_ne!($left, $right, $($fmt)+) };
+}
+
+/// Declare property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` (the attribute is written by the caller, matching real
+/// proptest's syntax) that runs the body over `cases` deterministic samples.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ($config:expr; $($(#[$meta:meta])* fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::ProptestConfig = $config;
+                for __case in 0..__config.cases {
+                    let mut __rng =
+                        $crate::test_runner::TestRng::deterministic_rng(__case as u64);
+                    $(let $arg = $crate::Strategy::sample(&($strategy), &mut __rng);)+
+                    #[allow(clippy::redundant_closure_call)]
+                    let __outcome: ::std::result::Result<(), $crate::CaseRejected> =
+                        (move || {
+                            $body
+                            ::std::result::Result::Ok(())
+                        })();
+                    // A rejected case (prop_assume) is simply skipped.
+                    let _ = __outcome;
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in -10i64..10, y in 0u8..4) {
+            prop_assert!((-10..10).contains(&x));
+            prop_assert!(y < 4);
+        }
+
+        #[test]
+        fn vec_lengths_respect_bounds(v in collection::vec(0i64..5, 2..6)) {
+            prop_assert!(v.len() >= 2 && v.len() < 6);
+            prop_assert!(v.iter().all(|&e| (0..5).contains(&e)));
+        }
+
+        #[test]
+        fn tuples_sample_componentwise(t in (0i64..3, 10i64..13)) {
+            prop_assert!((0..3).contains(&t.0));
+            prop_assert!((10..13).contains(&t.1));
+        }
+
+        #[test]
+        fn regex_subset_strings_match_shape(s in "[a-c]{0,5}") {
+            prop_assert!(s.len() <= 5);
+            prop_assert!(s.chars().all(|c| ('a'..='c').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_case() {
+        let strat = collection::vec(0i64..100, 1..10);
+        let a = Strategy::sample(&strat, &mut TestRng::deterministic_rng(7));
+        let b = Strategy::sample(&strat, &mut TestRng::deterministic_rng(7));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,463 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Emits implementations of the vendored `serde` crate's `Serialize` /
+//! `Deserialize` traits (the simplified, `Value`-tree based ones — see
+//! `vendor/serde`). Because no registry is reachable, there is no `syn` or
+//! `quote`; the input item is parsed directly from the `proc_macro` token
+//! stream. Supported shapes are exactly what this workspace derives on:
+//!
+//! * structs with named fields,
+//! * tuple structs (arity 1 serializes transparently, like real serde),
+//! * enums with unit, tuple and struct variants,
+//! * no generic parameters and no `#[serde(...)]` attributes.
+//!
+//! Anything outside that set fails the build with a descriptive panic rather
+//! than silently mis-serializing.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::fmt::Write as _;
+
+/// Parsed shape of the item being derived on.
+enum Shape {
+    NamedStruct { name: String, fields: Vec<String> },
+    TupleStruct { name: String, arity: usize },
+    UnitStruct { name: String },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let shape = parse_item(input);
+    gen_serialize(&shape)
+        .parse()
+        .expect("serde_derive generated invalid Serialize impl")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let shape = parse_item(input);
+    gen_deserialize(&shape)
+        .parse()
+        .expect("serde_derive generated invalid Deserialize impl")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Shape {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&tokens, &mut i);
+
+    let keyword = expect_ident(&tokens, &mut i);
+    let name = expect_ident(&tokens, &mut i);
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive (vendored): generic type `{name}` is not supported");
+    }
+
+    match keyword.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Shape::NamedStruct {
+                name,
+                fields: parse_named_fields(g.stream()),
+            },
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::TupleStruct {
+                    name,
+                    arity: count_tuple_fields(g.stream()),
+                }
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::UnitStruct { name },
+            other => panic!("serde_derive (vendored): unexpected token after `struct {name}`: {other:?}"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Shape::Enum {
+                name,
+                variants: parse_variants(g.stream()),
+            },
+            other => panic!("serde_derive (vendored): unexpected token after `enum {name}`: {other:?}"),
+        },
+        other => panic!("serde_derive (vendored): expected `struct` or `enum`, found `{other}`"),
+    }
+}
+
+/// Skip leading `#[...]` attributes (including doc comments) and visibility.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 2; // `#` plus the bracketed group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1; // pub(crate) / pub(super) restriction
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+fn expect_ident(tokens: &[TokenTree], i: &mut usize) -> String {
+    match tokens.get(*i) {
+        Some(TokenTree::Ident(id)) => {
+            *i += 1;
+            id.to_string()
+        }
+        other => panic!("serde_derive (vendored): expected identifier, found {other:?}"),
+    }
+}
+
+/// Advance past a type, stopping at a comma outside any angle brackets.
+/// Bracketed/parenthesised sub-trees arrive as single `Group` tokens, so only
+/// `<`/`>` depth needs explicit tracking (e.g. `HashMap<String, u32>`).
+fn skip_type(tokens: &[TokenTree], i: &mut usize) {
+    let mut angle_depth = 0usize;
+    while let Some(tok) = tokens.get(*i) {
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth = angle_depth.saturating_sub(1),
+                ',' if angle_depth == 0 => return,
+                _ => {}
+            }
+        }
+        *i += 1;
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let field = expect_ident(&tokens, &mut i);
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("serde_derive (vendored): expected `:` after field `{field}`, found {other:?}"),
+        }
+        skip_type(&tokens, &mut i);
+        i += 1; // the separating comma, if any
+        fields.push(field);
+    }
+    fields
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut arity = 0;
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        skip_type(&tokens, &mut i);
+        i += 1; // the separating comma, if any
+        arity += 1;
+    }
+    arity
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = expect_ident(&tokens, &mut i);
+        let kind = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantKind::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantKind::Named(parse_named_fields(g.stream()))
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip an optional `= discriminant` and the trailing comma.
+        while let Some(tok) = tokens.get(i) {
+            i += 1;
+            if matches!(tok, TokenTree::Punct(p) if p.as_char() == ',') {
+                break;
+            }
+        }
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(shape: &Shape) -> String {
+    let mut out = String::new();
+    match shape {
+        Shape::NamedStruct { name, fields } => {
+            let mut entries = String::new();
+            for f in fields {
+                let _ = write!(
+                    entries,
+                    "(::std::string::String::from(\"{f}\"), ::serde::Serialize::serialize(&self.{f})),"
+                );
+            }
+            let _ = write!(
+                out,
+                "impl ::serde::Serialize for {name} {{\
+                     fn serialize(&self) -> ::serde::Value {{\
+                         ::serde::Value::Map(::std::vec![{entries}])\
+                     }}\
+                 }}"
+            );
+        }
+        Shape::TupleStruct { name, arity: 1 } => {
+            let _ = write!(
+                out,
+                "impl ::serde::Serialize for {name} {{\
+                     fn serialize(&self) -> ::serde::Value {{\
+                         ::serde::Serialize::serialize(&self.0)\
+                     }}\
+                 }}"
+            );
+        }
+        Shape::TupleStruct { name, arity } => {
+            let mut items = String::new();
+            for idx in 0..*arity {
+                let _ = write!(items, "::serde::Serialize::serialize(&self.{idx}),");
+            }
+            let _ = write!(
+                out,
+                "impl ::serde::Serialize for {name} {{\
+                     fn serialize(&self) -> ::serde::Value {{\
+                         ::serde::Value::Seq(::std::vec![{items}])\
+                     }}\
+                 }}"
+            );
+        }
+        Shape::UnitStruct { name } => {
+            let _ = write!(
+                out,
+                "impl ::serde::Serialize for {name} {{\
+                     fn serialize(&self) -> ::serde::Value {{ ::serde::Value::Null }}\
+                 }}"
+            );
+        }
+        Shape::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {
+                        let _ = write!(
+                            arms,
+                            "Self::{vname} => ::serde::Value::Str(::std::string::String::from(\"{vname}\")),"
+                        );
+                    }
+                    VariantKind::Tuple(1) => {
+                        let _ = write!(
+                            arms,
+                            "Self::{vname}(f0) => ::serde::Value::Map(::std::vec![(\
+                                 ::std::string::String::from(\"{vname}\"),\
+                                 ::serde::Serialize::serialize(f0))]),"
+                        );
+                    }
+                    VariantKind::Tuple(arity) => {
+                        let binders: Vec<String> = (0..*arity).map(|idx| format!("f{idx}")).collect();
+                        let items: Vec<String> = binders
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::serialize({b})"))
+                            .collect();
+                        let _ = write!(
+                            arms,
+                            "Self::{vname}({binds}) => ::serde::Value::Map(::std::vec![(\
+                                 ::std::string::String::from(\"{vname}\"),\
+                                 ::serde::Value::Seq(::std::vec![{items}]))]),",
+                            binds = binders.join(","),
+                            items = items.join(",")
+                        );
+                    }
+                    VariantKind::Named(fields) => {
+                        let entries: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(::std::string::String::from(\"{f}\"), ::serde::Serialize::serialize({f}))"
+                                )
+                            })
+                            .collect();
+                        let _ = write!(
+                            arms,
+                            "Self::{vname} {{ {binds} }} => ::serde::Value::Map(::std::vec![(\
+                                 ::std::string::String::from(\"{vname}\"),\
+                                 ::serde::Value::Map(::std::vec![{entries}]))]),",
+                            binds = fields.join(","),
+                            entries = entries.join(",")
+                        );
+                    }
+                }
+            }
+            let _ = write!(
+                out,
+                "impl ::serde::Serialize for {name} {{\
+                     fn serialize(&self) -> ::serde::Value {{\
+                         match self {{ {arms} }}\
+                     }}\
+                 }}"
+            );
+        }
+    }
+    out
+}
+
+fn gen_deserialize(shape: &Shape) -> String {
+    let body = match shape {
+        Shape::NamedStruct { name, fields } => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::deserialize(value.get(\"{f}\")\
+                             .ok_or_else(|| ::serde::Error::missing_field(\"{name}\", \"{f}\"))?)?,"
+                    )
+                })
+                .collect();
+            format!("::std::result::Result::Ok({name} {{ {} }})", inits.join(""))
+        }
+        Shape::TupleStruct { name, arity: 1 } => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::deserialize(value)?))")
+        }
+        Shape::TupleStruct { name, arity } => {
+            let inits: Vec<String> = (0..*arity)
+                .map(|idx| format!("::serde::Deserialize::deserialize(&items[{idx}])?"))
+                .collect();
+            format!(
+                "let items = value.as_seq()\
+                     .ok_or_else(|| ::serde::Error::expected(\"sequence ({name})\", value))?;\
+                 if items.len() != {arity} {{\
+                     return ::std::result::Result::Err(::serde::Error::custom(\
+                         ::std::format!(\"expected {arity} elements for {name}, found {{}}\", items.len())));\
+                 }}\
+                 ::std::result::Result::Ok({name}({inits}))",
+                inits = inits.join(",")
+            )
+        }
+        Shape::UnitStruct { name } => format!("::std::result::Result::Ok({name})"),
+        Shape::Enum { name, variants } => gen_enum_deserialize(name, variants),
+    };
+    let name = shape_name(shape);
+    format!(
+        "impl ::serde::Deserialize for {name} {{\
+             fn deserialize(value: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\
+                 {body}\
+             }}\
+         }}"
+    )
+}
+
+fn shape_name(shape: &Shape) -> &str {
+    match shape {
+        Shape::NamedStruct { name, .. }
+        | Shape::TupleStruct { name, .. }
+        | Shape::UnitStruct { name }
+        | Shape::Enum { name, .. } => name,
+    }
+}
+
+fn gen_enum_deserialize(name: &str, variants: &[Variant]) -> String {
+    let mut unit_arms = String::new();
+    let mut data_arms = String::new();
+    for v in variants {
+        let vname = &v.name;
+        match &v.kind {
+            VariantKind::Unit => {
+                let _ = write!(
+                    unit_arms,
+                    "\"{vname}\" => ::std::result::Result::Ok(Self::{vname}),"
+                );
+            }
+            VariantKind::Tuple(1) => {
+                let _ = write!(
+                    data_arms,
+                    "\"{vname}\" => ::std::result::Result::Ok(Self::{vname}(\
+                         ::serde::Deserialize::deserialize(_inner)?)),"
+                );
+            }
+            VariantKind::Tuple(arity) => {
+                let inits: Vec<String> = (0..*arity)
+                    .map(|idx| format!("::serde::Deserialize::deserialize(&items[{idx}])?"))
+                    .collect();
+                let _ = write!(
+                    data_arms,
+                    "\"{vname}\" => {{\
+                         let items = _inner.as_seq()\
+                             .ok_or_else(|| ::serde::Error::expected(\"sequence ({name}::{vname})\", _inner))?;\
+                         if items.len() != {arity} {{\
+                             return ::std::result::Result::Err(::serde::Error::custom(\
+                                 ::std::format!(\"expected {arity} elements for {name}::{vname}, found {{}}\", items.len())));\
+                         }}\
+                         ::std::result::Result::Ok(Self::{vname}({inits}))\
+                     }},",
+                    inits = inits.join(",")
+                );
+            }
+            VariantKind::Named(fields) => {
+                let inits: Vec<String> = fields
+                    .iter()
+                    .map(|f| {
+                        format!(
+                            "{f}: ::serde::Deserialize::deserialize(_inner.get(\"{f}\")\
+                                 .ok_or_else(|| ::serde::Error::missing_field(\"{name}::{vname}\", \"{f}\"))?)?,"
+                        )
+                    })
+                    .collect();
+                let _ = write!(
+                    data_arms,
+                    "\"{vname}\" => ::std::result::Result::Ok(Self::{vname} {{ {} }}),",
+                    inits.join("")
+                );
+            }
+        }
+    }
+    format!(
+        "match value {{\
+             ::serde::Value::Str(s) => match s.as_str() {{\
+                 {unit_arms}\
+                 other => ::std::result::Result::Err(::serde::Error::custom(\
+                     ::std::format!(\"unknown unit variant `{{other}}` of {name}\"))),\
+             }},\
+             ::serde::Value::Map(entries) if entries.len() == 1 => {{\
+                 let (key, _inner) = &entries[0];\
+                 match key.as_str() {{\
+                     {data_arms}\
+                     other => ::std::result::Result::Err(::serde::Error::custom(\
+                         ::std::format!(\"unknown variant `{{other}}` of {name}\"))),\
+                 }}\
+             }},\
+             other => ::std::result::Result::Err(::serde::Error::expected(\"enum {name}\", other)),\
+         }}"
+    )
+}
