@@ -3,8 +3,8 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use olxpbench::prelude::*;
-use olxpbench::query::{execute, expr::like_match, RowSource};
-use olxpbench::storage::RowTable;
+use olxpbench::query::{execute, execute_with, expr::like_match, ColumnSource, ExecOptions, RowSource};
+use olxpbench::storage::{ColumnTable, RowTable};
 use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Duration;
@@ -118,5 +118,96 @@ fn bench_plans(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_expressions, bench_plans);
+fn col_orders_fixture(rows: i64) -> HashMap<String, Arc<ColumnTable>> {
+    let orders = Arc::new(ColumnTable::new(Arc::new(
+        TableSchema::new(
+            "ORDERS",
+            vec![
+                ColumnDef::new("o_id", DataType::Int, false),
+                ColumnDef::new("o_cid", DataType::Int, false),
+                ColumnDef::new("o_amount", DataType::Decimal, false),
+            ],
+            vec!["o_id"],
+        )
+        .unwrap(),
+    )));
+    for i in 0..rows {
+        orders
+            .apply_insert(
+                &Key::int(i),
+                &Row::new(vec![
+                    Value::Int(i),
+                    Value::Int(i % 500),
+                    Value::Decimal(100 + i % 997),
+                ]),
+                1,
+                i as u64 + 1,
+            )
+            .unwrap();
+    }
+    let mut tables = HashMap::new();
+    tables.insert("ORDERS".to_string(), orders);
+    tables
+}
+
+/// The executor's vectorized pipeline against the same plans consumed
+/// row-at-a-time, over the columnar replica — the comparison the batch
+/// refactor exists for.
+fn bench_vectorized(c: &mut Criterion) {
+    let mut group = c.benchmark_group("vectorized");
+    group.measurement_time(Duration::from_millis(1000));
+    group.sample_size(10);
+    let tables = col_orders_fixture(100_000);
+    let source = ColumnSource::new(&tables);
+
+    let agg_plan = QueryBuilder::scan("ORDERS")
+        .aggregate(
+            vec![],
+            vec![
+                AggSpec::new(AggFunc::Sum, 2),
+                AggSpec::new(AggFunc::Min, 2),
+                AggSpec::new(AggFunc::Max, 2),
+            ],
+        )
+        .build();
+    group.bench_function("col_aggregate_100k_batched", |b| {
+        b.iter(|| {
+            execute_with(&agg_plan, &source, ExecOptions::batched(1024))
+                .unwrap()
+                .rows
+                .len()
+        })
+    });
+    group.bench_function("col_aggregate_100k_row_at_a_time", |b| {
+        b.iter(|| {
+            execute_with(&agg_plan, &source, ExecOptions::row_at_a_time())
+                .unwrap()
+                .rows
+                .len()
+        })
+    });
+
+    let filter_plan = QueryBuilder::scan_where("ORDERS", col(2).gt(lit(Value::Decimal(1_000))))
+        .aggregate(vec![1], vec![AggSpec::new(AggFunc::Count, 0)])
+        .build();
+    group.bench_function("col_filter_group_100k_batched", |b| {
+        b.iter(|| {
+            execute_with(&filter_plan, &source, ExecOptions::batched(1024))
+                .unwrap()
+                .rows
+                .len()
+        })
+    });
+    group.bench_function("col_filter_group_100k_row_at_a_time", |b| {
+        b.iter(|| {
+            execute_with(&filter_plan, &source, ExecOptions::row_at_a_time())
+                .unwrap()
+                .rows
+                .len()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_expressions, bench_plans, bench_vectorized);
 criterion_main!(benches);

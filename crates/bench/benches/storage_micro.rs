@@ -75,6 +75,13 @@ fn bench_rowstore(c: &mut Criterion) {
             count
         })
     });
+    group.bench_function("batched_scan_10k", |b| {
+        b.iter(|| {
+            let mut count = 0usize;
+            table.scan_batches(10, 1024, |batch| count += batch.num_rows());
+            count
+        })
+    });
     group.bench_function("secondary_index_lookup", |b| {
         b.iter(|| {
             table
@@ -107,6 +114,45 @@ fn bench_colstore_and_replication(c: &mut Criterion) {
         b.iter(|| col.aggregate_column(2, |_| true))
     });
 
+    group.finish();
+
+    // Row-at-a-time vs. vectorized consumption of the same columnar data.
+    // `scan_rows` materializes a `Row` per live tuple; `scan_batches` hands
+    // out zero-copy column slices with a selection bitmap.
+    let mut group = c.benchmark_group("colstore_batch");
+    group.measurement_time(Duration::from_millis(800));
+    group.sample_size(10);
+    let big = ColumnTable::new(item_schema());
+    for i in 0..100_000i64 {
+        big.apply_insert(&Key::int(i), &item(i), 1, i as u64 + 1).unwrap();
+    }
+    group.bench_function("row_scan_100k", |b| {
+        b.iter(|| {
+            let mut sum = 0f64;
+            big.scan_rows(|row| sum += row[2].as_f64().unwrap_or(0.0));
+            sum
+        })
+    });
+    group.bench_function("batched_scan_100k", |b| {
+        b.iter(|| {
+            let mut sum = 0f64;
+            big.scan_batches(Some(&[2]), 1024, |batch| {
+                let prices = batch.column(0);
+                for row in batch.selected_rows() {
+                    sum += prices[row].as_f64().unwrap_or(0.0);
+                }
+            });
+            sum
+        })
+    });
+    group.bench_function("aggregate_column_100k", |b| {
+        b.iter(|| big.aggregate_column(2, |_| true))
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("replication");
+    group.measurement_time(Duration::from_millis(600));
+    group.sample_size(20);
     group.bench_function("replication_apply_1k", |b| {
         b.iter_batched(
             || {

@@ -1,7 +1,7 @@
 //! Engine configuration.
 
 use crate::error::{EngineError, EngineResult};
-use olxp_storage::{CostParams, StorageMedium};
+use olxp_storage::{CostParams, StorageMedium, DEFAULT_BATCH_SIZE};
 use olxp_txn::IsolationLevel;
 use serde::{Deserialize, Serialize};
 
@@ -61,6 +61,10 @@ pub struct EngineConfig {
     pub analytical_rowstore_percent: u64,
     /// Lock wait timeout in milliseconds.
     pub lock_wait_timeout_ms: u64,
+    /// Row slots per column batch flowing through the vectorized query
+    /// executor (must be >= 1).  Larger batches amortize per-batch overhead;
+    /// smaller ones bound operator working sets.
+    pub batch_size: usize,
 }
 
 impl EngineConfig {
@@ -76,6 +80,7 @@ impl EngineConfig {
             replication_batch: 512,
             analytical_rowstore_percent: 100,
             lock_wait_timeout_ms: 500,
+            batch_size: DEFAULT_BATCH_SIZE,
         }
     }
 
@@ -91,6 +96,7 @@ impl EngineConfig {
             replication_batch: 512,
             analytical_rowstore_percent: 40,
             lock_wait_timeout_ms: 500,
+            batch_size: DEFAULT_BATCH_SIZE,
         }
     }
 
@@ -124,6 +130,12 @@ impl EngineConfig {
     /// Override the cost model (builder style).
     pub fn with_cost(mut self, cost: CostParams) -> EngineConfig {
         self.cost = cost;
+        self
+    }
+
+    /// Override the executor batch size (builder style).
+    pub fn with_batch_size(mut self, batch_size: usize) -> EngineConfig {
+        self.batch_size = batch_size;
         self
     }
 
@@ -173,6 +185,9 @@ impl EngineConfig {
         }
         if self.replication_batch == 0 {
             return Err(EngineError::Config("replication_batch must be >= 1".into()));
+        }
+        if self.batch_size == 0 {
+            return Err(EngineError::Config("batch_size must be >= 1".into()));
         }
         Ok(())
     }
@@ -224,5 +239,17 @@ mod tests {
         let mut cfg = EngineConfig::dual_engine();
         cfg.replication_batch = 0;
         assert!(cfg.validate().is_err());
+        assert!(EngineConfig::dual_engine()
+            .with_batch_size(0)
+            .validate()
+            .is_err());
+    }
+
+    #[test]
+    fn batch_size_defaults_and_overrides() {
+        assert_eq!(EngineConfig::dual_engine().batch_size, DEFAULT_BATCH_SIZE);
+        let cfg = EngineConfig::single_engine().with_batch_size(64);
+        assert_eq!(cfg.batch_size, 64);
+        assert!(cfg.validate().is_ok());
     }
 }

@@ -50,6 +50,7 @@ pub struct EngineMetrics {
     aborts: AtomicU64,
     row_rows_scanned: AtomicU64,
     col_rows_scanned: AtomicU64,
+    query_batches: AtomicU64,
     buffer_misses: AtomicU64,
     replication_applied: AtomicU64,
     distributed_commits: AtomicU64,
@@ -72,6 +73,8 @@ pub struct MetricsSnapshot {
     pub row_rows_scanned: u64,
     /// Physical rows scanned from column stores.
     pub col_rows_scanned: u64,
+    /// Column batches streamed through the vectorized query executor.
+    pub query_batches: u64,
     /// Buffer-pool page misses.
     pub buffer_misses: u64,
     /// Replication log records applied to columnar replicas.
@@ -104,6 +107,7 @@ impl MetricsSnapshot {
         out.aborts = self.aborts.saturating_sub(earlier.aborts);
         out.row_rows_scanned = self.row_rows_scanned.saturating_sub(earlier.row_rows_scanned);
         out.col_rows_scanned = self.col_rows_scanned.saturating_sub(earlier.col_rows_scanned);
+        out.query_batches = self.query_batches.saturating_sub(earlier.query_batches);
         out.buffer_misses = self.buffer_misses.saturating_sub(earlier.buffer_misses);
         out.replication_applied = self
             .replication_applied
@@ -156,6 +160,11 @@ impl EngineMetrics {
         self.col_rows_scanned.fetch_add(rows, Ordering::Relaxed);
     }
 
+    /// Record batches streamed through the vectorized executor.
+    pub fn add_query_batches(&self, batches: u64) {
+        self.query_batches.fetch_add(batches, Ordering::Relaxed);
+    }
+
     /// Record buffer-pool misses.
     pub fn add_buffer_misses(&self, misses: u64) {
         self.buffer_misses.fetch_add(misses, Ordering::Relaxed);
@@ -189,6 +198,7 @@ impl EngineMetrics {
             aborts: self.aborts.load(Ordering::Relaxed),
             row_rows_scanned: self.row_rows_scanned.load(Ordering::Relaxed),
             col_rows_scanned: self.col_rows_scanned.load(Ordering::Relaxed),
+            query_batches: self.query_batches.load(Ordering::Relaxed),
             buffer_misses: self.buffer_misses.load(Ordering::Relaxed),
             replication_applied: self.replication_applied.load(Ordering::Relaxed),
             distributed_commits: self.distributed_commits.load(Ordering::Relaxed),

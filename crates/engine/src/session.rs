@@ -19,7 +19,7 @@
 use crate::database::{AnalyticalRoute, HybridDatabase};
 use crate::error::{EngineError, EngineResult};
 use crate::metrics::WorkClass;
-use olxp_query::{execute, ColumnSource, ExecStats, Plan, QueryOutput, RowSource};
+use olxp_query::{execute_with, ColumnSource, ExecOptions, ExecStats, Plan, QueryOutput, RowSource};
 use olxp_storage::{Key, Row, StorageError, StorageMedium, Value};
 use olxp_txn::{IsolationLevel, Transaction, TxnError, WriteOp};
 use std::collections::HashSet;
@@ -475,7 +475,8 @@ impl Session {
         let tables = self.db.row_tables();
         let read_ts = self.db.txn_manager().statement_read_ts(&handle.txn);
         let source = RowSource::new(&tables, read_ts);
-        let output = execute(plan, &source)?;
+        let output = execute_with(plan, &source, self.exec_options())?;
+        self.note_query_batches(&output.stats);
         let cost = &self.db.config().cost;
         let medium = self.db.config().medium();
         let mut nanos = self.row_plan_cost(&output.stats, medium);
@@ -524,7 +525,8 @@ impl Session {
                 let _ = self.db.replicate_step();
                 let tables = self.db.col_tables();
                 let source = ColumnSource::new(&tables);
-                let output = execute(plan, &source)?;
+                let output = execute_with(plan, &source, self.exec_options())?;
+                self.note_query_batches(&output.stats);
                 let mut nanos = cost.statement_overhead_ns
                     + cost.columnar_scan(output.stats.physical_rows())
                     + cost.join(output.stats.join_probes + output.stats.join_build_rows)
@@ -549,7 +551,8 @@ impl Session {
                 let tables = self.db.row_tables();
                 let read_ts = self.db.txn_manager().oracle().read_ts();
                 let source = RowSource::new(&tables, read_ts);
-                let output = execute(plan, &source)?;
+                let output = execute_with(plan, &source, self.exec_options())?;
+                self.note_query_batches(&output.stats);
                 let mut nanos = self.row_plan_cost(&output.stats, medium);
                 nanos += cost
                     .network((self.db.cluster().storage_nodes().len() as u64).saturating_sub(1));
@@ -582,6 +585,19 @@ impl Session {
     // ------------------------------------------------------------------
     // Internals
     // ------------------------------------------------------------------
+
+    /// Executor options derived from the engine configuration: vectorized
+    /// scans with the configured batch size.
+    fn exec_options(&self) -> ExecOptions {
+        ExecOptions::batched(self.db.config().batch_size)
+    }
+
+    /// Account the batches a query streamed through the vectorized executor.
+    fn note_query_batches(&self, stats: &ExecStats) {
+        if stats.batches_scanned > 0 {
+            self.db.metrics().add_query_batches(stats.batches_scanned);
+        }
+    }
 
     fn note_statement(&self, handle: &mut TxnHandle) {
         handle.txn.note_statement();
@@ -813,6 +829,26 @@ mod tests {
             single_busy > dual_busy,
             "single {single_busy} should exceed dual {dual_busy}"
         );
+    }
+
+    #[test]
+    fn queries_stream_batches_per_configured_batch_size() {
+        let db = test_db(EngineConfig::dual_engine().with_batch_size(64));
+        let session = db.session();
+        let plan = QueryBuilder::scan("ITEM").build();
+        let mut txn = session.begin(WorkClass::Hybrid);
+        let out = session.query_in_txn(&mut txn, &plan).unwrap();
+        session.commit(txn).unwrap();
+        assert_eq!(
+            out.stats.batches_scanned, 4,
+            "200 rows at batch_size 64 stream as 4 batches"
+        );
+        assert_eq!(
+            out.stats.rows_materialized,
+            out.stats.output_rows,
+            "rows materialize only at the plan root"
+        );
+        assert!(db.metrics_snapshot().query_batches >= 4);
     }
 
     #[test]

@@ -1,11 +1,76 @@
 //! Plan interpreter.
+//!
+//! The executor is *batch-first*: base tables stream in as
+//! [`ColumnBatch`]es, and the relational operators (filter, project,
+//! aggregate, hash join, limit) work directly on batch slots — filters narrow
+//! a batch's selection bitmap in place, projections and joins emit new owned
+//! batches, aggregates fold batch columns into group states.  Full [`Row`]
+//! tuples are materialized *late*: only at the plan root, by index lookups
+//! (which produce point results), and inside sort (which genuinely needs
+//! movable tuples).  [`ExecStats::rows_materialized`] counts exactly those
+//! materializations, which is how tests assert that the vectorized path never
+//! re-rowifies a scan.
 
 use crate::error::{QueryError, QueryResult};
-use crate::expr::AggFunc;
+use crate::expr::{AggFunc, ValueAccess};
 use crate::plan::{AggSpec, JoinKind, Plan, SortKey};
 use crate::source::{DataSource, SourceKind};
-use olxp_storage::{Row, Value};
+use olxp_storage::{BatchBuilder, ColumnBatch, Row, Value, DEFAULT_BATCH_SIZE};
 use std::collections::HashMap;
+
+/// How the executor consumes base-table scans.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScanMode {
+    /// Consume [`DataSource::scan_batches`]: columnar chunks, no per-row
+    /// tuple at the storage boundary.  The default.
+    Batched,
+    /// Consume the legacy row-at-a-time [`DataSource::scan`] callback and
+    /// re-batch the rows inside the executor.  Kept for equivalence testing
+    /// and as a baseline for the micro-benchmarks.
+    RowAtATime,
+}
+
+/// Executor tuning knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct ExecOptions {
+    /// Row slots per [`ColumnBatch`] flowing between operators (>= 1).
+    pub batch_size: usize,
+    /// How base-table scans are consumed.
+    pub scan_mode: ScanMode,
+}
+
+impl Default for ExecOptions {
+    fn default() -> ExecOptions {
+        ExecOptions {
+            batch_size: DEFAULT_BATCH_SIZE,
+            scan_mode: ScanMode::Batched,
+        }
+    }
+}
+
+impl ExecOptions {
+    /// Batched execution with the given batch size (clamped to >= 1).
+    pub fn batched(batch_size: usize) -> ExecOptions {
+        ExecOptions {
+            batch_size: batch_size.max(1),
+            scan_mode: ScanMode::Batched,
+        }
+    }
+
+    /// Row-at-a-time scan consumption (operators still run over batches).
+    pub fn row_at_a_time() -> ExecOptions {
+        ExecOptions {
+            batch_size: DEFAULT_BATCH_SIZE,
+            scan_mode: ScanMode::RowAtATime,
+        }
+    }
+
+    /// Override the batch size (builder style, clamped to >= 1).
+    pub fn with_batch_size(mut self, batch_size: usize) -> ExecOptions {
+        self.batch_size = batch_size.max(1);
+        self
+    }
+}
 
 /// Work counters accumulated while executing a plan.
 ///
@@ -22,6 +87,14 @@ pub struct ExecStats {
     pub index_entries: u64,
     /// Number of full table scans performed.
     pub full_scans: u64,
+    /// Column batches streamed out of table scans.
+    pub batches_scanned: u64,
+    /// Individually materialized `Row` tuples the executor created or
+    /// consumed: rows received row-at-a-time from a scan, index-lookup
+    /// results, rows materialized for sorting, projected row outputs and the
+    /// late materialization at the plan root.  The batched path keeps this
+    /// near the output size; the row-at-a-time path pays it per scanned row.
+    pub rows_materialized: u64,
     /// Hash-join probe operations (probes plus emitted matches).
     pub join_probes: u64,
     /// Rows used to build join hash tables.
@@ -50,6 +123,8 @@ impl ExecStats {
         self.rows_scanned += other.rows_scanned;
         self.index_entries += other.index_entries;
         self.full_scans += other.full_scans;
+        self.batches_scanned += other.batches_scanned;
+        self.rows_materialized += other.rows_materialized;
         self.join_probes += other.join_probes;
         self.join_build_rows += other.join_build_rows;
         self.agg_input_rows += other.agg_input_rows;
@@ -67,42 +142,159 @@ pub struct QueryOutput {
     pub stats: ExecStats,
 }
 
-/// Execute `plan` against `source`.
+/// Execute `plan` against `source` with default options (batched scans,
+/// [`DEFAULT_BATCH_SIZE`]).
 pub fn execute(plan: &Plan, source: &dyn DataSource) -> QueryResult<QueryOutput> {
+    execute_with(plan, source, ExecOptions::default())
+}
+
+/// Execute `plan` against `source` with explicit executor options.
+pub fn execute_with(
+    plan: &Plan,
+    source: &dyn DataSource,
+    opts: ExecOptions,
+) -> QueryResult<QueryOutput> {
+    let opts = ExecOptions {
+        batch_size: opts.batch_size.max(1),
+        ..opts
+    };
     let mut stats = ExecStats {
         source_kind: Some(source.kind()),
         ..ExecStats::default()
     };
-    let rows = run(plan, source, &mut stats)?;
+    let chunked = run(plan, source, &mut stats, &opts)?;
+    let rows = chunked.into_rows(&mut stats);
     stats.output_rows = rows.len() as u64;
     Ok(QueryOutput { rows, stats })
 }
 
-fn run(plan: &Plan, source: &dyn DataSource, stats: &mut ExecStats) -> QueryResult<Vec<Row>> {
-    match plan {
-        Plan::TableScan { table, filter } => {
-            let mut rows = Vec::new();
-            let mut err = None;
-            let examined = source.scan(table, &mut |row| {
-                if err.is_some() {
-                    return;
-                }
-                match filter {
-                    Some(f) => match f.matches(row.values()) {
-                        Ok(true) => rows.push(row.clone()),
-                        Ok(false) => {}
-                        Err(e) => err = Some(e),
-                    },
-                    None => rows.push(row.clone()),
-                }
-            })?;
-            if let Some(e) = err {
-                return Err(e);
-            }
-            stats.rows_scanned += examined as u64;
-            stats.full_scans += 1;
-            Ok(rows)
+// ----------------------------------------------------------------------
+// Intermediate representation
+// ----------------------------------------------------------------------
+
+/// One selected slot of an operator's input: either a position across a
+/// batch's column vectors (nothing materialized) or a borrowed row.
+#[derive(Clone, Copy)]
+enum RowAt<'a> {
+    Batch(&'a ColumnBatch<'a>, usize),
+    Row(&'a Row),
+}
+
+impl ValueAccess for RowAt<'_> {
+    fn width(&self) -> usize {
+        match self {
+            RowAt::Batch(batch, _) => batch.width(),
+            RowAt::Row(row) => row.arity(),
         }
+    }
+
+    fn value_at(&self, pos: usize) -> Option<&Value> {
+        match self {
+            RowAt::Batch(batch, row) => batch.value(pos, *row),
+            RowAt::Row(row) => row.get(pos),
+        }
+    }
+}
+
+/// Result of one operator: batches in the vectorized pipeline, rows where an
+/// operator genuinely produced tuples (index lookups, sort).
+enum Chunked {
+    Batches(Vec<ColumnBatch<'static>>),
+    Rows(Vec<Row>),
+}
+
+impl Chunked {
+    /// Number of selected rows across the result.
+    fn selected_len(&self) -> usize {
+        match self {
+            Chunked::Batches(batches) => batches.iter().map(ColumnBatch::selected_count).sum(),
+            Chunked::Rows(rows) => rows.len(),
+        }
+    }
+
+    /// Width of the result's rows (0 when empty).
+    fn width(&self) -> usize {
+        match self {
+            Chunked::Batches(batches) => batches.first().map_or(0, ColumnBatch::width),
+            Chunked::Rows(rows) => rows.first().map_or(0, Row::arity),
+        }
+    }
+
+    /// Visit every selected row in order.  The row handles borrow `self`, so
+    /// consumers (e.g. the join build side) may retain them.
+    fn for_each<'s, F>(&'s self, mut f: F) -> QueryResult<()>
+    where
+        F: FnMut(RowAt<'s>) -> QueryResult<()>,
+    {
+        match self {
+            Chunked::Batches(batches) => {
+                for batch in batches {
+                    for row in batch.selected_rows() {
+                        f(RowAt::Batch(batch, row))?;
+                    }
+                }
+            }
+            Chunked::Rows(rows) => {
+                for row in rows {
+                    f(RowAt::Row(row))?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Late materialization: turn the result into `Row` tuples, counting the
+    /// newly materialized rows.
+    fn into_rows(self, stats: &mut ExecStats) -> Vec<Row> {
+        match self {
+            Chunked::Rows(rows) => rows,
+            Chunked::Batches(batches) => {
+                let capacity: usize = batches.iter().map(ColumnBatch::selected_count).sum();
+                let mut rows = Vec::with_capacity(capacity);
+                for batch in &batches {
+                    stats.rows_materialized += batch.materialize_into(&mut rows) as u64;
+                }
+                rows
+            }
+        }
+    }
+}
+
+/// Clone the values of `row` into a fresh vector (used when emitting join
+/// outputs and group keys).
+fn gather(row: &RowAt<'_>, extra_capacity: usize) -> Vec<Value> {
+    let width = row.width();
+    let mut values = Vec::with_capacity(width + extra_capacity);
+    for pos in 0..width {
+        values.push(row.value_at(pos).expect("pos < width").clone());
+    }
+    values
+}
+
+fn extract_key(row: &RowAt<'_>, positions: &[usize]) -> QueryResult<Vec<Value>> {
+    positions
+        .iter()
+        .map(|&p| {
+            row.value_at(p).cloned().ok_or(QueryError::ColumnOutOfRange {
+                position: p,
+                width: row.width(),
+            })
+        })
+        .collect()
+}
+
+// ----------------------------------------------------------------------
+// Operators
+// ----------------------------------------------------------------------
+
+fn run(
+    plan: &Plan,
+    source: &dyn DataSource,
+    stats: &mut ExecStats,
+    opts: &ExecOptions,
+) -> QueryResult<Chunked> {
+    match plan {
+        Plan::TableScan { table, filter } => scan_table(table, filter.as_ref(), source, stats, opts),
         Plan::IndexScan {
             table,
             index,
@@ -111,6 +303,7 @@ fn run(plan: &Plan, source: &dyn DataSource, stats: &mut ExecStats) -> QueryResu
         } => {
             let (mut rows, examined) = source.index_lookup(table, *index, prefix)?;
             stats.index_entries += examined as u64;
+            stats.rows_materialized += rows.len() as u64;
             if let Some(f) = filter {
                 let mut kept = Vec::with_capacity(rows.len());
                 for row in rows.drain(..) {
@@ -120,29 +313,68 @@ fn run(plan: &Plan, source: &dyn DataSource, stats: &mut ExecStats) -> QueryResu
                 }
                 rows = kept;
             }
-            Ok(rows)
+            Ok(Chunked::Rows(rows))
         }
         Plan::Filter { input, predicate } => {
-            let rows = run(input, source, stats)?;
-            let mut kept = Vec::with_capacity(rows.len());
-            for row in rows {
-                if predicate.matches(row.values())? {
-                    kept.push(row);
+            let input = run(input, source, stats, opts)?;
+            match input {
+                Chunked::Rows(rows) => {
+                    let mut kept = Vec::with_capacity(rows.len());
+                    for row in rows {
+                        if predicate.matches(row.values())? {
+                            kept.push(row);
+                        }
+                    }
+                    Ok(Chunked::Rows(kept))
+                }
+                Chunked::Batches(mut batches) => {
+                    // Vectorized filter: narrow each batch's selection bitmap
+                    // in place; nothing is copied or compacted.
+                    for batch in &mut batches {
+                        let mut selection = vec![false; batch.num_rows()];
+                        for row in batch.selected_rows() {
+                            if predicate.matches_access(&RowAt::Batch(batch, row))? {
+                                selection[row] = true;
+                            }
+                        }
+                        batch.set_selection(selection);
+                    }
+                    Ok(Chunked::Batches(batches))
                 }
             }
-            Ok(kept)
         }
         Plan::Project { input, exprs } => {
-            let rows = run(input, source, stats)?;
-            let mut out = Vec::with_capacity(rows.len());
-            for row in rows {
-                let mut values = Vec::with_capacity(exprs.len());
-                for e in exprs {
-                    values.push(e.eval(row.values())?);
+            let input = run(input, source, stats, opts)?;
+            match input {
+                Chunked::Rows(rows) => {
+                    let mut out = Vec::with_capacity(rows.len());
+                    for row in rows {
+                        let mut values = Vec::with_capacity(exprs.len());
+                        for e in exprs {
+                            values.push(e.eval(row.values())?);
+                        }
+                        out.push(Row::new(values));
+                    }
+                    stats.rows_materialized += out.len() as u64;
+                    Ok(Chunked::Rows(out))
                 }
-                out.push(Row::new(values));
+                Chunked::Batches(batches) => {
+                    let mut out = Vec::new();
+                    let mut builder = BatchBuilder::new(exprs.len(), opts.batch_size);
+                    for batch in &batches {
+                        for row in batch.selected_rows() {
+                            let access = RowAt::Batch(batch, row);
+                            let mut values = Vec::with_capacity(exprs.len());
+                            for e in exprs {
+                                values.push(e.eval_access(&access)?);
+                            }
+                            builder.push_row_values_into(values, &mut out);
+                        }
+                    }
+                    builder.flush_into(&mut out);
+                    Ok(Chunked::Batches(out))
+                }
             }
-            Ok(out)
         }
         Plan::Join {
             left,
@@ -156,40 +388,9 @@ fn run(plan: &Plan, source: &dyn DataSource, stats: &mut ExecStats) -> QueryResu
                     "join key lists must be non-empty and of equal length".into(),
                 ));
             }
-            let left_rows = run(left, source, stats)?;
-            let right_rows = run(right, source, stats)?;
-            // Build on the right, probe with the left so LeftOuter can emit
-            // unmatched left rows.
-            stats.join_build_rows += right_rows.len() as u64;
-            let right_width = right_rows.first().map_or(0, Row::arity);
-            let mut hash: HashMap<Vec<Value>, Vec<&Row>> = HashMap::with_capacity(right_rows.len());
-            for row in &right_rows {
-                let key = extract_key(row, right_keys)?;
-                hash.entry(key).or_default().push(row);
-            }
-            let mut out = Vec::new();
-            for lrow in &left_rows {
-                stats.join_probes += 1;
-                let key = extract_key(lrow, left_keys)?;
-                match hash.get(&key) {
-                    Some(matches) => {
-                        for rrow in matches {
-                            stats.join_probes += 1;
-                            let mut values = lrow.values().to_vec();
-                            values.extend_from_slice(rrow.values());
-                            out.push(Row::new(values));
-                        }
-                    }
-                    None => {
-                        if *kind == JoinKind::LeftOuter {
-                            let mut values = lrow.values().to_vec();
-                            values.extend(std::iter::repeat(Value::Null).take(right_width));
-                            out.push(Row::new(values));
-                        }
-                    }
-                }
-            }
-            Ok(out)
+            let left_in = run(left, source, stats, opts)?;
+            let right_in = run(right, source, stats, opts)?;
+            join(&left_in, &right_in, left_keys, right_keys, *kind, stats, opts)
         }
         Plan::Aggregate {
             input,
@@ -201,34 +402,202 @@ fn run(plan: &Plan, source: &dyn DataSource, stats: &mut ExecStats) -> QueryResu
                     "aggregate node requires at least one aggregate".into(),
                 ));
             }
-            let rows = run(input, source, stats)?;
-            stats.agg_input_rows += rows.len() as u64;
-            aggregate(&rows, group_by, aggregates)
+            let input = run(input, source, stats, opts)?;
+            aggregate(&input, group_by, aggregates, stats, opts)
         }
         Plan::Sort { input, keys } => {
-            let mut rows = run(input, source, stats)?;
+            // Sorting genuinely needs movable tuples: materialize here.
+            let mut rows = run(input, source, stats, opts)?.into_rows(stats);
             stats.sort_rows += rows.len() as u64;
             sort_rows(&mut rows, keys)?;
-            Ok(rows)
+            Ok(Chunked::Rows(rows))
         }
         Plan::Limit { input, limit } => {
-            let mut rows = run(input, source, stats)?;
-            rows.truncate(*limit);
-            Ok(rows)
+            let input = run(input, source, stats, opts)?;
+            match input {
+                Chunked::Rows(mut rows) => {
+                    rows.truncate(*limit);
+                    Ok(Chunked::Rows(rows))
+                }
+                Chunked::Batches(batches) => {
+                    let mut out = Vec::new();
+                    let mut remaining = *limit;
+                    for mut batch in batches {
+                        if remaining == 0 {
+                            break;
+                        }
+                        let selected = batch.selected_count();
+                        if selected > remaining {
+                            let keep: Vec<usize> =
+                                batch.selected_rows().take(remaining).collect();
+                            let mut selection = vec![false; batch.num_rows()];
+                            for row in keep {
+                                selection[row] = true;
+                            }
+                            batch.set_selection(selection);
+                            remaining = 0;
+                        } else {
+                            remaining -= selected;
+                        }
+                        out.push(batch);
+                    }
+                    Ok(Chunked::Batches(out))
+                }
+            }
         }
     }
 }
 
-fn extract_key(row: &Row, positions: &[usize]) -> QueryResult<Vec<Value>> {
-    positions
-        .iter()
-        .map(|&p| {
-            row.get(p).cloned().ok_or(QueryError::ColumnOutOfRange {
-                position: p,
-                width: row.arity(),
-            })
-        })
-        .collect()
+/// Base-table scan: stream batches (or rows, in [`ScanMode::RowAtATime`])
+/// from the source, apply the pushed-down filter per selected slot, and emit
+/// owned batches of the surviving rows.
+fn scan_table(
+    table: &str,
+    filter: Option<&crate::expr::Expr>,
+    source: &dyn DataSource,
+    stats: &mut ExecStats,
+    opts: &ExecOptions,
+) -> QueryResult<Chunked> {
+    let width = source.schema(table)?.column_count();
+    let mut out = Vec::new();
+    let mut builder = BatchBuilder::new(width, opts.batch_size);
+    let mut err: Option<QueryError> = None;
+    let mut batches = 0u64;
+    let mut materialized = 0u64;
+    let examined = match opts.scan_mode {
+        ScanMode::Batched => source.scan_batches(table, opts.batch_size, &mut |batch| {
+            if err.is_some() {
+                return;
+            }
+            batches += 1;
+            match filter {
+                None => {
+                    // Flush first if the bulk append would overflow the
+                    // configured batch size: emitted batches stay <= batch_size.
+                    if !builder.is_empty()
+                        && builder.len() + batch.selected_count() > builder.capacity()
+                    {
+                        out.push(builder.finish());
+                    }
+                    builder.extend_from_batch(batch);
+                }
+                Some(f) => {
+                    // Evaluate the predicate per selected slot into a keep
+                    // bitmap, then copy the survivors column-wise.
+                    let mut keep = vec![false; batch.num_rows()];
+                    let mut survivors = 0usize;
+                    for row in batch.selected_rows() {
+                        match f.matches_access(&RowAt::Batch(batch, row)) {
+                            Ok(matched) => {
+                                keep[row] = matched;
+                                survivors += usize::from(matched);
+                            }
+                            Err(e) => {
+                                err = Some(e);
+                                return;
+                            }
+                        }
+                    }
+                    if !builder.is_empty() && builder.len() + survivors > builder.capacity() {
+                        out.push(builder.finish());
+                    }
+                    builder.extend_selected(batch, &keep);
+                }
+            }
+            if builder.is_full() {
+                out.push(builder.finish());
+            }
+        })?,
+        ScanMode::RowAtATime => source.scan(table, &mut |row| {
+            if err.is_some() {
+                return;
+            }
+            materialized += 1;
+            let keep = match filter {
+                Some(f) => match f.matches(row.values()) {
+                    Ok(keep) => keep,
+                    Err(e) => {
+                        err = Some(e);
+                        return;
+                    }
+                },
+                None => true,
+            };
+            if keep {
+                builder.push_row(row.values());
+                if builder.is_full() {
+                    out.push(builder.finish());
+                    batches += 1;
+                }
+            }
+        })?,
+    };
+    if let Some(e) = err {
+        return Err(e);
+    }
+    builder.flush_into(&mut out);
+    stats.rows_scanned += examined as u64;
+    stats.full_scans += 1;
+    stats.batches_scanned += batches;
+    stats.rows_materialized += materialized;
+    Ok(Chunked::Batches(out))
+}
+
+/// Hash join: build on the right, probe with the left so LeftOuter can emit
+/// unmatched left rows.  Build-side rows are addressed by batch slot — only
+/// emitted matches gather values.
+fn join(
+    left: &Chunked,
+    right: &Chunked,
+    left_keys: &[usize],
+    right_keys: &[usize],
+    kind: JoinKind,
+    stats: &mut ExecStats,
+    opts: &ExecOptions,
+) -> QueryResult<Chunked> {
+    stats.join_build_rows += right.selected_len() as u64;
+    let left_width = left.width();
+    let right_width = right.width();
+
+    // Build: hash each selected right slot by its join key.
+    let mut locators: Vec<RowAt<'_>> = Vec::with_capacity(right.selected_len());
+    let mut hash: HashMap<Vec<Value>, Vec<usize>> = HashMap::with_capacity(right.selected_len());
+    right.for_each(|row| {
+        let key = extract_key(&row, right_keys)?;
+        hash.entry(key).or_default().push(locators.len());
+        locators.push(row);
+        Ok(())
+    })?;
+
+    let mut out = Vec::new();
+    let mut builder = BatchBuilder::new(left_width + right_width, opts.batch_size);
+    left.for_each(|lrow| {
+        stats.join_probes += 1;
+        let key = extract_key(&lrow, left_keys)?;
+        match hash.get(&key) {
+            Some(matches) => {
+                for &loc in matches {
+                    stats.join_probes += 1;
+                    let mut values = gather(&lrow, right_width);
+                    let rrow = &locators[loc];
+                    for pos in 0..right_width {
+                        values.push(rrow.value_at(pos).expect("pos < width").clone());
+                    }
+                    builder.push_row_values_into(values, &mut out);
+                }
+            }
+            None => {
+                if kind == JoinKind::LeftOuter {
+                    let mut values = gather(&lrow, right_width);
+                    values.extend(std::iter::repeat(Value::Null).take(right_width));
+                    builder.push_row_values_into(values, &mut out);
+                }
+            }
+        }
+        Ok(())
+    })?;
+    builder.flush_into(&mut out);
+    Ok(Chunked::Batches(out))
 }
 
 #[derive(Debug, Clone)]
@@ -284,11 +653,24 @@ impl AggState {
     }
 }
 
-fn aggregate(rows: &[Row], group_by: &[usize], aggregates: &[AggSpec]) -> QueryResult<Vec<Row>> {
+/// Vectorized aggregation: fold every selected input slot into per-group
+/// [`AggState`]s (per-batch increments for the input accounting), then emit
+/// the groups as one batch — the result stays columnar until the plan root.
+fn aggregate(
+    input: &Chunked,
+    group_by: &[usize],
+    aggregates: &[AggSpec],
+    stats: &mut ExecStats,
+    opts: &ExecOptions,
+) -> QueryResult<Chunked> {
+    stats.agg_input_rows += input.selected_len() as u64;
+    if group_by.is_empty() {
+        return aggregate_global(input, aggregates, opts);
+    }
     let mut groups: HashMap<Vec<Value>, Vec<AggState>> = HashMap::new();
     let mut order: Vec<Vec<Value>> = Vec::new();
-    for row in rows {
-        let key = extract_key(row, group_by)?;
+    input.for_each(|row| {
+        let key = extract_key(&row, group_by)?;
         let states = match groups.get_mut(&key) {
             Some(states) => states,
             None => {
@@ -299,33 +681,64 @@ fn aggregate(rows: &[Row], group_by: &[usize], aggregates: &[AggSpec]) -> QueryR
             }
         };
         for (state, spec) in states.iter_mut().zip(aggregates) {
-            let value = row.get(spec.column).ok_or(QueryError::ColumnOutOfRange {
-                position: spec.column,
-                width: row.arity(),
-            })?;
+            let value = row
+                .value_at(spec.column)
+                .ok_or(QueryError::ColumnOutOfRange {
+                    position: spec.column,
+                    width: row.width(),
+                })?;
             state.update(value);
         }
-    }
-    if groups.is_empty() && group_by.is_empty() {
-        // Global aggregate over zero rows still yields one row.
-        let states = vec![AggState::new(); aggregates.len()];
-        let values: Vec<Value> = states
-            .iter()
-            .zip(aggregates)
-            .map(|(s, a)| s.finalize(a.func))
-            .collect();
-        return Ok(vec![Row::new(values)]);
-    }
-    let mut out = Vec::with_capacity(groups.len());
+        Ok(())
+    })?;
+
+    let width = group_by.len() + aggregates.len();
+    let mut out = Vec::new();
+    let mut builder = BatchBuilder::new(width, opts.batch_size);
     for key in order {
         let states = &groups[&key];
         let mut values = key.clone();
+        values.reserve(aggregates.len());
         for (state, spec) in states.iter().zip(aggregates) {
             values.push(state.finalize(spec.func));
         }
-        out.push(Row::new(values));
+        builder.push_row_values_into(values, &mut out);
     }
-    Ok(out)
+    builder.flush_into(&mut out);
+    Ok(Chunked::Batches(out))
+}
+
+/// Global (ungrouped) aggregate: a single state vector folded over every
+/// input slot — no per-row group-key allocation or hashing.  A global
+/// aggregate over zero rows still yields one row.
+fn aggregate_global(
+    input: &Chunked,
+    aggregates: &[AggSpec],
+    opts: &ExecOptions,
+) -> QueryResult<Chunked> {
+    let mut states = vec![AggState::new(); aggregates.len()];
+    input.for_each(|row| {
+        for (state, spec) in states.iter_mut().zip(aggregates) {
+            let value = row
+                .value_at(spec.column)
+                .ok_or(QueryError::ColumnOutOfRange {
+                    position: spec.column,
+                    width: row.width(),
+                })?;
+            state.update(value);
+        }
+        Ok(())
+    })?;
+    let values: Vec<Value> = states
+        .iter()
+        .zip(aggregates)
+        .map(|(s, a)| s.finalize(a.func))
+        .collect();
+    let mut out = Vec::new();
+    let mut builder = BatchBuilder::new(aggregates.len(), opts.batch_size);
+    builder.push_row_values(values);
+    builder.flush_into(&mut out);
+    Ok(Chunked::Batches(out))
 }
 
 fn sort_rows(rows: &mut [Row], keys: &[SortKey]) -> QueryResult<()> {
@@ -529,6 +942,145 @@ mod tests {
             execute(&plan, &source),
             Err(QueryError::InvalidPlan(_))
         ));
+    }
+
+    fn col_fixture() -> StdHashMap<String, Arc<olxp_storage::ColumnTable>> {
+        let orders = Arc::new(olxp_storage::ColumnTable::new(Arc::new(
+            TableSchema::new(
+                "ORDERS",
+                vec![
+                    ColumnDef::new("o_id", DataType::Int, false),
+                    ColumnDef::new("o_cid", DataType::Int, false),
+                    ColumnDef::new("o_amount", DataType::Decimal, false),
+                ],
+                vec!["o_id"],
+            )
+            .unwrap(),
+        )));
+        for (o, c, amount) in [(1, 10, 500), (2, 10, 300), (3, 20, 800), (4, 30, 100)] {
+            orders
+                .apply_insert(
+                    &Key::int(o),
+                    &Row::new(vec![Value::Int(o), Value::Int(c), Value::Decimal(amount)]),
+                    5,
+                    o as u64,
+                )
+                .unwrap();
+        }
+        let mut tables = StdHashMap::new();
+        tables.insert("ORDERS".to_string(), orders);
+        tables
+    }
+
+    #[test]
+    fn batched_and_row_at_a_time_agree_on_every_operator() {
+        let tables = fixture();
+        let source = RowSource::new(&tables, 10);
+        let plans = vec![
+            QueryBuilder::scan("ORDERS")
+                .filter(col(2).ge(lit(Value::Decimal(300))))
+                .project(vec![col(0), col(2)])
+                .build(),
+            QueryBuilder::scan("ORDERS")
+                .join(QueryBuilder::scan("CUSTOMER"), vec![1], vec![0], JoinKind::LeftOuter)
+                .aggregate(vec![1], vec![AggSpec::new(AggFunc::Sum, 2)])
+                .sort(vec![SortKey::asc(0)])
+                .limit(2)
+                .build(),
+        ];
+        for plan in &plans {
+            let row_mode = execute_with(plan, &source, ExecOptions::row_at_a_time()).unwrap();
+            for batch_size in [1usize, 3, 1024] {
+                let batched =
+                    execute_with(plan, &source, ExecOptions::batched(batch_size)).unwrap();
+                assert_eq!(batched.rows, row_mode.rows, "batch_size={batch_size}");
+                assert_eq!(batched.stats.rows_scanned, row_mode.stats.rows_scanned);
+                assert_eq!(batched.stats.output_rows, row_mode.stats.output_rows);
+            }
+        }
+    }
+
+    #[test]
+    fn batched_scan_counts_batches_and_avoids_row_materialization() {
+        let tables = col_fixture();
+        let source = crate::source::ColumnSource::new(&tables);
+        let plan = QueryBuilder::scan("ORDERS")
+            .aggregate(vec![], vec![AggSpec::new(AggFunc::Sum, 2)])
+            .build();
+
+        let batched = execute_with(&plan, &source, ExecOptions::batched(2)).unwrap();
+        assert_eq!(batched.rows.len(), 1);
+        assert_eq!(batched.stats.batches_scanned, 2, "4 rows / batch_size 2");
+        assert_eq!(
+            batched.stats.rows_materialized, 1,
+            "only the root row is materialized on the batched path"
+        );
+
+        let row_mode = execute_with(&plan, &source, ExecOptions::row_at_a_time()).unwrap();
+        assert_eq!(row_mode.rows, batched.rows);
+        assert!(
+            row_mode.stats.rows_materialized >= 4,
+            "row-at-a-time pays a materialized row per scanned tuple"
+        );
+    }
+
+    #[test]
+    fn limit_narrows_batch_selection() {
+        let tables = fixture();
+        let source = RowSource::new(&tables, 10);
+        let plan = QueryBuilder::scan("ORDERS").limit(3).build();
+        let out = execute_with(&plan, &source, ExecOptions::batched(2)).unwrap();
+        assert_eq!(out.rows.len(), 3);
+        let all = execute(&QueryBuilder::scan("ORDERS").build(), &source).unwrap();
+        assert_eq!(out.rows[..], all.rows[..3]);
+    }
+
+    #[test]
+    fn filter_errors_propagate_from_batches() {
+        let tables = fixture();
+        let source = RowSource::new(&tables, 10);
+        let plan = QueryBuilder::scan("ORDERS")
+            .filter(col(99).eq(lit(1)))
+            .build();
+        assert!(matches!(
+            execute(&plan, &source),
+            Err(QueryError::ColumnOutOfRange { position: 99, .. })
+        ));
+    }
+
+    #[test]
+    fn zero_width_projection_keeps_cardinality() {
+        // SELECT (no columns) FROM ORDERS — degenerate, but the batch
+        // pipeline must not lose the row count when width is 0.
+        let tables = fixture();
+        let source = RowSource::new(&tables, 10);
+        let plan = QueryBuilder::scan("ORDERS").project(vec![]).build();
+        let batched = execute_with(&plan, &source, ExecOptions::batched(3)).unwrap();
+        let row_mode = execute_with(&plan, &source, ExecOptions::row_at_a_time()).unwrap();
+        assert_eq!(batched.rows.len(), 4, "one empty row per input row");
+        assert_eq!(batched.rows, row_mode.rows);
+        assert!(batched.rows.iter().all(Row::is_empty));
+    }
+
+    #[test]
+    fn exec_options_clamp_batch_size() {
+        let opts = ExecOptions::batched(0);
+        assert_eq!(opts.batch_size, 1);
+        let opts = ExecOptions::default().with_batch_size(0);
+        assert_eq!(opts.batch_size, 1);
+        let tables = fixture();
+        let source = RowSource::new(&tables, 10);
+        let plan = QueryBuilder::scan("ORDERS").build();
+        let out = execute_with(
+            &plan,
+            &source,
+            ExecOptions {
+                batch_size: 0,
+                scan_mode: ScanMode::Batched,
+            },
+        )
+        .unwrap();
+        assert_eq!(out.rows.len(), 4, "zero batch size is clamped, not UB");
     }
 
     #[test]

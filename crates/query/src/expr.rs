@@ -19,6 +19,30 @@ pub enum AggFunc {
     Max,
 }
 
+/// Row-shaped access to values by column position.
+///
+/// Expressions evaluate against anything that can resolve a column position
+/// to a value: a materialized row slice, or one selected slot of a
+/// [`olxp_storage::ColumnBatch`] (the executor's vectorized representation,
+/// where the "row" is a position across column vectors and no tuple is ever
+/// materialized).
+pub trait ValueAccess {
+    /// Number of columns the row exposes.
+    fn width(&self) -> usize;
+    /// Borrow the value at `pos`, or `None` when out of range.
+    fn value_at(&self, pos: usize) -> Option<&Value>;
+}
+
+impl ValueAccess for [Value] {
+    fn width(&self) -> usize {
+        self.len()
+    }
+
+    fn value_at(&self, pos: usize) -> Option<&Value> {
+        self.get(pos)
+    }
+}
+
 /// A scalar expression over a row.
 ///
 /// Columns are referenced by position within the input row of the operator
@@ -137,11 +161,21 @@ impl Expr {
 
     /// Evaluate against a row of values.
     pub fn eval(&self, row: &[Value]) -> QueryResult<Value> {
+        self.eval_access(row)
+    }
+
+    /// Evaluate against any [`ValueAccess`] row representation (materialized
+    /// slice or batch slot).
+    pub fn eval_access<A: ValueAccess + ?Sized>(&self, row: &A) -> QueryResult<Value> {
         match self {
-            Expr::Column(pos) => row.get(*pos).cloned().ok_or(QueryError::ColumnOutOfRange {
-                position: *pos,
-                width: row.len(),
-            }),
+            Expr::Column(pos) => {
+                row.value_at(*pos)
+                    .cloned()
+                    .ok_or(QueryError::ColumnOutOfRange {
+                        position: *pos,
+                        width: row.width(),
+                    })
+            }
             Expr::Literal(v) => Ok(v.clone()),
             Expr::Eq(a, b) => cmp(a, b, row, |o| o == std::cmp::Ordering::Equal),
             Expr::Ne(a, b) => cmp(a, b, row, |o| o != std::cmp::Ordering::Equal),
@@ -150,22 +184,22 @@ impl Expr {
             Expr::Gt(a, b) => cmp(a, b, row, |o| o == std::cmp::Ordering::Greater),
             Expr::Ge(a, b) => cmp(a, b, row, |o| o != std::cmp::Ordering::Less),
             Expr::And(a, b) => {
-                let a = a.eval(row)?.as_bool().unwrap_or(false);
+                let a = a.eval_access(row)?.as_bool().unwrap_or(false);
                 if !a {
                     return Ok(Value::Bool(false));
                 }
-                Ok(Value::Bool(b.eval(row)?.as_bool().unwrap_or(false)))
+                Ok(Value::Bool(b.eval_access(row)?.as_bool().unwrap_or(false)))
             }
             Expr::Or(a, b) => {
-                let a = a.eval(row)?.as_bool().unwrap_or(false);
+                let a = a.eval_access(row)?.as_bool().unwrap_or(false);
                 if a {
                     return Ok(Value::Bool(true));
                 }
-                Ok(Value::Bool(b.eval(row)?.as_bool().unwrap_or(false)))
+                Ok(Value::Bool(b.eval_access(row)?.as_bool().unwrap_or(false)))
             }
-            Expr::Not(e) => Ok(Value::Bool(!e.eval(row)?.as_bool().unwrap_or(false))),
+            Expr::Not(e) => Ok(Value::Bool(!e.eval_access(row)?.as_bool().unwrap_or(false))),
             Expr::Like(e, pattern) => {
-                let v = e.eval(row)?;
+                let v = e.eval_access(row)?;
                 match v {
                     Value::Null => Ok(Value::Bool(false)),
                     Value::Str(s) => Ok(Value::Bool(like_match(&s, pattern))),
@@ -178,50 +212,55 @@ impl Expr {
             Expr::Sub(a, b) => arith(a, b, row, Value::checked_sub),
             Expr::Mul(a, b) => float_arith(a, b, row, |x, y| Some(x * y)),
             Expr::Div(a, b) => float_arith(a, b, row, |x, y| if y == 0.0 { None } else { Some(x / y) }),
-            Expr::IsNull(e) => Ok(Value::Bool(e.eval(row)?.is_null())),
+            Expr::IsNull(e) => Ok(Value::Bool(e.eval_access(row)?.is_null())),
         }
     }
 
     /// Evaluate as a boolean predicate (NULL and non-boolean results are
     /// treated as false, matching SQL's WHERE semantics).
     pub fn matches(&self, row: &[Value]) -> QueryResult<bool> {
-        Ok(self.eval(row)?.as_bool().unwrap_or(false))
+        self.matches_access(row)
+    }
+
+    /// [`Expr::matches`] over any [`ValueAccess`] row representation.
+    pub fn matches_access<A: ValueAccess + ?Sized>(&self, row: &A) -> QueryResult<bool> {
+        Ok(self.eval_access(row)?.as_bool().unwrap_or(false))
     }
 }
 
-fn cmp(
+fn cmp<A: ValueAccess + ?Sized>(
     a: &Expr,
     b: &Expr,
-    row: &[Value],
+    row: &A,
     f: impl Fn(std::cmp::Ordering) -> bool,
 ) -> QueryResult<Value> {
-    let a = a.eval(row)?;
-    let b = b.eval(row)?;
+    let a = a.eval_access(row)?;
+    let b = b.eval_access(row)?;
     if a.is_null() || b.is_null() {
         return Ok(Value::Bool(false));
     }
     Ok(Value::Bool(f(a.cmp(&b))))
 }
 
-fn arith(
+fn arith<A: ValueAccess + ?Sized>(
     a: &Expr,
     b: &Expr,
-    row: &[Value],
+    row: &A,
     f: impl Fn(&Value, &Value) -> Option<Value>,
 ) -> QueryResult<Value> {
-    let a = a.eval(row)?;
-    let b = b.eval(row)?;
+    let a = a.eval_access(row)?;
+    let b = b.eval_access(row)?;
     f(&a, &b).ok_or_else(|| QueryError::TypeError(format!("cannot apply arithmetic to {a} and {b}")))
 }
 
-fn float_arith(
+fn float_arith<A: ValueAccess + ?Sized>(
     a: &Expr,
     b: &Expr,
-    row: &[Value],
+    row: &A,
     f: impl Fn(f64, f64) -> Option<f64>,
 ) -> QueryResult<Value> {
-    let av = a.eval(row)?;
-    let bv = b.eval(row)?;
+    let av = a.eval_access(row)?;
+    let bv = b.eval_access(row)?;
     if av.is_null() || bv.is_null() {
         return Ok(Value::Null);
     }

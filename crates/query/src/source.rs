@@ -8,7 +8,7 @@
 //! queries).
 
 use crate::error::{QueryError, QueryResult};
-use olxp_storage::{ColumnTable, Key, Row, RowTable, TableSchema, Timestamp};
+use olxp_storage::{ColumnBatch, ColumnTable, Key, Row, RowTable, TableSchema, Timestamp};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -33,7 +33,25 @@ pub trait DataSource {
 
     /// Scan every visible row, calling `f` for each.  Returns the number of
     /// physical rows examined.
+    ///
+    /// This is the legacy row-at-a-time path; the executor's default is
+    /// [`DataSource::scan_batches`].
     fn scan(&self, table: &str, f: &mut dyn FnMut(&Row)) -> QueryResult<usize>;
+
+    /// Vectorized scan: stream the visible rows as [`ColumnBatch`]es of up to
+    /// `batch_size` row slots, calling `f` for each batch.  Returns the
+    /// number of physical rows examined.
+    ///
+    /// The column store hands out zero-copy batches (borrowed column slices
+    /// with deleted slots deselected); the row store transposes visible MVCC
+    /// rows into owned batches.  Either way no per-row [`Row`] is
+    /// materialized at the storage/query boundary.
+    fn scan_batches(
+        &self,
+        table: &str,
+        batch_size: usize,
+        f: &mut dyn FnMut(&ColumnBatch<'_>),
+    ) -> QueryResult<usize>;
 
     /// Look up rows by an index (or primary-key) prefix.  Returns the matching
     /// rows and the number of physical entries examined.
@@ -77,6 +95,16 @@ impl DataSource for RowSource<'_> {
         let t = self.table(table)?;
         let examined = t.scan(self.read_ts, |_, row| f(row));
         Ok(examined)
+    }
+
+    fn scan_batches(
+        &self,
+        table: &str,
+        batch_size: usize,
+        f: &mut dyn FnMut(&ColumnBatch<'_>),
+    ) -> QueryResult<usize> {
+        let t = self.table(table)?;
+        Ok(t.scan_batches(self.read_ts, batch_size, |batch| f(&batch)))
     }
 
     fn index_lookup(
@@ -137,6 +165,16 @@ impl DataSource for ColumnSource<'_> {
         Ok(t.scan_rows(|row| f(row)))
     }
 
+    fn scan_batches(
+        &self,
+        table: &str,
+        batch_size: usize,
+        f: &mut dyn FnMut(&ColumnBatch<'_>),
+    ) -> QueryResult<usize> {
+        let t = self.table(table)?;
+        Ok(t.scan_batches(None, batch_size, |batch| f(batch)))
+    }
+
     fn index_lookup(
         &self,
         table: &str,
@@ -145,15 +183,24 @@ impl DataSource for ColumnSource<'_> {
     ) -> QueryResult<(Vec<Row>, usize)> {
         // Column stores have no secondary indexes: an "index lookup" is served
         // by scanning and filtering on the primary-key prefix, exactly the way
-        // TiFlash answers selective predicates.
+        // TiFlash answers selective predicates.  The scan runs over batches
+        // and only materializes the rows whose key matches.
         let t = self.table(table)?;
         let schema = t.schema();
         let pk = schema.primary_key().to_vec();
         let mut rows = Vec::new();
-        let examined = t.scan_rows(|row| {
-            let key = Key::new(pk.iter().map(|&i| row[i].clone()).collect());
-            if key.starts_with(prefix) {
-                rows.push(row.clone());
+        let examined = t.scan_batches(None, olxp_storage::DEFAULT_BATCH_SIZE, |batch| {
+            for slot in batch.selected_rows() {
+                let key = Key::new(
+                    pk.iter()
+                        .map(|&i| batch.column(i)[slot].clone())
+                        .collect(),
+                );
+                if key.starts_with(prefix) {
+                    let mut values = Vec::with_capacity(batch.width());
+                    batch.gather_row_into(slot, &mut values);
+                    rows.push(Row::new(values));
+                }
             }
         });
         Ok((rows, examined.max(1)))

@@ -7,6 +7,7 @@
 //! is populated exclusively through the asynchronous replication log (see
 //! [`crate::replication`]), never written directly by transactions.
 
+use crate::batch::{ColumnBatch, DEFAULT_BATCH_SIZE};
 use crate::error::{StorageError, StorageResult};
 use crate::key::Key;
 use crate::row::Row;
@@ -18,11 +19,19 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Counters exposed by a [`ColumnTable`].
+///
+/// Physical and logical scan work are tracked separately: `slots_examined`
+/// counts every row slot a scan walked over (including deleted slots, the
+/// quantity that drives the cost model), while `rows_scanned` counts only the
+/// *live* rows actually handed to the consumer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct ColumnTableStats {
-    /// Number of scans performed.
+    /// Number of scans performed (scans of an empty table are no-ops and are
+    /// not counted).
     pub scans: u64,
-    /// Total row-slots examined by scans (including deleted slots).
+    /// Total row slots examined by scans, including deleted slots.
+    pub slots_examined: u64,
+    /// Live rows produced by scans (excludes deleted slots).
     pub rows_scanned: u64,
     /// Number of replication mutations applied.
     pub mutations_applied: u64,
@@ -31,6 +40,7 @@ pub struct ColumnTableStats {
 #[derive(Debug, Default)]
 struct Counters {
     scans: AtomicU64,
+    slots_examined: AtomicU64,
     rows_scanned: AtomicU64,
     mutations_applied: AtomicU64,
 }
@@ -101,6 +111,7 @@ impl ColumnTable {
     pub fn stats(&self) -> ColumnTableStats {
         ColumnTableStats {
             scans: self.counters.scans.load(Ordering::Relaxed),
+            slots_examined: self.counters.slots_examined.load(Ordering::Relaxed),
             rows_scanned: self.counters.rows_scanned.load(Ordering::Relaxed),
             mutations_applied: self.counters.mutations_applied.load(Ordering::Relaxed),
         }
@@ -174,6 +185,64 @@ impl ColumnTable {
         Ok(())
     }
 
+    /// Vectorized scan: hand out one [`ColumnBatch`] per chunk of up to
+    /// `batch_size` row slots.
+    ///
+    /// The batches borrow the column vectors directly (zero copy); deleted
+    /// slots are deselected through the batch's selection bitmap rather than
+    /// skipped, so the batch layout matches the physical slot layout.
+    /// `projection` selects and orders the columns each batch exposes; `None`
+    /// exposes every column in schema order.  Returns the number of slots
+    /// examined.  Scanning an empty table is a no-op and touches no counters.
+    pub fn scan_batches<F>(&self, projection: Option<&[usize]>, batch_size: usize, mut f: F) -> usize
+    where
+        F: FnMut(&ColumnBatch<'_>),
+    {
+        let data = self.data.read();
+        let slots = data.deleted.len();
+        if slots == 0 {
+            return 0;
+        }
+        let batch_size = batch_size.max(1);
+        let all: Vec<usize>;
+        let projection = match projection {
+            Some(p) => p,
+            None => {
+                all = (0..self.schema.column_count()).collect();
+                &all
+            }
+        };
+        let mut live_rows = 0u64;
+        let mut start = 0usize;
+        while start < slots {
+            let end = (start + batch_size).min(slots);
+            let columns: Vec<&[crate::Value]> = projection
+                .iter()
+                .map(|&col| &data.columns[col][start..end])
+                .collect();
+            let deleted = &data.deleted[start..end];
+            let batch = if deleted.iter().any(|&d| d) {
+                let selection: Vec<bool> = deleted.iter().map(|&d| !d).collect();
+                let mut batch = ColumnBatch::borrowed_sized(columns, None, end - start);
+                batch.set_selection(selection);
+                batch
+            } else {
+                ColumnBatch::borrowed_sized(columns, None, end - start)
+            };
+            live_rows += batch.selected_count() as u64;
+            f(&batch);
+            start = end;
+        }
+        self.counters.scans.fetch_add(1, Ordering::Relaxed);
+        self.counters
+            .slots_examined
+            .fetch_add(slots as u64, Ordering::Relaxed);
+        self.counters
+            .rows_scanned
+            .fetch_add(live_rows, Ordering::Relaxed);
+        slots
+    }
+
     /// Scan live rows, materialising only the projected columns.
     ///
     /// `projection` holds column positions; the callback receives the projected
@@ -182,24 +251,13 @@ impl ColumnTable {
     where
         F: FnMut(&[crate::Value]),
     {
-        let data = self.data.read();
-        let slots = data.deleted.len();
         let mut buf: Vec<crate::Value> = Vec::with_capacity(projection.len());
-        for slot in 0..slots {
-            if data.deleted[slot] {
-                continue;
+        self.scan_batches(Some(projection), DEFAULT_BATCH_SIZE, |batch| {
+            for row in batch.selected_rows() {
+                batch.gather_row_into(row, &mut buf);
+                f(&buf);
             }
-            buf.clear();
-            for &col in projection {
-                buf.push(data.columns[col][slot].clone());
-            }
-            f(&buf);
-        }
-        self.counters.scans.fetch_add(1, Ordering::Relaxed);
-        self.counters
-            .rows_scanned
-            .fetch_add(slots as u64, Ordering::Relaxed);
-        slots
+        })
     }
 
     /// Scan live rows materialising full rows (schema column order).
@@ -207,47 +265,42 @@ impl ColumnTable {
     where
         F: FnMut(&Row),
     {
-        let all: Vec<usize> = (0..self.schema.column_count()).collect();
-        self.scan_projected(&all, |values| {
-            f(&Row::new(values.to_vec()));
+        let mut buf: Vec<crate::Value> = Vec::with_capacity(self.schema.column_count());
+        self.scan_batches(None, DEFAULT_BATCH_SIZE, |batch| {
+            for row in batch.selected_rows() {
+                batch.gather_row_into(row, &mut buf);
+                f(&Row::new(std::mem::take(&mut buf)));
+            }
         })
     }
 
     /// Aggregate one numeric column over live rows matching `filter`.
     ///
     /// Returns `(sum, count, min, max)` of the column interpreted as f64.
+    /// Runs over the batch scan: only rows the filter accepts are gathered,
+    /// and the aggregated column is read straight from the batch slice.
     pub fn aggregate_column<F>(&self, column: usize, filter: F) -> (f64, u64, f64, f64)
     where
         F: Fn(&[crate::Value]) -> bool,
     {
-        let data = self.data.read();
-        let slots = data.deleted.len();
         let (mut sum, mut count) = (0.0f64, 0u64);
         let (mut min, mut max) = (f64::INFINITY, f64::NEG_INFINITY);
-        let width = self.schema.column_count();
-        let mut rowbuf: Vec<crate::Value> = Vec::with_capacity(width);
-        for slot in 0..slots {
-            if data.deleted[slot] {
-                continue;
+        let mut rowbuf: Vec<crate::Value> = Vec::with_capacity(self.schema.column_count());
+        self.scan_batches(None, DEFAULT_BATCH_SIZE, |batch| {
+            let agg_column = batch.column(column);
+            for row in batch.selected_rows() {
+                batch.gather_row_into(row, &mut rowbuf);
+                if !filter(&rowbuf) {
+                    continue;
+                }
+                if let Some(v) = agg_column[row].as_f64() {
+                    sum += v;
+                    count += 1;
+                    min = min.min(v);
+                    max = max.max(v);
+                }
             }
-            rowbuf.clear();
-            for col in 0..width {
-                rowbuf.push(data.columns[col][slot].clone());
-            }
-            if !filter(&rowbuf) {
-                continue;
-            }
-            if let Some(v) = data.columns[column][slot].as_f64() {
-                sum += v;
-                count += 1;
-                min = min.min(v);
-                max = max.max(v);
-            }
-        }
-        self.counters.scans.fetch_add(1, Ordering::Relaxed);
-        self.counters
-            .rows_scanned
-            .fetch_add(slots as u64, Ordering::Relaxed);
+        });
         (sum, count, min, max)
     }
 }
@@ -363,6 +416,81 @@ mod tests {
         let s = t.stats();
         assert_eq!(s.mutations_applied, 1);
         assert_eq!(s.scans, 1);
-        assert!(s.rows_scanned >= 1);
+        assert_eq!(s.slots_examined, 1);
+        assert_eq!(s.rows_scanned, 1);
+    }
+
+    #[test]
+    fn empty_scan_is_a_counterless_noop() {
+        let t = table();
+        let examined = t.scan_rows(|_| panic!("no rows to visit"));
+        assert_eq!(examined, 0);
+        let s = t.stats();
+        assert_eq!(s.scans, 0, "scanning an empty table is a no-op");
+        assert_eq!(s.slots_examined, 0);
+        assert_eq!(s.rows_scanned, 0);
+    }
+
+    #[test]
+    fn deleted_slots_count_as_examined_but_not_scanned() {
+        let t = table();
+        for i in 0..6i64 {
+            t.apply_insert(&Key::int(i), &order(i, i * 100, "new"), 5, i as u64 + 1)
+                .unwrap();
+        }
+        t.apply_delete(&Key::int(2), 6, 7).unwrap();
+        t.apply_delete(&Key::int(4), 6, 8).unwrap();
+        let mut seen = 0;
+        let examined = t.scan_rows(|_| seen += 1);
+        assert_eq!(examined, 6, "deleted slots are still walked");
+        assert_eq!(seen, 4);
+        let s = t.stats();
+        assert_eq!(s.slots_examined, 6);
+        assert_eq!(s.rows_scanned, 4, "only live rows count as scanned");
+    }
+
+    #[test]
+    fn empty_projection_still_visits_every_live_row() {
+        let t = table();
+        for i in 0..3i64 {
+            t.apply_insert(&Key::int(i), &order(i, i, "new"), 5, i as u64 + 1)
+                .unwrap();
+        }
+        let mut visits = 0;
+        let examined = t.scan_projected(&[], |values| {
+            assert!(values.is_empty());
+            visits += 1;
+        });
+        assert_eq!(examined, 3);
+        assert_eq!(visits, 3, "zero-width batches keep their row count");
+    }
+
+    #[test]
+    fn scan_batches_chunks_with_selection_and_partial_tail() {
+        let t = table();
+        for i in 0..10i64 {
+            t.apply_insert(&Key::int(i), &order(i, i, "new"), 5, i as u64 + 1)
+                .unwrap();
+        }
+        t.apply_delete(&Key::int(1), 6, 11).unwrap();
+        let mut batch_sizes = Vec::new();
+        let mut selected = 0usize;
+        let mut amounts = Vec::new();
+        let examined = t.scan_batches(Some(&[1]), 4, |batch| {
+            assert_eq!(batch.width(), 1, "projection narrows the batch");
+            batch_sizes.push(batch.num_rows());
+            selected += batch.selected_count();
+            for row in batch.selected_rows() {
+                amounts.push(batch.column(0)[row].clone());
+            }
+        });
+        assert_eq!(examined, 10);
+        assert_eq!(batch_sizes, vec![4, 4, 2], "partial final batch");
+        assert_eq!(selected, 9, "deleted slot is deselected, not compacted");
+        assert!(!amounts.contains(&Value::Decimal(1)));
+        let s = t.stats();
+        assert_eq!(s.scans, 1);
+        assert_eq!(s.slots_examined, 10);
+        assert_eq!(s.rows_scanned, 9);
     }
 }

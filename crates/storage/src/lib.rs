@@ -10,6 +10,9 @@
 //!   secondary (possibly composite) indexes, used for online transactions;
 //! * an append-only **column store** ([`colstore::ColumnTable`]) used for
 //!   analytical queries;
+//! * **vectorized batches** ([`batch::ColumnBatch`]): the chunked columnar
+//!   unit both stores hand to the query executor, so analytical scans never
+//!   materialize per-row tuples at the storage boundary;
 //! * an asynchronous **replication log** ([`replication`]) that ships committed
 //!   row-store mutations into the column store, modelling TiDB's TiKV→TiFlash
 //!   log replication;
@@ -25,6 +28,7 @@
 //! required, and all state lives in process memory so benchmark experiments are
 //! reproducible on a laptop.
 
+pub mod batch;
 pub mod bufferpool;
 pub mod catalog;
 pub mod colstore;
@@ -37,6 +41,7 @@ pub mod rowstore;
 pub mod schema;
 pub mod value;
 
+pub use batch::{BatchBuilder, ColumnBatch, DEFAULT_BATCH_SIZE};
 pub use bufferpool::{BufferPool, BufferPoolStats};
 pub use catalog::Catalog;
 pub use colstore::{ColumnTable, ColumnTableStats};
