@@ -95,12 +95,15 @@ pub fn figure_sweep(opts: ExpOptions, benchmark: &str) -> String {
                 };
                 let result = run_config(&db, workload.as_ref(), config);
                 let summary = result.olap.unwrap_or_default();
+                let freshness = result.freshness.unwrap_or_default();
                 olap_rows.push(vec![
                     arch_name.to_string(),
                     format!("{olap_rate:.1}"),
                     format!("{tx_rate:.0}"),
                     format!("{:.2}", summary.throughput),
                     fmt_ms(summary.mean_ms),
+                    format!("{}", freshness.lag_records_p95),
+                    format!("{}", freshness.lag_records_max),
                 ]);
             }
         }
@@ -152,6 +155,8 @@ pub fn figure_sweep(opts: ExpOptions, benchmark: &str) -> String {
                 "transactional req/s",
                 "OLAP throughput (qps)",
                 "mean latency (ms)",
+                "freshness p95 (records)",
+                "freshness max (records)",
             ],
             &olap_rows
         ),

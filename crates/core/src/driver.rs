@@ -11,7 +11,7 @@
 use crate::config::{AgentConfig, BenchConfig, LoopMode};
 use crate::error::{BenchError, BenchResult};
 use crate::generator::{OpenLoopSchedule, RequestSchedule, WeightedChoice};
-use crate::report::LatencySummary;
+use crate::report::{FreshnessSummary, LatencySummary};
 use crate::stats::LatencyRecorder;
 use crate::workload::{AnalyticalQuery, HybridTransaction, OnlineTransaction, Workload};
 use olxp_engine::{HybridDatabase, MetricsSnapshot, Session};
@@ -53,6 +53,13 @@ pub struct BenchmarkResult {
     pub buffer_misses: u64,
     /// Replication lag (records) at the end of the run.
     pub replication_lag: u64,
+    /// Replication apply failures during the run (records are retained and
+    /// retried, but a non-zero value means the pipeline was unhealthy).
+    pub replication_errors: u64,
+    /// Distribution of the replication staleness analytical reads observed
+    /// during the run (`None` when OLAP agents were disabled) — the freshness
+    /// percentiles reported next to throughput.
+    pub freshness: Option<FreshnessSummary>,
 }
 
 impl BenchmarkResult {
@@ -150,6 +157,11 @@ impl BenchmarkDriver {
             WeightedChoice::new(&vec![1u32; analytical.len().max(1)]);
 
         let metrics_before = db.metrics_snapshot();
+        // Discard freshness samples left over from earlier runs against the
+        // same database; the warm-up's samples are discarded by a marker
+        // thread below so the distribution covers the same window as the
+        // latency summaries.
+        db.metrics().take_freshness_samples();
         let locks_before = db.txn_manager().locks().stats();
         let start = Instant::now();
         let measure_start = start + self.config.warmup;
@@ -160,6 +172,12 @@ impl BenchmarkDriver {
         let mut hybrid_recorder = LatencyRecorder::new();
 
         std::thread::scope(|scope| {
+            // Drop warm-up freshness observations the moment measurement
+            // starts, so the collected samples match the measurement window.
+            scope.spawn(|| {
+                std::thread::sleep(measure_start.saturating_duration_since(Instant::now()));
+                db.metrics().take_freshness_samples();
+            });
             let mut handles = Vec::new();
             let groups: [(AgentKind, &AgentConfig); 3] = [
                 (AgentKind::Oltp, &self.config.oltp),
@@ -214,6 +232,18 @@ impl BenchmarkDriver {
         let locks_after = db.txn_manager().locks().stats();
         let delta = metrics_after.delta_since(&metrics_before);
         let lock_overhead = compute_lock_overhead(&delta, &locks_before, &locks_after);
+        let measured_samples = db.metrics().take_freshness_samples();
+        let freshness = if self.config.olap.is_enabled() {
+            let lag_records: Vec<u64> = measured_samples.iter().map(|s| s.lag_records).collect();
+            let lag_commit_ts: Vec<u64> =
+                measured_samples.iter().map(|s| s.lag_commit_ts).collect();
+            Some(FreshnessSummary::from_observations(
+                &lag_records,
+                &lag_commit_ts,
+            ))
+        } else {
+            None
+        };
 
         let window = self.config.duration;
         Ok(BenchmarkResult {
@@ -230,6 +260,8 @@ impl BenchmarkDriver {
             col_rows_scanned: delta.col_rows_scanned,
             buffer_misses: delta.buffer_misses,
             replication_lag: db.replication_lag(),
+            replication_errors: delta.replication_errors,
+            freshness,
         })
     }
 

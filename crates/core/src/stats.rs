@@ -94,14 +94,9 @@ impl LatencyRecorder {
     /// The `q`-quantile (0.0–1.0) of the latency distribution, in nanoseconds,
     /// using the nearest-rank method.
     pub fn quantile_nanos(&self, q: f64) -> u64 {
-        if self.samples.is_empty() {
-            return 0;
-        }
         let mut sorted = self.samples.clone();
         sorted.sort_unstable();
-        let q = q.clamp(0.0, 1.0);
-        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
-        sorted[rank - 1]
+        crate::report::nearest_rank(&sorted, q)
     }
 
     /// Minimum latency in nanoseconds.

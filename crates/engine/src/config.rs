@@ -33,6 +33,53 @@ impl EngineArchitecture {
     }
 }
 
+/// How stale a columnar analytical read may be relative to the committed
+/// transactional history.
+///
+/// The paper's central claim is that HTAP systems must answer analytical
+/// queries over *freshly committed* transactional data; the freshness policy
+/// makes that requirement explicit and enforceable.  Before a column-store
+/// read executes, the session waits (or synchronously catches the replica up)
+/// until the bound holds, and the freshness actually observed is recorded in
+/// the query's [`olxp_query::ExecStats`] and in [`crate::EngineMetrics`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FreshnessPolicy {
+    /// No bound: read whatever the replica currently holds (the seed
+    /// behaviour).  Replication still runs, but queries never wait.
+    Eventual,
+    /// The replica may trail the row store by at most this many committed
+    /// mutation records at the moment the read starts.  The bound is
+    /// re-evaluated against the *current* appended watermark, so
+    /// `BoundedRecords(0)` demands a fully caught-up replica at read time —
+    /// stronger than [`FreshnessPolicy::Strict`], which only waits for the
+    /// mutations committed before the read started and therefore cannot be
+    /// starved by sustained concurrent writers.
+    BoundedRecords(u64),
+    /// The oldest unapplied committed mutation may be at most this many
+    /// wall-clock nanoseconds old at the moment the read starts.
+    BoundedNanos(u64),
+    /// Every mutation committed before the read started must be applied (a
+    /// linearizable-read watermark, TiFlash's "learner read").
+    Strict,
+}
+
+impl FreshnessPolicy {
+    /// Human-readable label used in reports.
+    pub fn describe(&self) -> String {
+        match self {
+            FreshnessPolicy::Eventual => "eventual".to_string(),
+            FreshnessPolicy::BoundedRecords(n) => format!("bounded({n} records)"),
+            FreshnessPolicy::BoundedNanos(t) => format!("bounded({t} ns)"),
+            FreshnessPolicy::Strict => "strict".to_string(),
+        }
+    }
+
+    /// True when reads under this policy may have to wait for the replica.
+    pub fn is_bounded(&self) -> bool {
+        !matches!(self, FreshnessPolicy::Eventual)
+    }
+}
+
 /// Full engine configuration.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct EngineConfig {
@@ -65,6 +112,24 @@ pub struct EngineConfig {
     /// executor (must be >= 1).  Larger batches amortize per-batch overhead;
     /// smaller ones bound operator working sets.
     pub batch_size: usize,
+    /// Run a dedicated background applier thread that continuously drains the
+    /// replication log into the columnar replicas.  When disabled, replication
+    /// is applied opportunistically by sessions (the seed behaviour), and
+    /// freshness-bounded reads catch the replica up synchronously.
+    pub background_applier: bool,
+    /// How long the background applier parks (microseconds) when the
+    /// replication queue is empty before re-checking for shutdown.  Appends
+    /// and shutdown wake it immediately; this only bounds the worst-case
+    /// shutdown latency when a shutdown notification races the park, so it
+    /// can be generous — a short value just makes an idle applier churn the
+    /// scheduler.
+    pub applier_idle_wait_us: u64,
+    /// Freshness bound enforced on column-store analytical reads.
+    pub freshness: FreshnessPolicy,
+    /// Upper bound (milliseconds) a freshness-bounded read waits for the
+    /// replica to catch up before failing with a replication error.  Keeps a
+    /// stalled or broken replication pipeline from hanging readers forever.
+    pub freshness_timeout_ms: u64,
 }
 
 impl EngineConfig {
@@ -81,6 +146,10 @@ impl EngineConfig {
             analytical_rowstore_percent: 100,
             lock_wait_timeout_ms: 500,
             batch_size: DEFAULT_BATCH_SIZE,
+            background_applier: true,
+            applier_idle_wait_us: 10_000,
+            freshness: FreshnessPolicy::Eventual,
+            freshness_timeout_ms: 2_000,
         }
     }
 
@@ -97,6 +166,10 @@ impl EngineConfig {
             analytical_rowstore_percent: 40,
             lock_wait_timeout_ms: 500,
             batch_size: DEFAULT_BATCH_SIZE,
+            background_applier: true,
+            applier_idle_wait_us: 10_000,
+            freshness: FreshnessPolicy::Eventual,
+            freshness_timeout_ms: 2_000,
         }
     }
 
@@ -136,6 +209,24 @@ impl EngineConfig {
     /// Override the executor batch size (builder style).
     pub fn with_batch_size(mut self, batch_size: usize) -> EngineConfig {
         self.batch_size = batch_size;
+        self
+    }
+
+    /// Override the freshness policy for analytical reads (builder style).
+    pub fn with_freshness(mut self, freshness: FreshnessPolicy) -> EngineConfig {
+        self.freshness = freshness;
+        self
+    }
+
+    /// Enable or disable the background replication applier (builder style).
+    pub fn with_background_applier(mut self, enabled: bool) -> EngineConfig {
+        self.background_applier = enabled;
+        self
+    }
+
+    /// Override the freshness wait timeout (builder style).
+    pub fn with_freshness_timeout_ms(mut self, timeout_ms: u64) -> EngineConfig {
+        self.freshness_timeout_ms = timeout_ms;
         self
     }
 
@@ -188,6 +279,16 @@ impl EngineConfig {
         }
         if self.batch_size == 0 {
             return Err(EngineError::Config("batch_size must be >= 1".into()));
+        }
+        if self.applier_idle_wait_us == 0 {
+            return Err(EngineError::Config(
+                "applier_idle_wait_us must be >= 1".into(),
+            ));
+        }
+        if self.freshness.is_bounded() && self.freshness_timeout_ms == 0 {
+            return Err(EngineError::Config(
+                "freshness_timeout_ms must be >= 1 under a bounded freshness policy".into(),
+            ));
         }
         Ok(())
     }
@@ -243,6 +344,42 @@ mod tests {
             .with_batch_size(0)
             .validate()
             .is_err());
+    }
+
+    #[test]
+    fn freshness_defaults_and_validation() {
+        let cfg = EngineConfig::dual_engine();
+        assert_eq!(cfg.freshness, FreshnessPolicy::Eventual);
+        assert!(cfg.background_applier);
+        let bounded = cfg.with_freshness(FreshnessPolicy::BoundedRecords(64));
+        assert!(bounded.validate().is_ok());
+        assert!(bounded.freshness.is_bounded());
+        let bad = EngineConfig::dual_engine()
+            .with_freshness(FreshnessPolicy::Strict)
+            .with_freshness_timeout_ms(0);
+        assert!(bad.validate().is_err());
+        let mut bad = EngineConfig::dual_engine();
+        bad.applier_idle_wait_us = 0;
+        assert!(bad.validate().is_err());
+        // An unbounded policy tolerates a zero timeout (it never waits).
+        let eventual = EngineConfig::dual_engine().with_freshness_timeout_ms(0);
+        assert!(eventual.validate().is_ok());
+    }
+
+    #[test]
+    fn freshness_policy_descriptions() {
+        assert_eq!(FreshnessPolicy::Eventual.describe(), "eventual");
+        assert_eq!(FreshnessPolicy::Strict.describe(), "strict");
+        assert_eq!(
+            FreshnessPolicy::BoundedRecords(8).describe(),
+            "bounded(8 records)"
+        );
+        assert_eq!(
+            FreshnessPolicy::BoundedNanos(1_000).describe(),
+            "bounded(1000 ns)"
+        );
+        assert!(!FreshnessPolicy::Eventual.is_bounded());
+        assert!(FreshnessPolicy::BoundedNanos(1).is_bounded());
     }
 
     #[test]

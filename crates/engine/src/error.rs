@@ -21,6 +21,16 @@ pub enum EngineError {
     UnknownTable(String),
     /// Engine configuration is invalid.
     Config(String),
+    /// The replication pipeline could not satisfy the configured freshness
+    /// bound before the timeout (the replica is stalled or too far behind).
+    FreshnessTimeout {
+        /// The configured policy, human readable.
+        policy: String,
+        /// Replication lag in records when the wait gave up.
+        lag_records: u64,
+        /// How long the read waited, in milliseconds.
+        waited_ms: u64,
+    },
 }
 
 impl fmt::Display for EngineError {
@@ -31,6 +41,14 @@ impl fmt::Display for EngineError {
             EngineError::Query(e) => write!(f, "{e}"),
             EngineError::UnknownTable(t) => write!(f, "unknown table: {t}"),
             EngineError::Config(msg) => write!(f, "invalid engine configuration: {msg}"),
+            EngineError::FreshnessTimeout {
+                policy,
+                lag_records,
+                waited_ms,
+            } => write!(
+                f,
+                "freshness bound {policy} not met after {waited_ms}ms (replication lag: {lag_records} records)"
+            ),
         }
     }
 }

@@ -39,8 +39,8 @@ pub mod metrics;
 pub mod session;
 
 pub use cluster::{Cluster, NodeId};
-pub use config::{EngineArchitecture, EngineConfig};
+pub use config::{EngineArchitecture, EngineConfig, FreshnessPolicy};
 pub use database::HybridDatabase;
 pub use error::{EngineError, EngineResult};
-pub use metrics::{EngineMetrics, MetricsSnapshot, WorkClass};
+pub use metrics::{EngineMetrics, FreshnessSample, MetricsSnapshot, WorkClass};
 pub use session::{Session, TxnHandle};

@@ -4,7 +4,22 @@
 //! paper reports beyond plain latency/throughput: the normalized lock overhead
 //! of Figure 4, scan volumes, buffer-pool churn and replication lag.
 
+use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Freshness observed by one analytical read at the moment it started.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FreshnessSample {
+    /// Committed mutation records the replica trailed the row store by.
+    pub lag_records: u64,
+    /// Commit-timestamp delta between the newest committed mutation and the
+    /// newest applied one (logical staleness).
+    pub lag_commit_ts: u64,
+}
+
+/// Cap on retained freshness samples; beyond it only the counter advances so
+/// unbounded runs cannot grow memory without limit.
+const FRESHNESS_SAMPLE_CAP: usize = 1 << 20;
 
 /// Classification of work for accounting purposes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -53,7 +68,10 @@ pub struct EngineMetrics {
     query_batches: AtomicU64,
     buffer_misses: AtomicU64,
     replication_applied: AtomicU64,
+    replication_errors: AtomicU64,
     distributed_commits: AtomicU64,
+    freshness_observations: AtomicU64,
+    freshness_samples: Mutex<Vec<FreshnessSample>>,
 }
 
 /// A point-in-time copy of [`EngineMetrics`].
@@ -79,8 +97,13 @@ pub struct MetricsSnapshot {
     pub buffer_misses: u64,
     /// Replication log records applied to columnar replicas.
     pub replication_applied: u64,
+    /// Replication apply attempts that failed (the records are retained in
+    /// the log and retried; a non-zero value means the replica fell behind).
+    pub replication_errors: u64,
     /// Commits that required two-phase commit across partitions.
     pub distributed_commits: u64,
+    /// Freshness observations recorded by analytical reads.
+    pub freshness_observations: u64,
 }
 
 impl MetricsSnapshot {
@@ -112,6 +135,12 @@ impl MetricsSnapshot {
         out.replication_applied = self
             .replication_applied
             .saturating_sub(earlier.replication_applied);
+        out.replication_errors = self
+            .replication_errors
+            .saturating_sub(earlier.replication_errors);
+        out.freshness_observations = self
+            .freshness_observations
+            .saturating_sub(earlier.freshness_observations);
         out.distributed_commits = self
             .distributed_commits
             .saturating_sub(earlier.distributed_commits);
@@ -175,6 +204,35 @@ impl EngineMetrics {
         self.replication_applied.fetch_add(records, Ordering::Relaxed);
     }
 
+    /// Record a failed replication apply attempt.
+    pub fn add_replication_error(&self) {
+        self.replication_errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record the freshness one analytical read observed at its start.
+    ///
+    /// Samples beyond [`FRESHNESS_SAMPLE_CAP`] advance the observation
+    /// counter but are not retained until a consumer drains the store with
+    /// [`EngineMetrics::take_freshness_samples`].
+    pub fn record_freshness(&self, sample: FreshnessSample) {
+        self.freshness_observations.fetch_add(1, Ordering::Relaxed);
+        let mut samples = self.freshness_samples.lock();
+        if samples.len() < FRESHNESS_SAMPLE_CAP {
+            samples.push(sample);
+        }
+    }
+
+    /// Drain and return the retained freshness samples.
+    ///
+    /// The benchmark driver drains once when a run starts (discarding
+    /// leftovers from earlier runs on the same database), once when the
+    /// warm-up ends (so the distribution covers the same window as the
+    /// latency summaries), and once at the end to collect the run's samples —
+    /// which also keeps long-lived databases from ever pinning the sample cap.
+    pub fn take_freshness_samples(&self) -> Vec<FreshnessSample> {
+        std::mem::take(&mut *self.freshness_samples.lock())
+    }
+
     /// Record a two-phase (multi-partition) commit.
     pub fn add_distributed_commit(&self) {
         self.distributed_commits.fetch_add(1, Ordering::Relaxed);
@@ -201,7 +259,9 @@ impl EngineMetrics {
             query_batches: self.query_batches.load(Ordering::Relaxed),
             buffer_misses: self.buffer_misses.load(Ordering::Relaxed),
             replication_applied: self.replication_applied.load(Ordering::Relaxed),
+            replication_errors: self.replication_errors.load(Ordering::Relaxed),
             distributed_commits: self.distributed_commits.load(Ordering::Relaxed),
+            freshness_observations: self.freshness_observations.load(Ordering::Relaxed),
         }
     }
 }
@@ -242,6 +302,39 @@ mod tests {
         assert_eq!(d.busy_nanos[0], 40);
         assert_eq!(d.commits, 1);
         assert_eq!(d.buffer_misses, 7);
+    }
+
+    #[test]
+    fn freshness_samples_are_recorded_and_drained() {
+        let m = EngineMetrics::new();
+        m.record_freshness(FreshnessSample {
+            lag_records: 3,
+            lag_commit_ts: 9,
+        });
+        let first = m.take_freshness_samples();
+        assert_eq!(first.len(), 1);
+        assert_eq!(first[0].lag_records, 3);
+        m.record_freshness(FreshnessSample {
+            lag_records: 7,
+            lag_commit_ts: 21,
+        });
+        let second = m.take_freshness_samples();
+        assert_eq!(second.len(), 1);
+        assert_eq!(second[0].lag_records, 7);
+        assert!(m.take_freshness_samples().is_empty());
+        assert_eq!(m.snapshot().freshness_observations, 2, "counter is lifetime");
+    }
+
+    #[test]
+    fn replication_errors_are_counted() {
+        let m = EngineMetrics::new();
+        m.add_replication_error();
+        m.add_replication_error();
+        let early = m.snapshot();
+        m.add_replication_error();
+        let d = m.snapshot().delta_since(&early);
+        assert_eq!(early.replication_errors, 2);
+        assert_eq!(d.replication_errors, 1);
     }
 
     #[test]

@@ -16,14 +16,16 @@
 //! stores, then charges the modelled service time to a cluster node, which is
 //! where queueing (and therefore interference) happens.
 
+use crate::config::FreshnessPolicy;
 use crate::database::{AnalyticalRoute, HybridDatabase};
 use crate::error::{EngineError, EngineResult};
-use crate::metrics::WorkClass;
+use crate::metrics::{FreshnessSample, WorkClass};
 use olxp_query::{execute_with, ColumnSource, ExecOptions, ExecStats, Plan, QueryOutput, RowSource};
 use olxp_storage::{Key, Row, StorageError, StorageMedium, Value};
 use olxp_txn::{IsolationLevel, Transaction, TxnError, WriteOp};
 use std::collections::HashSet;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// An open transaction plus its engine-side bookkeeping.
 #[derive(Debug)]
@@ -515,17 +517,27 @@ impl Session {
     /// on the analytical nodes; a configurable fraction is served by the row
     /// store, and both the single-engine and shared-nothing archetypes always
     /// compete with OLTP for the same nodes.
+    ///
+    /// Column-store reads honour the configured [`FreshnessPolicy`]: the read
+    /// first waits (or synchronously catches the replica up) until the bound
+    /// holds, then records the freshness it actually observed in the output's
+    /// [`ExecStats`] and the engine metrics.  A replica that cannot satisfy
+    /// the bound within the configured timeout — or a replication step that
+    /// fails outright — surfaces as an error instead of silently degrading to
+    /// stale answers.
     pub fn analytical_query(&self, plan: &Plan) -> EngineResult<QueryOutput> {
         self.db.metrics().add_statement(WorkClass::Olap);
         let cost = &self.db.config().cost;
         let medium = self.db.config().medium();
         match self.db.route_analytical() {
             AnalyticalRoute::ColumnStore => {
-                // Freshen the replicas first (asynchronous replication step).
-                let _ = self.db.replicate_step();
+                let freshness = self.ensure_freshness()?;
                 let tables = self.db.col_tables();
                 let source = ColumnSource::new(&tables);
-                let output = execute_with(plan, &source, self.exec_options())?;
+                let mut output = execute_with(plan, &source, self.exec_options())?;
+                output.stats.freshness_lag_records = freshness.lag_records;
+                output.stats.freshness_lag_ts = freshness.lag_commit_ts;
+                self.db.metrics().record_freshness(freshness);
                 self.note_query_batches(&output.stats);
                 let mut nanos = cost.statement_overhead_ns
                     + cost.columnar_scan(output.stats.physical_rows())
@@ -552,6 +564,8 @@ impl Session {
                 let read_ts = self.db.txn_manager().oracle().read_ts();
                 let source = RowSource::new(&tables, read_ts);
                 let output = execute_with(plan, &source, self.exec_options())?;
+                // The row store is the authoritative copy: zero staleness.
+                self.db.metrics().record_freshness(FreshnessSample::default());
                 self.note_query_batches(&output.stats);
                 let mut nanos = self.row_plan_cost(&output.stats, medium);
                 nanos += cost
@@ -585,6 +599,123 @@ impl Session {
     // ------------------------------------------------------------------
     // Internals
     // ------------------------------------------------------------------
+
+    /// One consistent snapshot of the replication lag.
+    ///
+    /// The appended watermarks are read *before* the applied watermarks, and
+    /// applied watermarks only grow, so the computed lag never exceeds the
+    /// true lag at the moment the appended side was sampled.  A sample that
+    /// satisfies a bound therefore proves the bound held.
+    fn freshness_now(&self) -> FreshnessSample {
+        let log = self.db.replication_log();
+        let appended = log.last_appended_lsn();
+        let appended_ts = log.last_appended_commit_ts();
+        let applied = log.last_applied_lsn();
+        let applied_ts = log.last_applied_commit_ts();
+        FreshnessSample {
+            lag_records: appended.saturating_sub(applied),
+            lag_commit_ts: appended_ts.saturating_sub(applied_ts),
+        }
+    }
+
+    /// Wait (or synchronously catch up) until the configured freshness bound
+    /// holds, then return the freshness observed at that moment.
+    ///
+    /// With the background applier running the read parks on the log's
+    /// applied watermark; without it, the read drives replication itself via
+    /// [`HybridDatabase::replicate_step`].  Either way a replication failure
+    /// or an unsatisfiable bound surfaces as an error — a broken replica no
+    /// longer degrades silently to stale answers.
+    fn ensure_freshness(&self) -> EngineResult<FreshnessSample> {
+        let policy = self.db.config().freshness;
+        let log = self.db.replication_log();
+
+        if let FreshnessPolicy::Eventual = policy {
+            // No bound to wait for; still drive replication forward when
+            // nobody else does, and surface failures.
+            if !self.db.has_background_applier() {
+                self.db.replicate_step()?;
+            }
+            return Ok(self.freshness_now());
+        }
+
+        // Strict pins the watermark at entry: everything committed before the
+        // read started must be visible, later commits need not be.
+        let strict_target = log.last_appended_lsn();
+        let satisfied = |sample: &FreshnessSample| -> bool {
+            match policy {
+                FreshnessPolicy::Eventual => true,
+                FreshnessPolicy::BoundedRecords(n) => sample.lag_records <= n,
+                FreshnessPolicy::BoundedNanos(bound) => {
+                    // The queue alone cannot prove the bound: the applier
+                    // drains records in batches before applying them, and the
+                    // age of those in-flight records is unknown.  The queue
+                    // front's age counts only when every unapplied record is
+                    // still queued (pending covers the whole lag); otherwise
+                    // only a zero record lag proves the bound.  The queue is
+                    // snapshotted *before* the lag watermarks: appends in
+                    // between then inflate the lag, never the pending count,
+                    // so an in-flight old record can only make the check
+                    // fail, not pass.
+                    let (pending, age) = log.queue_snapshot();
+                    let lag = log
+                        .last_appended_lsn()
+                        .saturating_sub(log.last_applied_lsn());
+                    match age {
+                        Some(age) => {
+                            pending as u64 >= lag && age.as_nanos() as u64 <= bound
+                        }
+                        None => lag == 0,
+                    }
+                }
+                FreshnessPolicy::Strict => log.last_applied_lsn() >= strict_target,
+            }
+        };
+
+        let timeout = Duration::from_millis(self.db.config().freshness_timeout_ms);
+        let started = Instant::now();
+        let deadline = started + timeout;
+        loop {
+            let sample = self.freshness_now();
+            if satisfied(&sample) {
+                return Ok(sample);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(EngineError::FreshnessTimeout {
+                    policy: policy.describe(),
+                    lag_records: sample.lag_records,
+                    waited_ms: now.duration_since(started).as_millis() as u64,
+                });
+            }
+            // Re-checked every iteration: the applier can be shut down while
+            // a reader waits, in which case the reader must start driving
+            // replication itself instead of parking on a watermark no thread
+            // will ever advance.
+            if self.db.has_background_applier() {
+                // Park until the applied watermark reaches the LSN that
+                // satisfies the bound (re-sampled each iteration: writers may
+                // keep appending).  Record- and LSN-based bounds only change
+                // when the watermark moves, so they can sleep until the
+                // deadline; time-based bounds also change with wall time and
+                // re-check every millisecond.
+                let (target, wait) = match policy {
+                    FreshnessPolicy::BoundedNanos(_) => (
+                        log.last_applied_lsn() + 1,
+                        Duration::from_millis(1).min(deadline - now),
+                    ),
+                    FreshnessPolicy::BoundedRecords(n) => (
+                        log.last_appended_lsn().saturating_sub(n),
+                        deadline - now,
+                    ),
+                    _ => (strict_target, deadline - now),
+                };
+                log.wait_for_applied(target, wait);
+            } else {
+                self.db.replicate_step()?;
+            }
+        }
+    }
 
     /// Executor options derived from the engine configuration: vectorized
     /// scans with the configured batch size.
@@ -905,6 +1036,122 @@ mod tests {
         });
         assert_eq!(result.unwrap(), 1);
         assert_eq!(attempts, 3);
+    }
+
+    /// A config that always routes analytical queries to the column store so
+    /// freshness enforcement is exercised deterministically.
+    fn colstore_only(config: EngineConfig) -> EngineConfig {
+        let mut config = config;
+        config.analytical_rowstore_percent = 0;
+        config
+    }
+
+    #[test]
+    fn strict_freshness_sees_every_prior_commit_without_an_applier() {
+        let config = colstore_only(EngineConfig::dual_engine())
+            .with_background_applier(false)
+            .with_freshness(FreshnessPolicy::Strict);
+        let db = test_db(config);
+        let session = db.session();
+        let mut txn = session.begin(WorkClass::Oltp);
+        session
+            .update(
+                &mut txn,
+                "ITEM",
+                &Key::int(3),
+                Row::new(vec![
+                    Value::Int(3),
+                    Value::Str("item-3".into()),
+                    Value::Decimal(1),
+                ]),
+            )
+            .unwrap();
+        session.commit(txn).unwrap();
+
+        let plan = QueryBuilder::scan("ITEM")
+            .aggregate(vec![], vec![AggSpec::new(AggFunc::Min, 2)])
+            .build();
+        let out = session.analytical_query(&plan).unwrap();
+        assert_eq!(out.rows[0][0].as_f64(), Some(0.01), "strict read is fresh");
+        assert_eq!(out.stats.freshness_lag_records, 0);
+        assert_eq!(out.stats.freshness_lag_ts, 0);
+        assert!(db.metrics_snapshot().freshness_observations >= 1);
+    }
+
+    #[test]
+    fn bounded_records_freshness_is_enforced_and_observed() {
+        let config = colstore_only(EngineConfig::dual_engine())
+            .with_background_applier(false)
+            .with_freshness(FreshnessPolicy::BoundedRecords(5));
+        let db = test_db(config);
+        let session = db.session();
+        // Stack up more lag than the bound allows.
+        for i in 0..50i64 {
+            let mut txn = session.begin(WorkClass::Oltp);
+            session
+                .insert(
+                    &mut txn,
+                    "ITEM",
+                    Row::new(vec![
+                        Value::Int(10_000 + i),
+                        Value::Str("fresh".into()),
+                        Value::Decimal(1),
+                    ]),
+                )
+                .unwrap();
+            session.commit(txn).unwrap();
+        }
+        let plan = QueryBuilder::scan("ITEM")
+            .aggregate(vec![], vec![AggSpec::new(AggFunc::Count, 0)])
+            .build();
+        let out = session.analytical_query(&plan).unwrap();
+        assert!(
+            out.stats.freshness_lag_records <= 5,
+            "observed lag {} exceeds the bound",
+            out.stats.freshness_lag_records
+        );
+    }
+
+    #[test]
+    fn freshness_timeout_surfaces_instead_of_serving_stale() {
+        // No applier and a bound the (empty-stepped) pipeline cannot satisfy:
+        // simulate a stalled pipeline by appending a record for a table with
+        // no replica-side progress possible — here we shut the applier down
+        // and jam the log with a poison record that every step fails on.
+        let config = colstore_only(EngineConfig::dual_engine())
+            .with_background_applier(false)
+            .with_freshness(FreshnessPolicy::Strict)
+            .with_freshness_timeout_ms(50);
+        let db = test_db(config);
+        let session = db.session();
+        // Poison: an insert record without a row image fails to apply and is
+        // retained at the head of the queue.
+        db.replication_log().append(
+            "ITEM",
+            olxp_storage::MutationOp::Insert,
+            Key::int(42_000),
+            None,
+            db.txn_manager().oracle().read_ts(),
+        );
+        let plan = QueryBuilder::scan("ITEM")
+            .aggregate(vec![], vec![AggSpec::new(AggFunc::Count, 0)])
+            .build();
+        let err = session.analytical_query(&plan);
+        assert!(err.is_err(), "a broken replica must not serve stale answers");
+        assert!(db.metrics_snapshot().replication_errors >= 1);
+    }
+
+    #[test]
+    fn bounded_nanos_accepts_a_drained_pipeline() {
+        let config = colstore_only(EngineConfig::dual_engine())
+            .with_freshness(FreshnessPolicy::BoundedNanos(50_000_000));
+        let db = test_db(config);
+        let session = db.session();
+        let plan = QueryBuilder::scan("ITEM")
+            .aggregate(vec![], vec![AggSpec::new(AggFunc::Count, 0)])
+            .build();
+        let out = session.analytical_query(&plan).unwrap();
+        assert_eq!(out.rows.len(), 1);
     }
 
     #[test]

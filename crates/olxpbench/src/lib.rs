@@ -49,8 +49,8 @@ pub use olxpbench_workloads as workloads;
 /// Everything needed to configure and run a benchmark.
 pub mod prelude {
     pub use olxp_engine::{
-        EngineArchitecture, EngineConfig, EngineError, EngineResult, HybridDatabase, Session,
-        TxnHandle, WorkClass,
+        EngineArchitecture, EngineConfig, EngineError, EngineResult, FreshnessPolicy,
+        FreshnessSample, HybridDatabase, Session, TxnHandle, WorkClass,
     };
     pub use olxp_query::{col, lit, AggFunc, AggSpec, JoinKind, Plan, QueryBuilder, SortKey};
     pub use olxp_storage::{
@@ -59,8 +59,8 @@ pub mod prelude {
     pub use olxp_txn::IsolationLevel;
     pub use olxpbench_core::{
         check_semantic_consistency, AgentConfig, AnalyticalQuery, BenchConfig, BenchmarkComparison,
-        BenchmarkDriver, BenchmarkResult, HybridTransaction, LatencySummary, LoopMode,
-        OnlineTransaction, TransactionMix, Workload, WorkloadFeatures, WorkloadKind,
+        BenchmarkDriver, BenchmarkResult, FreshnessSummary, HybridTransaction, LatencySummary,
+        LoopMode, OnlineTransaction, TransactionMix, Workload, WorkloadFeatures, WorkloadKind,
     };
     pub use olxpbench_workloads::{
         olxp_suites, workload_by_name, ChBenchmark, Fibenchmark, Subenchmark, Tabenchmark,

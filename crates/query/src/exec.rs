@@ -105,6 +105,13 @@ pub struct ExecStats {
     pub sort_rows: u64,
     /// Rows produced by the plan root.
     pub output_rows: u64,
+    /// Replication lag, in committed mutation records, of the store this
+    /// query read from at the moment the read started (0 for reads of the
+    /// authoritative row store).  Filled in by the engine session.
+    pub freshness_lag_records: u64,
+    /// Replication lag as a commit-timestamp delta at the moment the read
+    /// started (0 for row-store reads).  Filled in by the engine session.
+    pub freshness_lag_ts: u64,
 }
 
 impl ExecStats {
@@ -130,6 +137,10 @@ impl ExecStats {
         self.agg_input_rows += other.agg_input_rows;
         self.sort_rows += other.sort_rows;
         self.output_rows += other.output_rows;
+        // Freshness is a point-in-time observation, not additive work: keep
+        // the worst (stalest) observation across merged statements.
+        self.freshness_lag_records = self.freshness_lag_records.max(other.freshness_lag_records);
+        self.freshness_lag_ts = self.freshness_lag_ts.max(other.freshness_lag_ts);
     }
 }
 
