@@ -81,7 +81,9 @@ fn bench_transactions(c: &mut Criterion) {
                     _ => 0,
                 };
                 row.set(2, Value::Decimal(price + 1));
-                session.update(&mut txn, "ITEM", &Key::int(key), row).unwrap();
+                session
+                    .update(&mut txn, "ITEM", &Key::int(key), row)
+                    .unwrap();
                 session.commit(txn).unwrap();
             })
         });

@@ -18,7 +18,10 @@ fn main() {
         let started = Instant::now();
         let report = run_experiment(id, opts).expect("registered experiment");
         println!("{report}");
-        println!("[{id} quick pass: {:.1}s]\n", started.elapsed().as_secs_f64());
+        println!(
+            "[{id} quick pass: {:.1}s]\n",
+            started.elapsed().as_secs_f64()
+        );
     }
     println!(
         "all figure/table experiments completed in {:.1}s (quick mode)",

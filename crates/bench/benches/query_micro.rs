@@ -3,7 +3,9 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use olxpbench::prelude::*;
-use olxpbench::query::{execute, execute_with, expr::like_match, ColumnSource, ExecOptions, RowSource};
+use olxpbench::query::{
+    execute, execute_with, expr::like_match, ColumnSource, ExecOptions, RowSource,
+};
 use olxpbench::storage::{ColumnTable, RowTable};
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -69,7 +71,9 @@ fn bench_expressions(c: &mut Criterion) {
         Value::Decimal(995),
     ];
     let predicate = col(0).gt(lit(5)).and(col(2).le(lit(Value::Decimal(1_000))));
-    group.bench_function("predicate_eval", |b| b.iter(|| predicate.matches(&row).unwrap()));
+    group.bench_function("predicate_eval", |b| {
+        b.iter(|| predicate.matches(&row).unwrap())
+    });
     group.bench_function("like_match", |b| {
         b.iter(|| like_match("subscriber-000000000012345", "%00123%"))
     });
@@ -83,17 +87,25 @@ fn bench_plans(c: &mut Criterion) {
     let tables = orders_fixture(10_000);
     let source = RowSource::new(&tables, 10);
 
-    let filter_plan = QueryBuilder::scan_where("ORDERS", col(2).gt(lit(Value::Decimal(900))))
-        .build();
+    let filter_plan =
+        QueryBuilder::scan_where("ORDERS", col(2).gt(lit(Value::Decimal(900)))).build();
     group.bench_function("filtered_scan_10k", |b| {
         b.iter(|| execute(&filter_plan, &source).unwrap().rows.len())
     });
 
     let join_agg_plan = QueryBuilder::scan("ORDERS")
-        .join(QueryBuilder::scan("CUSTOMER"), vec![1], vec![0], JoinKind::Inner)
+        .join(
+            QueryBuilder::scan("CUSTOMER"),
+            vec![1],
+            vec![0],
+            JoinKind::Inner,
+        )
         .aggregate(
             vec![1],
-            vec![AggSpec::new(AggFunc::Sum, 2), AggSpec::new(AggFunc::Count, 0)],
+            vec![
+                AggSpec::new(AggFunc::Sum, 2),
+                AggSpec::new(AggFunc::Count, 0),
+            ],
         )
         .sort(vec![SortKey::desc(1)])
         .limit(10)

@@ -31,7 +31,13 @@ fn item(id: i64) -> Row {
 fn filled_log(records: i64) -> Arc<ReplicationLog> {
     let log = Arc::new(ReplicationLog::new());
     for i in 0..records {
-        log.append("ITEM", MutationOp::Insert, Key::int(i), Some(item(i)), i as u64 + 1);
+        log.append(
+            "ITEM",
+            MutationOp::Insert,
+            Key::int(i),
+            Some(item(i)),
+            i as u64 + 1,
+        );
     }
     log
 }
@@ -46,7 +52,13 @@ fn bench_replication(c: &mut Criterion) {
             ReplicationLog::new,
             |log| {
                 for i in 0..RECORDS {
-                    log.append("ITEM", MutationOp::Insert, Key::int(i), Some(item(i)), i as u64 + 1);
+                    log.append(
+                        "ITEM",
+                        MutationOp::Insert,
+                        Key::int(i),
+                        Some(item(i)),
+                        i as u64 + 1,
+                    );
                 }
                 log
             },
@@ -79,10 +91,8 @@ fn bench_replication(c: &mut Criterion) {
     group.bench_function("load_to_converged_1k", |b| {
         b.iter_batched(
             || {
-                let db = HybridDatabase::new(
-                    EngineConfig::dual_engine().with_time_scale(0.0),
-                )
-                .unwrap();
+                let db =
+                    HybridDatabase::new(EngineConfig::dual_engine().with_time_scale(0.0)).unwrap();
                 db.create_table(
                     TableSchema::new(
                         "ITEM",

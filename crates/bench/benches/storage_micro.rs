@@ -101,7 +101,8 @@ fn bench_colstore_and_replication(c: &mut Criterion) {
 
     let col = ColumnTable::new(item_schema());
     for i in 0..10_000i64 {
-        col.apply_insert(&Key::int(i), &item(i), 1, i as u64 + 1).unwrap();
+        col.apply_insert(&Key::int(i), &item(i), 1, i as u64 + 1)
+            .unwrap();
     }
     group.bench_function("projected_scan_10k", |b| {
         b.iter(|| {
@@ -124,7 +125,8 @@ fn bench_colstore_and_replication(c: &mut Criterion) {
     group.sample_size(10);
     let big = ColumnTable::new(item_schema());
     for i in 0..100_000i64 {
-        big.apply_insert(&Key::int(i), &item(i), 1, i as u64 + 1).unwrap();
+        big.apply_insert(&Key::int(i), &item(i), 1, i as u64 + 1)
+            .unwrap();
     }
     group.bench_function("row_scan_100k", |b| {
         b.iter(|| {
@@ -187,5 +189,10 @@ fn bench_bufferpool(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_rowstore, bench_colstore_and_replication, bench_bufferpool);
+criterion_group!(
+    benches,
+    bench_rowstore,
+    bench_colstore_and_replication,
+    bench_bufferpool
+);
 criterion_main!(benches);

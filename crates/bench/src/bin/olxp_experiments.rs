@@ -2,22 +2,74 @@
 //!
 //! ```text
 //! olxp-experiments <experiment-id>|all [--quick]
+//!                  [--durability none|group|always] [--data-dir PATH]
 //! ```
 //!
 //! Experiment ids: `table1`, `table2`, `fig1`, `fig3`, `fig4`, `fig5`, `fig6`,
-//! `fig7`, `fig8`, `fig9`, `findings`, `fig10`, `interference`.
+//! `fig7`, `fig8`, `fig9`, `findings`, `fig10`, `interference`, `durability`.
+//!
+//! `--durability` runs every experiment engine on a write-ahead log with the
+//! given sync policy (default `none`: in-memory, the paper's setup), and
+//! `--data-dir` roots the engines' WAL segments and checkpoints at PATH
+//! (default: a per-process temp directory).
 
-use olxpbench_bench::{all_experiment_ids, run_experiment, ExpOptions};
+use olxpbench_bench::{all_experiment_ids, run_experiment, DurabilityMode, ExpOptions};
 use std::time::Instant;
+
+fn usage_error(message: &str) -> ! {
+    eprintln!("{message}");
+    eprintln!(
+        "usage: olxp-experiments <experiment-id>|all [--quick] \
+         [--durability none|group|always] [--data-dir PATH]"
+    );
+    std::process::exit(2);
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let quick = args.iter().any(|a| a == "--quick");
-    let targets: Vec<String> = args.into_iter().filter(|a| !a.starts_with("--")).collect();
-    let opts = if quick {
+    let mut quick = false;
+    let mut durability = DurabilityMode::None;
+    let mut data_dir: Option<&'static str> = None;
+    let mut targets: Vec<String> = Vec::new();
+
+    let mut iter = args.into_iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--durability" => {
+                let Some(value) = iter.next() else {
+                    usage_error("--durability requires a value (none|group|always)");
+                };
+                durability = DurabilityMode::parse(&value).unwrap_or_else(|| {
+                    usage_error(&format!(
+                        "unknown durability mode {value:?} (expected none|group|always)"
+                    ))
+                });
+            }
+            "--data-dir" => {
+                let Some(value) = iter.next() else {
+                    usage_error("--data-dir requires a path");
+                };
+                // ExpOptions is Copy and threads through every experiment;
+                // the one CLI-provided path lives for the whole process.
+                data_dir = Some(Box::leak(value.into_boxed_str()));
+            }
+            flag if flag.starts_with("--") => {
+                usage_error(&format!("unknown flag {flag}"));
+            }
+            _ => targets.push(arg),
+        }
+    }
+
+    let base = if quick {
         ExpOptions::quick()
     } else {
         ExpOptions::default()
+    };
+    let opts = ExpOptions {
+        durability,
+        data_dir,
+        ..base
     };
 
     let ids: Vec<String> = if targets.is_empty() || targets.iter().any(|t| t == "all") {

@@ -72,8 +72,16 @@ pub fn fig1_hybrid_impact(opts: ExpOptions) -> String {
 
     let base = baseline.oltp.unwrap_or_default();
     let hyb = hybrid.hybrid.unwrap_or_default();
-    let latency_factor = if base.mean_ms > 0.0 { hyb.mean_ms / base.mean_ms } else { 0.0 };
-    let throughput_factor = if hyb.throughput > 0.0 { base.throughput / hyb.throughput } else { 0.0 };
+    let latency_factor = if base.mean_ms > 0.0 {
+        hyb.mean_ms / base.mean_ms
+    } else {
+        0.0
+    };
+    let throughput_factor = if hyb.throughput > 0.0 {
+        base.throughput / hyb.throughput
+    } else {
+        0.0
+    };
     let rows = vec![
         vec![
             "online transaction only".to_string(),
@@ -94,7 +102,13 @@ pub fn fig1_hybrid_impact(opts: ExpOptions) -> String {
         "Figure 1 — Impact of the hybrid workload on the dual-engine (TiDB-like) system\n\
          (paper: latency x5.9, throughput /5.9)\n{}",
         render_table(
-            &["workload", "mean latency (ms)", "throughput (tps)", "latency vs baseline", "baseline/throughput"],
+            &[
+                "workload",
+                "mean latency (ms)",
+                "throughput (tps)",
+                "latency vs baseline",
+                "baseline/throughput"
+            ],
             &rows
         )
     )
@@ -113,8 +127,14 @@ pub fn fig3_schema_model(opts: ExpOptions) -> (String, String) {
     let mut normalized: Vec<(String, Vec<f64>, Vec<f64>)> = Vec::new();
 
     for (name, workload) in [
-        ("OLxPBench (consistent)", workload_by_name("subenchmark").unwrap()),
-        ("CH-benCHmark (stitch)", workload_by_name("chbenchmark").unwrap()),
+        (
+            "OLxPBench (consistent)",
+            workload_by_name("subenchmark").unwrap(),
+        ),
+        (
+            "CH-benCHmark (stitch)",
+            workload_by_name("chbenchmark").unwrap(),
+        ),
     ] {
         let db = prepared_db(EngineArchitecture::DualEngine, workload.as_ref(), opts);
         let mut latencies = Vec::new();
@@ -164,7 +184,12 @@ pub fn fig3_schema_model(opts: ExpOptions) -> (String, String) {
         "Figure 3 — Normalized online-transaction latency vs OLAP pressure\n\
          (paper: consistent schema >2x at 1 thread, >3x at 2; stitch schema <1.2x / ~1.5x)\n{}",
         render_table(
-            &["schema model", "OLAP threads", "mean latency (ms)", "normalized latency"],
+            &[
+                "schema model",
+                "OLAP threads",
+                "mean latency (ms)",
+                "normalized latency"
+            ],
             &latency_rows
         )
     );
@@ -172,7 +197,12 @@ pub fn fig3_schema_model(opts: ExpOptions) -> (String, String) {
         "Figure 4 — Normalized lock overhead vs OLAP pressure\n\
          (paper: gap between consistent and stitch schema is 1.76x @1 thread, 1.68x @2)\n{}",
         render_table(
-            &["schema model", "OLAP threads", "lock overhead", "normalized lock overhead"],
+            &[
+                "schema model",
+                "OLAP threads",
+                "lock overhead",
+                "normalized lock overhead"
+            ],
             &lock_rows
         )
     );

@@ -9,13 +9,57 @@
 //! effects) is expected to match.
 
 mod design;
+mod durability;
 mod scaling;
 mod sweeps;
 mod tables;
 
 use olxpbench::prelude::*;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
+
+/// Which durability mode the experiment engines run with (`--durability`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DurabilityMode {
+    /// In-memory engines (the default; matches the paper's setup).
+    #[default]
+    None,
+    /// WAL with group commit.
+    Group,
+    /// WAL with an fsync per commit.
+    Always,
+}
+
+impl DurabilityMode {
+    /// Parse the `--durability` flag value.
+    pub fn parse(value: &str) -> Option<DurabilityMode> {
+        match value {
+            "none" => Some(DurabilityMode::None),
+            "group" => Some(DurabilityMode::Group),
+            "always" => Some(DurabilityMode::Always),
+            _ => None,
+        }
+    }
+
+    /// The WAL sync policy this mode maps to (`None` disables the WAL).
+    pub fn sync_policy(self) -> Option<SyncPolicy> {
+        match self {
+            DurabilityMode::None => None,
+            DurabilityMode::Group => Some(SyncPolicy::group_commit()),
+            DurabilityMode::Always => Some(SyncPolicy::Always),
+        }
+    }
+
+    /// Display label used in reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            DurabilityMode::None => "none (in-memory)",
+            DurabilityMode::Group => "group commit",
+            DurabilityMode::Always => "fsync per commit",
+        }
+    }
+}
 
 /// Options shared by all experiments.
 #[derive(Debug, Clone, Copy)]
@@ -25,6 +69,11 @@ pub struct ExpOptions {
     pub quick: bool,
     /// Simulated-time multiplier passed to the engines (1.0 = calibrated model).
     pub time_scale: f64,
+    /// Durability mode for every engine the experiments create.
+    pub durability: DurabilityMode,
+    /// Root directory for durable engines' data (`--data-dir`).  Each engine
+    /// gets its own subdirectory; `None` falls back to a temp directory.
+    pub data_dir: Option<&'static str>,
 }
 
 impl Default for ExpOptions {
@@ -32,6 +81,8 @@ impl Default for ExpOptions {
         ExpOptions {
             quick: false,
             time_scale: 1.0,
+            durability: DurabilityMode::None,
+            data_dir: None,
         }
     }
 }
@@ -41,7 +92,7 @@ impl ExpOptions {
     pub fn quick() -> ExpOptions {
         ExpOptions {
             quick: true,
-            time_scale: 1.0,
+            ..ExpOptions::default()
         }
     }
 
@@ -90,6 +141,7 @@ pub fn all_experiment_ids() -> Vec<&'static str> {
         "findings",
         "fig10",
         "interference",
+        "durability",
     ]
 }
 
@@ -110,6 +162,7 @@ pub fn run_experiment(id: &str, opts: ExpOptions) -> Option<String> {
         "findings" => sweeps::findings(opts),
         "fig10" => scaling::fig10_scalability(opts),
         "interference" => design::interference(opts),
+        "durability" => durability::commit_latency_by_sync_policy(opts),
         _ => return None,
     };
     Some(report)
@@ -118,6 +171,23 @@ pub fn run_experiment(id: &str, opts: ExpOptions) -> Option<String> {
 // ---------------------------------------------------------------------------
 // Shared helpers
 // ---------------------------------------------------------------------------
+
+/// Monotonic suffix so every durable experiment engine gets a fresh data
+/// directory (experiments build many engines; they must not share a WAL).
+static DATA_DIR_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// Durability settings for one freshly created experiment engine, or `None`
+/// when the experiments run in-memory (the default).
+pub(crate) fn durability_for(opts: ExpOptions) -> Option<DurabilityConfig> {
+    let sync = opts.durability.sync_policy()?;
+    let root = opts
+        .data_dir
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| std::env::temp_dir().join("olxp-experiments"));
+    let unique = DATA_DIR_COUNTER.fetch_add(1, Ordering::Relaxed);
+    let dir = root.join(format!("engine-{}-{unique}", std::process::id()));
+    Some(DurabilityConfig::at(dir.display().to_string()).with_sync(sync))
+}
 
 /// Build an engine of the given architecture.
 pub(crate) fn make_db(
@@ -130,8 +200,11 @@ pub(crate) fn make_db(
         EngineArchitecture::DualEngine => EngineConfig::dual_engine(),
         EngineArchitecture::SharedNothing => EngineConfig::shared_nothing(),
     };
-    HybridDatabase::new(base.with_nodes(nodes).with_time_scale(opts.time_scale))
-        .expect("experiment engine config is valid")
+    let mut config = base.with_nodes(nodes).with_time_scale(opts.time_scale);
+    if let Some(durability) = durability_for(opts) {
+        config = config.with_durability(durability);
+    }
+    HybridDatabase::new(config).expect("experiment engine config is valid")
 }
 
 /// Build an engine and load a workload into it.
@@ -152,7 +225,9 @@ pub(crate) fn prepared_db_with_nodes(
     scale: u32,
 ) -> Arc<HybridDatabase> {
     let db = make_db(architecture, nodes, opts);
-    workload.create_schema(&db).expect("schema creation succeeds");
+    workload
+        .create_schema(&db)
+        .expect("schema creation succeeds");
     workload.load(&db, scale, 42).expect("data load succeeds");
     db.finish_load().expect("replication catch-up succeeds");
     db

@@ -12,7 +12,10 @@ pub fn fig10_scalability(opts: ExpOptions) -> String {
     let node_counts: &[usize] = if opts.quick { &[4, 8] } else { &[4, 8, 16] };
     let archs = [
         (EngineArchitecture::DualEngine, "TiDB-like (dual engine)"),
-        (EngineArchitecture::SharedNothing, "OceanBase-like (shared nothing)"),
+        (
+            EngineArchitecture::SharedNothing,
+            "OceanBase-like (shared nothing)",
+        ),
     ];
 
     let mut oltp_rows = Vec::new();

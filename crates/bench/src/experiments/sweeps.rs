@@ -7,7 +7,10 @@ use olxpbench::prelude::*;
 use std::sync::Arc;
 
 const ARCHS: [(EngineArchitecture, &str); 2] = [
-    (EngineArchitecture::SingleEngine, "MemSQL-like (single engine)"),
+    (
+        EngineArchitecture::SingleEngine,
+        "MemSQL-like (single engine)",
+    ),
     (EngineArchitecture::DualEngine, "TiDB-like (dual engine)"),
 ];
 

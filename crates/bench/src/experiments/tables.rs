@@ -55,11 +55,21 @@ mod tests {
     #[test]
     fn table1_lists_six_benchmarks_and_olxp_has_everything() {
         let t = table1();
-        for name in ["CH-benCHmark", "CBTR", "HTAPBench", "ADAPT", "HAP", "OLxPBench"] {
+        for name in [
+            "CH-benCHmark",
+            "CBTR",
+            "HTAPBench",
+            "ADAPT",
+            "HAP",
+            "OLxPBench",
+        ] {
             assert!(t.contains(name), "missing row {name}");
         }
         let olxp_line = t.lines().find(|l| l.contains("OLxPBench")).unwrap();
-        assert!(!olxp_line.contains("no"), "OLxPBench satisfies every column");
+        assert!(
+            !olxp_line.contains("no"),
+            "OLxPBench satisfies every column"
+        );
     }
 
     #[test]

@@ -16,4 +16,4 @@
 
 pub mod experiments;
 
-pub use experiments::{all_experiment_ids, run_experiment, ExpOptions};
+pub use experiments::{all_experiment_ids, run_experiment, DurabilityMode, ExpOptions};

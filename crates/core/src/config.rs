@@ -273,8 +273,7 @@ mod tests {
 
     #[test]
     fn total_runtime_adds_warmup() {
-        let c = BenchConfig::default()
-            .with_warmup(Duration::from_secs(1));
+        let c = BenchConfig::default().with_warmup(Duration::from_secs(1));
         assert_eq!(c.total_runtime(), Duration::from_secs(1) + c.duration);
     }
 }

@@ -60,6 +60,17 @@ pub struct BenchmarkResult {
     /// during the run (`None` when OLAP agents were disabled) — the freshness
     /// percentiles reported next to throughput.
     pub freshness: Option<FreshnessSummary>,
+    /// WAL records appended during the run (0 for in-memory engines).
+    pub wal_appends: u64,
+    /// WAL fsyncs issued during the run (0 for in-memory engines).
+    pub wal_fsyncs: u64,
+    /// Commits acknowledged through a durability sync during the run.
+    pub wal_synced_commits: u64,
+    /// Median group-commit batch size over the engine's lifetime (committers
+    /// per fsync; 0 for in-memory engines).
+    pub group_commit_p50: u64,
+    /// 99th percentile group-commit batch size over the engine's lifetime.
+    pub group_commit_p99: u64,
 }
 
 impl BenchmarkResult {
@@ -146,15 +157,20 @@ impl BenchmarkDriver {
         }
 
         let online_choice = self.weighted_choice(
-            &online.iter().map(|t| t.name().to_string()).collect::<Vec<_>>(),
+            &online
+                .iter()
+                .map(|t| t.name().to_string())
+                .collect::<Vec<_>>(),
             workload.default_online_mix().entries(),
         );
         let hybrid_choice = self.weighted_choice(
-            &hybrid.iter().map(|t| t.name().to_string()).collect::<Vec<_>>(),
+            &hybrid
+                .iter()
+                .map(|t| t.name().to_string())
+                .collect::<Vec<_>>(),
             workload.default_hybrid_mix().entries(),
         );
-        let analytical_choice =
-            WeightedChoice::new(&vec![1u32; analytical.len().max(1)]);
+        let analytical_choice = WeightedChoice::new(&vec![1u32; analytical.len().max(1)]);
 
         let metrics_before = db.metrics_snapshot();
         // Discard freshness samples left over from earlier runs against the
@@ -262,6 +278,11 @@ impl BenchmarkDriver {
             replication_lag: db.replication_lag(),
             replication_errors: delta.replication_errors,
             freshness,
+            wal_appends: delta.wal.appends,
+            wal_fsyncs: delta.wal.fsyncs,
+            wal_synced_commits: delta.wal.synced_commits,
+            group_commit_p50: delta.wal.group_batch_p50,
+            group_commit_p99: delta.wal.group_batch_p99,
         })
     }
 
@@ -269,12 +290,7 @@ impl BenchmarkDriver {
         let weights: Vec<u32> = names
             .iter()
             .map(|name| {
-                if let Some((_, w)) = self
-                    .config
-                    .weight_overrides
-                    .iter()
-                    .find(|(n, _)| n == name)
-                {
+                if let Some((_, w)) = self.config.weight_overrides.iter().find(|(n, _)| n == name) {
                     *w
                 } else if let Some((_, w)) = defaults.iter().find(|(n, _)| n == name) {
                     *w
@@ -427,7 +443,11 @@ mod tests {
     #[test]
     fn enabled_summary_none_when_disabled() {
         let recorder = LatencyRecorder::new();
-        assert!(enabled_summary(&AgentConfig::disabled(), &recorder, Duration::from_secs(1)).is_none());
-        assert!(enabled_summary(&AgentConfig::new(1, 1.0), &recorder, Duration::from_secs(1)).is_some());
+        assert!(
+            enabled_summary(&AgentConfig::disabled(), &recorder, Duration::from_secs(1)).is_none()
+        );
+        assert!(
+            enabled_summary(&AgentConfig::new(1, 1.0), &recorder, Duration::from_secs(1)).is_some()
+        );
     }
 }

@@ -47,6 +47,8 @@ mod tests {
     fn conversion_and_display() {
         let e: BenchError = EngineError::UnknownTable("ITEM".into()).into();
         assert!(e.to_string().contains("ITEM"));
-        assert!(BenchError::Config("bad rate".into()).to_string().contains("bad rate"));
+        assert!(BenchError::Config("bad rate".into())
+            .to_string()
+            .contains("bad rate"));
     }
 }

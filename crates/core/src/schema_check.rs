@@ -88,11 +88,18 @@ mod tests {
 
     #[test]
     fn consistent_schema_has_no_olap_only_tables() {
-        let oltp = vec!["ORDERS".to_string(), "ORDER_LINE".to_string(), "HISTORY".to_string()];
+        let oltp = vec![
+            "ORDERS".to_string(),
+            "ORDER_LINE".to_string(),
+            "HISTORY".to_string(),
+        ];
         let olap = vec!["ORDERS".to_string(), "HISTORY".to_string()];
         let report = check_consistency_of_tables("subenchmark", &oltp, &olap);
         assert!(report.is_semantically_consistent());
-        assert_eq!(report.unanalyzed_oltp_tables, vec!["ORDER_LINE".to_string()]);
+        assert_eq!(
+            report.unanalyzed_oltp_tables,
+            vec!["ORDER_LINE".to_string()]
+        );
         assert!((report.oltp_coverage() - 2.0 / 3.0).abs() < 1e-9);
     }
 
@@ -108,7 +115,9 @@ mod tests {
         let report = check_consistency_of_tables("ch-benchmark", &oltp, &olap);
         assert!(!report.is_semantically_consistent());
         assert_eq!(report.olap_only_tables.len(), 3);
-        assert!(report.unanalyzed_oltp_tables.contains(&"HISTORY".to_string()));
+        assert!(report
+            .unanalyzed_oltp_tables
+            .contains(&"HISTORY".to_string()));
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Engine configuration.
 
 use crate::error::{EngineError, EngineResult};
-use olxp_storage::{CostParams, StorageMedium, DEFAULT_BATCH_SIZE};
+use olxp_storage::{CostParams, StorageMedium, SyncPolicy, DEFAULT_BATCH_SIZE};
 use olxp_txn::IsolationLevel;
 use serde::{Deserialize, Serialize};
 
@@ -80,6 +80,110 @@ impl FreshnessPolicy {
     }
 }
 
+/// Durability settings for the engine's storage.
+///
+/// The default is pure in-memory operation (the seed behaviour): nothing is
+/// written to disk, a crash loses everything, and no recovery happens at
+/// startup.  Setting [`DurabilityConfig::data_dir`] turns on the write-ahead
+/// log and checkpointing: every commit is logged (and, per the
+/// [`SyncPolicy`], fsynced) before it is acknowledged, and
+/// [`crate::HybridDatabase::open`] replays the newest checkpoint plus the WAL
+/// tail to rebuild the stores after a crash.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DurabilityConfig {
+    /// Directory holding WAL segments and checkpoints.  `None` (the default)
+    /// disables durability entirely.
+    pub data_dir: Option<String>,
+    /// How commits are made durable.
+    pub sync: SyncPolicy,
+    /// Target size of one WAL segment file, in bytes (min 4 KiB).
+    pub segment_bytes: u64,
+    /// Take a checkpoint (and truncate covered WAL segments) every this many
+    /// logged records; `0` disables automatic checkpoints (explicit
+    /// [`crate::HybridDatabase::checkpoint`] calls still work).
+    pub checkpoint_every_records: u64,
+}
+
+impl DurabilityConfig {
+    /// In-memory operation: no WAL, no checkpoints, no recovery.
+    pub fn disabled() -> DurabilityConfig {
+        DurabilityConfig {
+            data_dir: None,
+            sync: SyncPolicy::group_commit(),
+            segment_bytes: 8 * 1024 * 1024,
+            checkpoint_every_records: 100_000,
+        }
+    }
+
+    /// Durable operation rooted at `data_dir` with the default group-commit
+    /// sync policy.
+    pub fn at(data_dir: impl Into<String>) -> DurabilityConfig {
+        DurabilityConfig {
+            data_dir: Some(data_dir.into()),
+            ..DurabilityConfig::disabled()
+        }
+    }
+
+    /// Override the sync policy (builder style).
+    pub fn with_sync(mut self, sync: SyncPolicy) -> DurabilityConfig {
+        self.sync = sync;
+        self
+    }
+
+    /// Override the segment size (builder style).
+    pub fn with_segment_bytes(mut self, bytes: u64) -> DurabilityConfig {
+        self.segment_bytes = bytes;
+        self
+    }
+
+    /// Override the automatic checkpoint interval (builder style).
+    pub fn with_checkpoint_every(mut self, records: u64) -> DurabilityConfig {
+        self.checkpoint_every_records = records;
+        self
+    }
+
+    /// True when a data directory is configured.
+    pub fn is_enabled(&self) -> bool {
+        self.data_dir.is_some()
+    }
+
+    /// Validate the durability settings (called from
+    /// [`EngineConfig::validate`]).
+    pub fn validate(&self) -> EngineResult<()> {
+        if !self.is_enabled() {
+            return Ok(());
+        }
+        if self
+            .data_dir
+            .as_deref()
+            .is_some_and(|d| d.trim().is_empty())
+        {
+            return Err(EngineError::Config(
+                "durability data_dir must not be empty".into(),
+            ));
+        }
+        if self.segment_bytes < 4096 {
+            return Err(EngineError::Config(
+                "durability segment_bytes must be >= 4096".into(),
+            ));
+        }
+        if let SyncPolicy::GroupCommit { max_batch, .. } = self.sync {
+            if max_batch == 0 {
+                return Err(EngineError::Config(
+                    "group commit max_batch must be >= 1".into(),
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Default for DurabilityConfig {
+    fn default() -> DurabilityConfig {
+        DurabilityConfig::disabled()
+    }
+}
+
 /// Full engine configuration.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct EngineConfig {
@@ -130,6 +234,10 @@ pub struct EngineConfig {
     /// replica to catch up before failing with a replication error.  Keeps a
     /// stalled or broken replication pipeline from hanging readers forever.
     pub freshness_timeout_ms: u64,
+    /// Durability settings (WAL + checkpoints).  Disabled by default, so the
+    /// engine behaves exactly like the in-memory seed unless a data directory
+    /// is configured.
+    pub durability: DurabilityConfig,
 }
 
 impl EngineConfig {
@@ -150,6 +258,7 @@ impl EngineConfig {
             applier_idle_wait_us: 10_000,
             freshness: FreshnessPolicy::Eventual,
             freshness_timeout_ms: 2_000,
+            durability: DurabilityConfig::disabled(),
         }
     }
 
@@ -170,6 +279,7 @@ impl EngineConfig {
             applier_idle_wait_us: 10_000,
             freshness: FreshnessPolicy::Eventual,
             freshness_timeout_ms: 2_000,
+            durability: DurabilityConfig::disabled(),
         }
     }
 
@@ -227,6 +337,12 @@ impl EngineConfig {
     /// Override the freshness wait timeout (builder style).
     pub fn with_freshness_timeout_ms(mut self, timeout_ms: u64) -> EngineConfig {
         self.freshness_timeout_ms = timeout_ms;
+        self
+    }
+
+    /// Override the durability settings (builder style).
+    pub fn with_durability(mut self, durability: DurabilityConfig) -> EngineConfig {
+        self.durability = durability;
         self
     }
 
@@ -290,6 +406,7 @@ impl EngineConfig {
                 "freshness_timeout_ms must be >= 1 under a bounded freshness policy".into(),
             ));
         }
+        self.durability.validate()?;
         Ok(())
     }
 }
@@ -326,7 +443,10 @@ mod tests {
 
     #[test]
     fn invalid_configs_are_rejected() {
-        assert!(EngineConfig::dual_engine().with_nodes(0).validate().is_err());
+        assert!(EngineConfig::dual_engine()
+            .with_nodes(0)
+            .validate()
+            .is_err());
         assert!(EngineConfig::dual_engine()
             .with_workers_per_node(0)
             .validate()
@@ -380,6 +500,39 @@ mod tests {
         );
         assert!(!FreshnessPolicy::Eventual.is_bounded());
         assert!(FreshnessPolicy::BoundedNanos(1).is_bounded());
+    }
+
+    #[test]
+    fn durability_defaults_and_validation() {
+        let cfg = EngineConfig::dual_engine();
+        assert!(!cfg.durability.is_enabled(), "in-memory by default");
+        assert!(cfg.validate().is_ok());
+
+        let durable = cfg
+            .clone()
+            .with_durability(DurabilityConfig::at("/tmp/olxp-data"));
+        assert!(durable.durability.is_enabled());
+        assert!(durable.validate().is_ok());
+
+        let tiny_segments = EngineConfig::dual_engine()
+            .with_durability(DurabilityConfig::at("/tmp/x").with_segment_bytes(16));
+        assert!(tiny_segments.validate().is_err());
+
+        let empty_dir = EngineConfig::dual_engine().with_durability(DurabilityConfig::at("  "));
+        assert!(empty_dir.validate().is_err());
+
+        let zero_batch = EngineConfig::dual_engine().with_durability(
+            DurabilityConfig::at("/tmp/x").with_sync(SyncPolicy::GroupCommit {
+                max_batch: 0,
+                max_wait_us: 10,
+            }),
+        );
+        assert!(zero_batch.validate().is_err());
+
+        // A disabled config never validates its disk knobs.
+        let disabled = EngineConfig::dual_engine()
+            .with_durability(DurabilityConfig::disabled().with_segment_bytes(16));
+        assert!(disabled.validate().is_ok());
     }
 
     #[test]

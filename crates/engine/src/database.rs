@@ -3,14 +3,18 @@
 use crate::cluster::Cluster;
 use crate::config::{EngineArchitecture, EngineConfig};
 use crate::error::{EngineError, EngineResult};
-use crate::metrics::{EngineMetrics, MetricsSnapshot, WorkClass};
+use crate::metrics::{EngineMetrics, MetricsSnapshot, WalMetrics, WorkClass};
 use crate::session::Session;
+use olxp_storage::checkpoint::{load_latest_checkpoint, write_checkpoint};
+use olxp_storage::wal::{ReplayedRecord, WalReplay};
 use olxp_storage::{
-    Catalog, ColumnTable, Key, MutationOp, ReplicationLog, Replicator, Row, RowTable, TableSchema,
+    Catalog, CheckpointData, ColumnTable, Key, MutationOp, ReplicationLog, Replicator, Row,
+    RowTable, StorageError, TableCheckpoint, TableSchema, Timestamp, Wal, WalOp, WalRecord,
 };
 use olxp_txn::TransactionManager;
-use parking_lot::{Mutex, RwLock};
+use parking_lot::{Mutex, RwLock, RwLockReadGuard};
 use std::collections::HashMap;
+use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
@@ -28,6 +32,31 @@ pub enum AnalyticalRoute {
 struct BackgroundApplier {
     shutdown: Arc<AtomicBool>,
     handle: Option<std::thread::JoinHandle<()>>,
+}
+
+/// What crash recovery found and rebuilt when a durable database was opened.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RecoveryReport {
+    /// WAL LSN the loaded checkpoint covered (0 when no checkpoint existed).
+    pub checkpoint_lsn: u64,
+    /// Commit timestamp the checkpoint snapshot was taken at.
+    pub checkpoint_commit_ts: Timestamp,
+    /// Rows loaded from the checkpoint.
+    pub checkpoint_rows: u64,
+    /// WAL records scanned during replay (including ones the checkpoint
+    /// already covered).
+    pub wal_records_scanned: u64,
+    /// Committed transactions replayed from the WAL tail.
+    pub wal_txns_replayed: u64,
+    /// Mutations applied while replaying those transactions.
+    pub wal_mutations_replayed: u64,
+    /// Bytes of torn WAL tail truncated (a crash mid-write leaves these).
+    pub torn_bytes_truncated: u64,
+    /// Tables rebuilt (from the checkpoint catalog plus replayed DDL).
+    pub tables_recovered: u64,
+    /// Replication records re-seeded into the columnar replicas so freshness
+    /// watermarks resume correctly.
+    pub replication_reseeded: u64,
 }
 
 /// An in-process HTAP database instance configured as one of the paper's
@@ -58,30 +87,59 @@ pub struct HybridDatabase {
     applier: Mutex<Option<BackgroundApplier>>,
     olap_route_counter: AtomicU64,
     commit_counter: AtomicU64,
+    /// Write-ahead log (durable engines only).
+    wal: Option<Arc<Wal>>,
+    /// Commits hold this for read across [WAL append .. commit marker]; the
+    /// checkpointer takes it for write to pick a consistent `(commit_ts, LSN)`
+    /// cut with no transaction mid-flight between the two.
+    commit_gate: RwLock<()>,
+    /// What recovery rebuilt when this database was opened (durable engines).
+    recovery: Mutex<Option<RecoveryReport>>,
+    /// WAL records logged since the last checkpoint (drives auto-checkpoints).
+    wal_records_since_ckpt: AtomicU64,
+    /// Guards against concurrent auto-checkpoints.
+    checkpointing: AtomicBool,
+    checkpoints_taken: AtomicU64,
+    checkpoint_failures: AtomicU64,
 }
 
 impl HybridDatabase {
     /// Create a database with the given configuration.
+    ///
+    /// Alias for [`HybridDatabase::open`]: when the configuration enables
+    /// durability, any existing state in the data directory is recovered.
     pub fn new(config: EngineConfig) -> EngineResult<Arc<HybridDatabase>> {
+        HybridDatabase::open(config)
+    }
+
+    /// Open a database.
+    ///
+    /// For in-memory configurations this simply constructs an empty engine.
+    /// For durable configurations it loads the newest checkpoint, replays the
+    /// WAL tail above the checkpoint's LSN (tolerating — and truncating — a
+    /// torn final record, the signature of a crash mid-write), rebuilds the
+    /// row store and catalog, re-seeds the replication pipeline so the
+    /// columnar replicas and freshness watermarks resume correctly, and
+    /// fast-forwards the timestamp oracle past the newest recovered commit.
+    pub fn open(config: EngineConfig) -> EngineResult<Arc<HybridDatabase>> {
         config.validate()?;
+        let (wal, checkpoint, replay) = match config.durability.data_dir.as_deref() {
+            Some(dir) => {
+                let checkpoint = load_latest_checkpoint(Path::new(dir))?;
+                let (wal, replay) =
+                    Wal::open(dir, config.durability.sync, config.durability.segment_bytes)?;
+                (Some(Arc::new(wal)), checkpoint, Some(replay))
+            }
+            None => (None, None, None),
+        };
         let replication = Arc::new(ReplicationLog::new());
         let replicator = Arc::new(Mutex::new(Replicator::new(Arc::clone(&replication))));
         let metrics = Arc::new(EngineMetrics::new());
         let cluster = Cluster::from_config(&config);
-        let txn_mgr =
-            TransactionManager::with_lock_timeout(Duration::from_millis(config.lock_wait_timeout_ms));
-        let applier = if config.background_applier {
-            Some(spawn_applier(
-                Arc::clone(&replication),
-                Arc::clone(&replicator),
-                Arc::clone(&metrics),
-                config.replication_batch,
-                Duration::from_micros(config.applier_idle_wait_us),
-            ))
-        } else {
-            None
-        };
-        Ok(Arc::new(HybridDatabase {
+        let txn_mgr = TransactionManager::with_lock_timeout(Duration::from_millis(
+            config.lock_wait_timeout_ms,
+        ));
+        let db = Arc::new(HybridDatabase {
             config,
             catalog: Catalog::new(),
             row_tables: RwLock::new(Arc::new(HashMap::new())),
@@ -91,10 +149,31 @@ impl HybridDatabase {
             replicator,
             cluster,
             metrics,
-            applier: Mutex::new(applier),
+            applier: Mutex::new(None),
             olap_route_counter: AtomicU64::new(0),
             commit_counter: AtomicU64::new(0),
-        }))
+            wal,
+            commit_gate: RwLock::new(()),
+            recovery: Mutex::new(None),
+            wal_records_since_ckpt: AtomicU64::new(0),
+            checkpointing: AtomicBool::new(false),
+            checkpoints_taken: AtomicU64::new(0),
+            checkpoint_failures: AtomicU64::new(0),
+        });
+        if let Some(replay) = replay {
+            let report = db.recover(checkpoint, replay)?;
+            *db.recovery.lock() = Some(report);
+        }
+        if db.config.background_applier {
+            *db.applier.lock() = Some(spawn_applier(
+                Arc::clone(&db.replication),
+                Arc::clone(&db.replicator),
+                Arc::clone(&db.metrics),
+                db.config.replication_batch,
+                Duration::from_micros(db.config.applier_idle_wait_us),
+            ));
+        }
+        Ok(db)
     }
 
     /// Convenience constructor for the MemSQL-like archetype.
@@ -132,14 +211,79 @@ impl HybridDatabase {
         &self.metrics
     }
 
-    /// Snapshot of engine metrics.
+    /// Snapshot of engine metrics (durable engines include live WAL counters).
     pub fn metrics_snapshot(&self) -> MetricsSnapshot {
-        self.metrics.snapshot()
+        let mut snapshot = self.metrics.snapshot();
+        snapshot.wal = self.wal_metrics();
+        snapshot
+    }
+
+    /// Durability counters (all-zero for in-memory engines).
+    pub fn wal_metrics(&self) -> WalMetrics {
+        let Some(wal) = &self.wal else {
+            return WalMetrics::default();
+        };
+        let stats = wal.stats();
+        WalMetrics {
+            appends: stats.appends,
+            fsyncs: stats.fsyncs,
+            bytes_written: stats.bytes_written,
+            synced_commits: stats.synced_commits,
+            checkpoints: self.checkpoints_taken.load(Ordering::Relaxed),
+            checkpoint_failures: self.checkpoint_failures.load(Ordering::Relaxed),
+            group_batch_p50: stats.batch_p50,
+            group_batch_p90: stats.batch_p90,
+            group_batch_p99: stats.batch_p99,
+            group_batch_max: stats.batch_max,
+            last_lsn: stats.last_lsn,
+            durable_lsn: stats.durable_lsn,
+        }
+    }
+
+    /// What recovery rebuilt when this database was opened, or `None` for an
+    /// in-memory engine.
+    pub fn recovery_report(&self) -> Option<RecoveryReport> {
+        *self.recovery.lock()
+    }
+
+    /// True when this engine writes a WAL.
+    pub fn is_durable(&self) -> bool {
+        self.wal.is_some()
     }
 
     /// Create a table: a row table always, plus a columnar replica registered
-    /// with the replication pipeline.
+    /// with the replication pipeline.  Durable engines log the DDL to the WAL
+    /// (and sync it per the policy) so the schema survives a crash even before
+    /// the first checkpoint.
     pub fn create_table(&self, schema: TableSchema) -> EngineResult<()> {
+        if let Some(wal) = &self.wal {
+            // Log before installing: if the WAL refuses the record, nothing
+            // was registered and the call can simply be retried.  The rare
+            // spurious record (logged but install lost to a concurrent
+            // duplicate) is harmless — recovery skips CreateTable records
+            // for tables that already exist.  Both steps share one gate hold
+            // so a checkpoint cut cannot fall between them.
+            if self.catalog.contains(schema.name()) {
+                return Err(StorageError::TableExists(schema.name().to_string()).into());
+            }
+            let lsn = {
+                let _gate = self.commit_gate.read();
+                let lsn = wal.log_create_table(&schema)?;
+                self.install_table(schema)?;
+                lsn
+            };
+            wal.sync_to(lsn)?;
+            self.note_wal_records(1);
+            Ok(())
+        } else {
+            self.install_table(schema)
+        }
+    }
+
+    /// Register a table with the catalog, stores and replication pipeline
+    /// without touching the WAL (shared by [`Self::create_table`] and
+    /// recovery, which must not re-log what it replays).
+    fn install_table(&self, schema: TableSchema) -> EngineResult<()> {
         let schema = self.catalog.create_table(schema)?;
         let row_table = Arc::new(RowTable::new(Arc::clone(&schema)));
         let col_table = Arc::new(ColumnTable::new(Arc::clone(&schema)));
@@ -202,22 +346,52 @@ impl HybridDatabase {
     ///
     /// Loading bypasses the cost model and the cluster so that experiment
     /// setup time does not pollute measurements; the rows are still shipped
-    /// through the replication log so the columnar replicas converge.
+    /// through the replication log so the columnar replicas converge.  On a
+    /// durable engine each load is logged as a one-mutation transaction, but
+    /// the fsync is deferred to [`Self::finish_load`] so bulk loading is not
+    /// throttled to one fsync per row.
     pub fn load_row(&self, table: &str, row: Row) -> EngineResult<()> {
         let row_table = self.row_table(table)?;
-        let ts = self.txn_mgr.oracle().load_ts();
         let key = row_table.schema().primary_key_of(&row);
-        row_table.insert(row.clone(), ts)?;
+        let ts = if let Some(wal) = &self.wal {
+            // The gate is taken before the timestamp is allocated, so a
+            // checkpoint's `(commit_ts, LSN)` cut can never land between
+            // this load's timestamp and its WAL records (same invariant as
+            // `Session::commit`).
+            let _gate = self.commit_gate.read();
+            let ts = self.txn_mgr.oracle().load_ts();
+            let txn_id = wal.allocate_txn_id();
+            let op = WalOp {
+                table: table.to_string(),
+                op: MutationOp::Insert,
+                key: key.clone(),
+                row: Some(row.clone()),
+            };
+            wal.log_mutations(txn_id, std::slice::from_ref(&op), ts)?;
+            row_table.insert(row.clone(), ts)?;
+            wal.log_commit(txn_id, ts)?;
+            self.note_wal_records(3);
+            ts
+        } else {
+            let ts = self.txn_mgr.oracle().load_ts();
+            row_table.insert(row.clone(), ts)?;
+            ts
+        };
         self.replication
             .append(table, MutationOp::Insert, key, Some(row), ts);
         Ok(())
     }
 
     /// Finish bulk loading: apply all pending replication so the columnar
-    /// replicas are complete before measurement starts.
+    /// replicas are complete before measurement starts, and (on a durable
+    /// engine) make the loaded data durable with one fsync.
     pub fn finish_load(&self) -> EngineResult<usize> {
         let applied = self.replicator.lock().catch_up()?;
         self.metrics.add_replication_applied(applied as u64);
+        if let Some(wal) = &self.wal {
+            wal.flush_and_fsync()?;
+            self.maybe_checkpoint();
+        }
         Ok(applied)
     }
 
@@ -275,6 +449,247 @@ impl HybridDatabase {
     /// The shared replication log (used by tests and metrics).
     pub fn replication_log(&self) -> &Arc<ReplicationLog> {
         &self.replication
+    }
+
+    // ------------------------------------------------------------------
+    // Durability: WAL plumbing, checkpoints and crash recovery
+    // ------------------------------------------------------------------
+
+    /// The write-ahead log, when durability is enabled.
+    pub(crate) fn wal(&self) -> Option<&Arc<Wal>> {
+        self.wal.as_ref()
+    }
+
+    /// Shared hold on the commit gate.  Committers keep it across
+    /// [WAL mutation append .. commit marker append] so the checkpointer's
+    /// exclusive hold observes no transaction mid-flight.
+    pub(crate) fn commit_gate_read(&self) -> RwLockReadGuard<'_, ()> {
+        self.commit_gate.read()
+    }
+
+    /// Account WAL records toward the automatic checkpoint threshold.
+    pub(crate) fn note_wal_records(&self, records: u64) {
+        self.wal_records_since_ckpt
+            .fetch_add(records, Ordering::Relaxed);
+    }
+
+    /// Take an automatic checkpoint when the configured record threshold has
+    /// been crossed.  At most one checkpoint runs at a time; a failure is
+    /// counted and retried at the next trigger (durability is unaffected —
+    /// the WAL retains everything a failed checkpoint did not truncate).
+    ///
+    /// Must not be called while holding the commit gate (the checkpoint takes
+    /// it exclusively).
+    pub(crate) fn maybe_checkpoint(&self) {
+        let every = self.config.durability.checkpoint_every_records;
+        if every == 0 || self.wal.is_none() {
+            return;
+        }
+        if self.wal_records_since_ckpt.load(Ordering::Relaxed) < every {
+            return;
+        }
+        if self
+            .checkpointing
+            .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
+            .is_err()
+        {
+            return;
+        }
+        if self.checkpoint().is_err() {
+            self.checkpoint_failures.fetch_add(1, Ordering::Relaxed);
+        }
+        self.checkpointing.store(false, Ordering::Release);
+    }
+
+    /// Write a checkpoint: a consistent snapshot of the catalog and of every
+    /// row visible at one commit timestamp, tagged with the WAL LSN it
+    /// covers.  WAL segments wholly below that LSN are truncated afterwards.
+    ///
+    /// The `(commit_ts, lsn)` cut is taken under an exclusive hold of the
+    /// commit gate, so no transaction is between its WAL append and its
+    /// commit marker at that instant: every transaction is either fully below
+    /// the LSN (and visible at the timestamp) or fully above it (and replayed
+    /// from the WAL on recovery).
+    pub fn checkpoint(&self) -> EngineResult<u64> {
+        let wal = self
+            .wal
+            .as_ref()
+            .ok_or_else(|| EngineError::Config("durability is disabled".into()))?;
+        let data_dir = self
+            .config
+            .durability
+            .data_dir
+            .as_deref()
+            .ok_or_else(|| EngineError::Config("durability is disabled".into()))?;
+        let (ckpt_ts, ckpt_lsn) = {
+            let _gate = self.commit_gate.write();
+            (self.txn_mgr.oracle().read_ts(), wal.last_lsn())
+        };
+        // The MVCC snapshot at `ckpt_ts` is stable after the gate is
+        // released: later commits carry strictly larger timestamps.
+        let mut tables = Vec::new();
+        for schema in self.catalog.tables() {
+            let row_table = self.row_table(schema.name())?;
+            let mut rows = Vec::new();
+            row_table.scan(ckpt_ts, |_, row| rows.push(Row::clone(row)));
+            tables.push(TableCheckpoint {
+                schema: TableSchema::clone(&schema),
+                rows,
+            });
+        }
+        let data = CheckpointData {
+            lsn: ckpt_lsn,
+            commit_ts: ckpt_ts,
+            tables,
+        };
+        write_checkpoint(Path::new(data_dir), &data)?;
+        wal.truncate_up_to(ckpt_lsn)?;
+        self.checkpoints_taken.fetch_add(1, Ordering::Relaxed);
+        self.wal_records_since_ckpt.store(0, Ordering::Relaxed);
+        Ok(ckpt_lsn)
+    }
+
+    /// Simulate a crash: stop the applier and discard all process state the
+    /// OS would lose on a kill — nothing buffered in the WAL is flushed, and
+    /// the clean-shutdown flush on drop is suppressed.  Everything a
+    /// [`crate::Session::commit`] acknowledged under a syncing policy is
+    /// already on disk and survives a subsequent [`HybridDatabase::open`].
+    pub fn simulate_crash(&self) {
+        self.shutdown_applier();
+        if let Some(wal) = &self.wal {
+            wal.mark_crashed();
+        }
+    }
+
+    /// Rebuild the stores from a checkpoint plus the replayed WAL tail.
+    fn recover(
+        &self,
+        checkpoint: Option<CheckpointData>,
+        replay: WalReplay,
+    ) -> EngineResult<RecoveryReport> {
+        let mut report = RecoveryReport {
+            torn_bytes_truncated: replay.truncated_bytes,
+            ..RecoveryReport::default()
+        };
+        let mut max_ts: Timestamp = 0;
+        if let Some(checkpoint) = checkpoint {
+            report.checkpoint_lsn = checkpoint.lsn;
+            report.checkpoint_commit_ts = checkpoint.commit_ts;
+            max_ts = checkpoint.commit_ts;
+            // Checkpointed rows do not carry per-row timestamps; they are all
+            // installed at the snapshot timestamp, which preserves visibility
+            // for every read at or above it (and the WAL tail only holds
+            // transactions committed after the snapshot).
+            let load_ts = checkpoint.commit_ts.max(1);
+            for table in checkpoint.tables {
+                self.install_table(table.schema.clone())?;
+                let row_table = self.row_table(table.schema.name())?;
+                for row in table.rows {
+                    row_table.insert(row, load_ts)?;
+                    report.checkpoint_rows += 1;
+                }
+            }
+        }
+
+        // Replay committed transactions above the checkpoint's LSN, buffering
+        // mutations until their commit marker proves the commit was
+        // acknowledged (a crash between the two must not resurrect it).
+        let ckpt_lsn = report.checkpoint_lsn;
+        let mut pending: HashMap<u64, Vec<(WalOp, Timestamp)>> = HashMap::new();
+        for ReplayedRecord { lsn, record } in replay.records {
+            report.wal_records_scanned += 1;
+            match record {
+                WalRecord::CreateTable { schema } => {
+                    if lsn > ckpt_lsn && !self.catalog.contains(schema.name()) {
+                        self.install_table(schema)?;
+                    }
+                }
+                WalRecord::Begin { txn_id } => {
+                    pending.entry(txn_id).or_default();
+                }
+                WalRecord::Mutation {
+                    txn_id,
+                    op,
+                    commit_ts,
+                } => {
+                    pending.entry(txn_id).or_default().push((op, commit_ts));
+                }
+                WalRecord::Commit {
+                    txn_id, commit_ts, ..
+                } => {
+                    let ops = pending.remove(&txn_id).unwrap_or_default();
+                    if lsn <= ckpt_lsn {
+                        continue; // fully contained in the checkpoint
+                    }
+                    report.wal_txns_replayed += 1;
+                    max_ts = max_ts.max(commit_ts);
+                    for (op, op_ts) in ops {
+                        self.recover_apply(&op, op_ts)?;
+                        report.wal_mutations_replayed += 1;
+                    }
+                }
+            }
+        }
+
+        // Resume the timeline above the newest recovered commit, then re-seed
+        // the replication pipeline: every recovered row is shipped to its
+        // columnar replica and applied synchronously, so the database opens
+        // with appended == applied watermarks and Strict-freshness reads see
+        // every pre-crash commit immediately.
+        self.txn_mgr.oracle().advance_to(max_ts);
+        let reseed_ts = self.txn_mgr.oracle().read_ts();
+        for schema in self.catalog.tables() {
+            let row_table = self.row_table(schema.name())?;
+            row_table.scan(reseed_ts, |key, row| {
+                self.replication.append(
+                    schema.name(),
+                    MutationOp::Insert,
+                    key.clone(),
+                    Some(Row::clone(row)),
+                    reseed_ts,
+                );
+            });
+        }
+        let applied = self.replicator.lock().catch_up()?;
+        self.metrics.add_replication_applied(applied as u64);
+        report.replication_reseeded = applied as u64;
+        report.tables_recovered = self.catalog.len() as u64;
+        Ok(report)
+    }
+
+    /// Apply one replayed mutation at its original commit timestamp.
+    ///
+    /// Idempotent against checkpoint overlap: a key whose newest version is
+    /// already at or above the mutation's timestamp is left untouched (the
+    /// checkpoint captured that transaction's effect), an update of a key the
+    /// snapshot never saw becomes an insert, and a delete of an absent key is
+    /// a no-op.
+    fn recover_apply(&self, op: &WalOp, commit_ts: Timestamp) -> EngineResult<()> {
+        let row_table = self.row_table(&op.table)?;
+        if row_table
+            .latest_commit_ts(&op.key)
+            .is_some_and(|latest| latest >= commit_ts)
+        {
+            return Ok(());
+        }
+        match op.op {
+            MutationOp::Insert | MutationOp::Update => {
+                let row = op.row.clone().ok_or_else(|| {
+                    StorageError::Internal("WAL mutation record without row image".into())
+                })?;
+                match row_table.update(&op.key, row.clone(), commit_ts) {
+                    Err(StorageError::KeyNotFound { .. }) => {
+                        row_table.insert(row, commit_ts)?;
+                    }
+                    other => other?,
+                }
+            }
+            MutationOp::Delete => match row_table.delete(&op.key, commit_ts) {
+                Err(StorageError::KeyNotFound { .. }) => {}
+                other => other?,
+            },
+        }
+        Ok(())
     }
 
     // ------------------------------------------------------------------
@@ -474,12 +889,15 @@ mod tests {
     fn load_rows_replicate_to_column_store() {
         // Disable the background applier so the pre-finish_load lag is
         // deterministic.
-        let db =
-            HybridDatabase::new(EngineConfig::dual_engine().with_background_applier(false)).unwrap();
+        let db = HybridDatabase::new(EngineConfig::dual_engine().with_background_applier(false))
+            .unwrap();
         db.create_table(item_schema()).unwrap();
         for i in 0..100 {
-            db.load_row("ITEM", Row::new(vec![Value::Int(i), Value::Decimal(i * 10)]))
-                .unwrap();
+            db.load_row(
+                "ITEM",
+                Row::new(vec![Value::Int(i), Value::Decimal(i * 10)]),
+            )
+            .unwrap();
         }
         assert!(!db.has_background_applier());
         assert!(db.replication_lag() > 0);
@@ -521,7 +939,7 @@ mod tests {
         db.shutdown_applier();
         assert!(!db.has_background_applier());
         db.shutdown_applier(); // idempotent
-        // Dropping the database after an explicit shutdown must not hang.
+                               // Dropping the database after an explicit shutdown must not hang.
         drop(db);
     }
 
@@ -563,5 +981,88 @@ mod tests {
     fn lock_overhead_is_zero_without_work() {
         let db = HybridDatabase::single_engine();
         assert_eq!(db.lock_overhead(), 0.0);
+    }
+
+    fn temp_dir(tag: &str) -> String {
+        let nanos = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .expect("clock after epoch")
+            .as_nanos();
+        let dir =
+            std::env::temp_dir().join(format!("olxp-db-{tag}-{}-{nanos}", std::process::id()));
+        dir.display().to_string()
+    }
+
+    fn durable_config(dir: &str) -> EngineConfig {
+        crate::config::EngineConfig::dual_engine()
+            .with_time_scale(0.0)
+            .with_durability(crate::config::DurabilityConfig::at(dir))
+    }
+
+    #[test]
+    fn durable_load_crash_reopen_recovers_rows() {
+        let dir = temp_dir("load");
+        {
+            let db = HybridDatabase::open(durable_config(&dir)).unwrap();
+            assert!(db.is_durable());
+            db.create_table(item_schema()).unwrap();
+            for i in 0..50 {
+                db.load_row("ITEM", Row::new(vec![Value::Int(i), Value::Decimal(i)]))
+                    .unwrap();
+            }
+            db.finish_load().unwrap();
+            db.simulate_crash();
+        }
+        let db = HybridDatabase::open(durable_config(&dir)).unwrap();
+        let report = db.recovery_report().expect("durable open reports recovery");
+        assert_eq!(db.total_live_rows(), 50);
+        assert_eq!(report.tables_recovered, 1);
+        assert_eq!(report.replication_reseeded, 50);
+        assert_eq!(db.replication_lag(), 0, "replicas converge during open");
+        assert_eq!(db.col_table("ITEM").unwrap().live_row_count(), 50);
+        assert!(
+            report.wal_records_scanned > 0,
+            "recovery scanned the WAL tail"
+        );
+        // New work after recovery keeps appending above the replayed LSNs.
+        db.load_row("ITEM", Row::new(vec![Value::Int(50), Value::Decimal(50)]))
+            .unwrap();
+        assert!(db.metrics_snapshot().wal.appends > 0);
+        drop(db);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn checkpoint_truncates_wal_and_survives_reopen() {
+        let dir = temp_dir("ckpt");
+        {
+            let db = HybridDatabase::open(durable_config(&dir)).unwrap();
+            db.create_table(item_schema()).unwrap();
+            for i in 0..20 {
+                db.load_row("ITEM", Row::new(vec![Value::Int(i), Value::Decimal(i)]))
+                    .unwrap();
+            }
+            db.finish_load().unwrap();
+            let lsn = db.checkpoint().unwrap();
+            assert!(lsn > 0);
+            assert_eq!(db.metrics_snapshot().wal.checkpoints, 1);
+            db.simulate_crash();
+        }
+        let db = HybridDatabase::open(durable_config(&dir)).unwrap();
+        let report = db.recovery_report().unwrap();
+        assert_eq!(report.checkpoint_rows, 20, "rows come from the checkpoint");
+        assert_eq!(report.wal_txns_replayed, 0, "nothing after the checkpoint");
+        assert_eq!(db.total_live_rows(), 20);
+        drop(db);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn checkpoint_requires_durability() {
+        let db = HybridDatabase::single_engine();
+        assert!(!db.is_durable());
+        assert!(db.recovery_report().is_none());
+        assert!(matches!(db.checkpoint(), Err(EngineError::Config(_))));
+        assert_eq!(db.wal_metrics(), crate::metrics::WalMetrics::default());
     }
 }

@@ -39,8 +39,9 @@ pub mod metrics;
 pub mod session;
 
 pub use cluster::{Cluster, NodeId};
-pub use config::{EngineArchitecture, EngineConfig, FreshnessPolicy};
-pub use database::HybridDatabase;
+pub use config::{DurabilityConfig, EngineArchitecture, EngineConfig, FreshnessPolicy};
+pub use database::{HybridDatabase, RecoveryReport};
 pub use error::{EngineError, EngineResult};
-pub use metrics::{EngineMetrics, FreshnessSample, MetricsSnapshot, WorkClass};
+pub use metrics::{EngineMetrics, FreshnessSample, MetricsSnapshot, WalMetrics, WorkClass};
+pub use olxp_storage::SyncPolicy;
 pub use session::{Session, TxnHandle};

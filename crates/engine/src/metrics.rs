@@ -21,6 +21,51 @@ pub struct FreshnessSample {
 /// unbounded runs cannot grow memory without limit.
 const FRESHNESS_SAMPLE_CAP: usize = 1 << 20;
 
+/// Durability counters of one engine, surfaced inside [`MetricsSnapshot`].
+///
+/// Populated by [`crate::HybridDatabase::metrics_snapshot`] from the live WAL
+/// when durability is enabled; all-zero for in-memory engines.  The counters
+/// accumulate over the engine's lifetime; the batch percentiles describe the
+/// full distribution of committers-per-fsync observed so far.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WalMetrics {
+    /// WAL records appended.
+    pub appends: u64,
+    /// fsync calls issued by the WAL (commit syncs + segment rotations).
+    pub fsyncs: u64,
+    /// Bytes written to WAL segment files.
+    pub bytes_written: u64,
+    /// Commits acknowledged through a durability sync.
+    pub synced_commits: u64,
+    /// Checkpoints taken.
+    pub checkpoints: u64,
+    /// Automatic checkpoints that failed (the WAL keeps the records, so a
+    /// failure costs disk space, not durability).
+    pub checkpoint_failures: u64,
+    /// Median group-commit batch size (committers per fsync).
+    pub group_batch_p50: u64,
+    /// 90th percentile group-commit batch size.
+    pub group_batch_p90: u64,
+    /// 99th percentile group-commit batch size.
+    pub group_batch_p99: u64,
+    /// Largest group-commit batch observed.
+    pub group_batch_max: u64,
+    /// Highest LSN assigned.
+    pub last_lsn: u64,
+    /// Highest LSN known durable.
+    pub durable_lsn: u64,
+}
+
+impl WalMetrics {
+    /// Mean committers per fsync (0 when no fsync has happened).
+    pub fn commits_per_fsync(&self) -> f64 {
+        if self.fsyncs == 0 {
+            return 0.0;
+        }
+        self.synced_commits as f64 / self.fsyncs as f64
+    }
+}
+
 /// Classification of work for accounting purposes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum WorkClass {
@@ -104,6 +149,9 @@ pub struct MetricsSnapshot {
     pub distributed_commits: u64,
     /// Freshness observations recorded by analytical reads.
     pub freshness_observations: u64,
+    /// Durability counters (all-zero for in-memory engines; see
+    /// [`WalMetrics`]).
+    pub wal: WalMetrics,
 }
 
 impl MetricsSnapshot {
@@ -128,8 +176,12 @@ impl MetricsSnapshot {
         }
         out.commits = self.commits.saturating_sub(earlier.commits);
         out.aborts = self.aborts.saturating_sub(earlier.aborts);
-        out.row_rows_scanned = self.row_rows_scanned.saturating_sub(earlier.row_rows_scanned);
-        out.col_rows_scanned = self.col_rows_scanned.saturating_sub(earlier.col_rows_scanned);
+        out.row_rows_scanned = self
+            .row_rows_scanned
+            .saturating_sub(earlier.row_rows_scanned);
+        out.col_rows_scanned = self
+            .col_rows_scanned
+            .saturating_sub(earlier.col_rows_scanned);
         out.query_batches = self.query_batches.saturating_sub(earlier.query_batches);
         out.buffer_misses = self.buffer_misses.saturating_sub(earlier.buffer_misses);
         out.replication_applied = self
@@ -144,6 +196,24 @@ impl MetricsSnapshot {
         out.distributed_commits = self
             .distributed_commits
             .saturating_sub(earlier.distributed_commits);
+        // WAL counters subtract; the percentiles and LSN watermarks are
+        // lifetime values, so the newer snapshot's are carried over.
+        out.wal = self.wal;
+        out.wal.appends = self.wal.appends.saturating_sub(earlier.wal.appends);
+        out.wal.fsyncs = self.wal.fsyncs.saturating_sub(earlier.wal.fsyncs);
+        out.wal.bytes_written = self
+            .wal
+            .bytes_written
+            .saturating_sub(earlier.wal.bytes_written);
+        out.wal.synced_commits = self
+            .wal
+            .synced_commits
+            .saturating_sub(earlier.wal.synced_commits);
+        out.wal.checkpoints = self.wal.checkpoints.saturating_sub(earlier.wal.checkpoints);
+        out.wal.checkpoint_failures = self
+            .wal
+            .checkpoint_failures
+            .saturating_sub(earlier.wal.checkpoint_failures);
         out
     }
 }
@@ -201,7 +271,8 @@ impl EngineMetrics {
 
     /// Record applied replication records.
     pub fn add_replication_applied(&self, records: u64) {
-        self.replication_applied.fetch_add(records, Ordering::Relaxed);
+        self.replication_applied
+            .fetch_add(records, Ordering::Relaxed);
     }
 
     /// Record a failed replication apply attempt.
@@ -262,6 +333,9 @@ impl EngineMetrics {
             replication_errors: self.replication_errors.load(Ordering::Relaxed),
             distributed_commits: self.distributed_commits.load(Ordering::Relaxed),
             freshness_observations: self.freshness_observations.load(Ordering::Relaxed),
+            // The WAL lives on the database, not here; `HybridDatabase::
+            // metrics_snapshot` fills this in for durable engines.
+            wal: WalMetrics::default(),
         }
     }
 }
@@ -322,7 +396,11 @@ mod tests {
         assert_eq!(second.len(), 1);
         assert_eq!(second[0].lag_records, 7);
         assert!(m.take_freshness_samples().is_empty());
-        assert_eq!(m.snapshot().freshness_observations, 2, "counter is lifetime");
+        assert_eq!(
+            m.snapshot().freshness_observations,
+            2,
+            "counter is lifetime"
+        );
     }
 
     #[test]

@@ -20,8 +20,10 @@ use crate::config::FreshnessPolicy;
 use crate::database::{AnalyticalRoute, HybridDatabase};
 use crate::error::{EngineError, EngineResult};
 use crate::metrics::{FreshnessSample, WorkClass};
-use olxp_query::{execute_with, ColumnSource, ExecOptions, ExecStats, Plan, QueryOutput, RowSource};
-use olxp_storage::{Key, Row, StorageError, StorageMedium, Value};
+use olxp_query::{
+    execute_with, ColumnSource, ExecOptions, ExecStats, Plan, QueryOutput, RowSource,
+};
+use olxp_storage::{Key, Row, StorageError, StorageMedium, Value, WalOp};
 use olxp_txn::{IsolationLevel, Transaction, TxnError, WriteOp};
 use std::collections::HashSet;
 use std::sync::Arc;
@@ -91,6 +93,14 @@ impl Session {
     /// Commit a transaction: validate (under snapshot isolation), install the
     /// write set into the row store, ship it to the replication log and pay
     /// the write plus two-phase-commit cost.
+    ///
+    /// On a durable engine the commit additionally writes ahead to the WAL
+    /// and blocks until its commit marker is durable per the configured
+    /// [`olxp_storage::SyncPolicy`].  A WAL I/O failure *after* the write set
+    /// has been installed finishes the commit in memory (the installed and
+    /// replicated effects cannot be undone) and returns the storage error:
+    /// such an error means the commit's durability is unknown and the
+    /// engine's disk should be treated as failed — it is not retryable.
     pub fn commit(&self, mut handle: TxnHandle) -> EngineResult<()> {
         let mgr = self.db.txn_manager();
         let cost = &self.db.config().cost;
@@ -126,8 +136,52 @@ impl Session {
             }
         }
 
-        let commit_ts = mgr.prepare_commit(&handle.txn)?;
+        // Durable engines write ahead: the write set (begin + mutations) is
+        // logged before any in-memory install, the commit marker after the
+        // install succeeds, and the commit is acknowledged only once the
+        // marker's LSN is durable per the sync policy.  A crash anywhere
+        // before the marker leaves an unmarked transaction that recovery
+        // ignores.  The commit gate is held for read from *before* the
+        // commit-timestamp allocation through the commit-marker append, so a
+        // checkpoint's exclusive `(commit_ts, LSN)` cut can never land
+        // between a transaction's timestamp and its WAL window — the
+        // invariant recovery's replay filter depends on.
+        let wal = self.db.wal().cloned();
+        let gate = wal.is_some().then(|| self.db.commit_gate_read());
+        let commit_ts = match mgr.prepare_commit(&handle.txn) {
+            Ok(ts) => ts,
+            Err(e) => {
+                drop(gate);
+                return Err(e.into());
+            }
+        };
         let ops: Vec<WriteOp> = handle.txn.write_set().ops().to_vec();
+        let wal_txn = if let Some(wal) = &wal {
+            let wal_ops: Vec<WalOp> = ops
+                .iter()
+                .map(|op| WalOp {
+                    table: op.table().to_string(),
+                    op: match op {
+                        WriteOp::Insert { .. } => olxp_storage::MutationOp::Insert,
+                        WriteOp::Update { .. } => olxp_storage::MutationOp::Update,
+                        WriteOp::Delete { .. } => olxp_storage::MutationOp::Delete,
+                    },
+                    key: op.key().clone(),
+                    row: op.row().cloned(),
+                })
+                .collect();
+            let txn_id = wal.allocate_txn_id();
+            if let Err(e) = wal.log_mutations(txn_id, &wal_ops, commit_ts) {
+                drop(gate);
+                mgr.abort(&mut handle.txn);
+                self.db.note_abort();
+                return Err(EngineError::Storage(e));
+            }
+            Some(txn_id)
+        } else {
+            None
+        };
+
         for op in &ops {
             let row_table = self.db.row_table(op.table())?;
             let result = match op {
@@ -138,7 +192,10 @@ impl Session {
             if let Err(e) = result {
                 // Locks prevent concurrent writers to the same keys, so a
                 // failure here means the workload violated its own invariants
-                // (e.g. double insert); surface it after aborting.
+                // (e.g. double insert); surface it after aborting.  On a
+                // durable engine the logged mutations stay unmarked, so
+                // recovery never replays this transaction.
+                drop(gate);
                 mgr.abort(&mut handle.txn);
                 self.db.note_abort();
                 return Err(EngineError::Storage(e));
@@ -156,6 +213,44 @@ impl Session {
                 commit_ts,
             );
         }
+
+        // Past this point the write set is installed in the row store and
+        // queued for replication; those effects cannot be undone.  If the
+        // WAL then refuses the commit marker or the fsync, the transaction
+        // is finished *in memory* (so the engine's state stays consistent
+        // with what readers and replicas already see) and the durability
+        // fault is surfaced as an error: the caller must treat the engine's
+        // disk as failed, not retry the transaction.
+        let wal_error = if let (Some(wal), Some(txn_id)) = (&wal, wal_txn) {
+            match wal.log_commit(txn_id, commit_ts) {
+                Ok(lsn) => {
+                    drop(gate);
+                    // Block until the commit is durable (the group-commit
+                    // coordinator batches concurrent committers into shared
+                    // fsyncs).  The row locks are still held, so per-key WAL
+                    // order matches commit-timestamp order.
+                    match wal.sync_to(lsn) {
+                        Ok(()) => {
+                            self.db.note_wal_records(ops.len() as u64 + 2);
+                            None
+                        }
+                        Err(e) => Some(e),
+                    }
+                }
+                Err(e) => {
+                    drop(gate);
+                    Some(e)
+                }
+            }
+        } else {
+            drop(gate);
+            None
+        };
+        if let Some(e) = wal_error {
+            mgr.finish_commit(&mut handle.txn)?;
+            self.db.note_commit();
+            return Err(EngineError::Storage(e));
+        }
         mgr.finish_commit(&mut handle.txn)?;
 
         // Charge write service time and distributed-commit coordination.
@@ -172,6 +267,8 @@ impl Session {
             .unwrap_or_else(|| self.db.cluster().next_storage_node());
         self.db.charge(node, handle.class, nanos);
         self.db.note_commit();
+        // Runs outside the commit gate: the checkpoint takes it exclusively.
+        self.db.maybe_checkpoint();
         Ok(())
     }
 
@@ -293,9 +390,7 @@ impl Session {
             let rows: Vec<Row> = pairs.into_iter().map(|(_, r)| Row::clone(&r)).collect();
             let nanos = cost.statement_overhead_ns
                 + cost.point_read(medium)
-                + cost
-                    .point_read(medium)
-                    .saturating_mul(rows.len() as u64)
+                + cost.point_read(medium).saturating_mul(rows.len() as u64)
                 + cost.row_scan(medium, examined as u64);
             let node = self.db.cluster().partition_for(table, &lookup_key);
             self.db.metrics().add_row_rows_scanned(examined as u64);
@@ -325,7 +420,12 @@ impl Session {
         if medium == StorageMedium::Ssd {
             let node_id = self.db.cluster().next_storage_node();
             let pages = cost.pages_for_rows(examined as u64);
-            let outcome = self.db.cluster().node(node_id).buffer_pool().access(table, pages);
+            let outcome = self
+                .db
+                .cluster()
+                .node(node_id)
+                .buffer_pool()
+                .access(table, pages);
             self.db.metrics().add_buffer_misses(outcome.misses);
             nanos += cost.page_misses(outcome.misses);
             self.db.metrics().add_row_rows_scanned(examined as u64);
@@ -468,11 +568,7 @@ impl Session {
     /// transaction pattern).  Always runs on the row store at the
     /// transaction's snapshot; on the single engine the vertical-partitioning
     /// penalty applies.
-    pub fn query_in_txn(
-        &self,
-        handle: &mut TxnHandle,
-        plan: &Plan,
-    ) -> EngineResult<QueryOutput> {
+    pub fn query_in_txn(&self, handle: &mut TxnHandle, plan: &Plan) -> EngineResult<QueryOutput> {
         self.note_statement(handle);
         let tables = self.db.row_tables();
         let read_ts = self.db.txn_manager().statement_read_ts(&handle.txn);
@@ -545,12 +641,14 @@ impl Session {
                     + cost.aggregate(output.stats.agg_input_rows)
                     + cost.sort(output.stats.sort_rows);
                 let node = if self.db.config().has_dedicated_analytical_nodes() {
-                    nanos += cost
-                        .network((self.db.cluster().analytical_nodes().len() as u64).saturating_sub(1));
+                    nanos += cost.network(
+                        (self.db.cluster().analytical_nodes().len() as u64).saturating_sub(1),
+                    );
                     self.db.cluster().next_analytical_node()
                 } else {
-                    nanos += cost
-                        .network((self.db.cluster().storage_nodes().len() as u64).saturating_sub(1));
+                    nanos += cost.network(
+                        (self.db.cluster().storage_nodes().len() as u64).saturating_sub(1),
+                    );
                     self.db.cluster().next_storage_node()
                 };
                 self.db
@@ -565,7 +663,9 @@ impl Session {
                 let source = RowSource::new(&tables, read_ts);
                 let output = execute_with(plan, &source, self.exec_options())?;
                 // The row store is the authoritative copy: zero staleness.
-                self.db.metrics().record_freshness(FreshnessSample::default());
+                self.db
+                    .metrics()
+                    .record_freshness(FreshnessSample::default());
                 self.note_query_batches(&output.stats);
                 let mut nanos = self.row_plan_cost(&output.stats, medium);
                 nanos += cost
@@ -662,9 +762,7 @@ impl Session {
                         .last_appended_lsn()
                         .saturating_sub(log.last_applied_lsn());
                     match age {
-                        Some(age) => {
-                            pending as u64 >= lag && age.as_nanos() as u64 <= bound
-                        }
+                        Some(age) => pending as u64 >= lag && age.as_nanos() as u64 <= bound,
                         None => lag == 0,
                     }
                 }
@@ -704,10 +802,9 @@ impl Session {
                         log.last_applied_lsn() + 1,
                         Duration::from_millis(1).min(deadline - now),
                     ),
-                    FreshnessPolicy::BoundedRecords(n) => (
-                        log.last_appended_lsn().saturating_sub(n),
-                        deadline - now,
-                    ),
+                    FreshnessPolicy::BoundedRecords(n) => {
+                        (log.last_appended_lsn().saturating_sub(n), deadline - now)
+                    }
                     _ => (strict_target, deadline - now),
                 };
                 log.wait_for_applied(target, wait);
@@ -855,7 +952,11 @@ mod tests {
         let err = session.insert(
             &mut txn,
             "ITEM",
-            Row::new(vec![Value::Int(5), Value::Str("x".into()), Value::Decimal(1)]),
+            Row::new(vec![
+                Value::Int(5),
+                Value::Str("x".into()),
+                Value::Decimal(1),
+            ]),
         );
         assert!(matches!(
             err,
@@ -908,7 +1009,12 @@ mod tests {
         assert_eq!(rows.len(), 1);
         // Secondary-index lookup.
         let rows = session
-            .select_eq(&mut txn, "ITEM", &["i_name"], &[Value::Str("item-3".into())])
+            .select_eq(
+                &mut txn,
+                "ITEM",
+                &["i_name"],
+                &[Value::Str("item-3".into())],
+            )
             .unwrap();
         assert_eq!(rows.len(), 20);
         // Non-indexed lookup degenerates to a scan but still answers.
@@ -975,8 +1081,7 @@ mod tests {
             "200 rows at batch_size 64 stream as 4 batches"
         );
         assert_eq!(
-            out.stats.rows_materialized,
-            out.stats.output_rows,
+            out.stats.rows_materialized, out.stats.output_rows,
             "rows materialize only at the plan root"
         );
         assert!(db.metrics_snapshot().query_batches >= 4);
@@ -995,7 +1100,11 @@ mod tests {
                 &mut b,
                 "ITEM",
                 &Key::int(9),
-                Row::new(vec![Value::Int(9), Value::Str("b".into()), Value::Decimal(1)]),
+                Row::new(vec![
+                    Value::Int(9),
+                    Value::Str("b".into()),
+                    Value::Decimal(1),
+                ]),
             )
             .unwrap();
         session.commit(b).unwrap();
@@ -1003,7 +1112,11 @@ mod tests {
             &mut a,
             "ITEM",
             &Key::int(9),
-            Row::new(vec![Value::Int(9), Value::Str("a".into()), Value::Decimal(2)]),
+            Row::new(vec![
+                Value::Int(9),
+                Value::Str("a".into()),
+                Value::Decimal(2),
+            ]),
         );
         let commit_result = if result.is_ok() {
             session.commit(a)
@@ -1137,7 +1250,10 @@ mod tests {
             .aggregate(vec![], vec![AggSpec::new(AggFunc::Count, 0)])
             .build();
         let err = session.analytical_query(&plan);
-        assert!(err.is_err(), "a broken replica must not serve stale answers");
+        assert!(
+            err.is_err(),
+            "a broken replica must not serve stale answers"
+        );
         assert!(db.metrics_snapshot().replication_errors >= 1);
     }
 

@@ -49,8 +49,9 @@ pub use olxpbench_workloads as workloads;
 /// Everything needed to configure and run a benchmark.
 pub mod prelude {
     pub use olxp_engine::{
-        EngineArchitecture, EngineConfig, EngineError, EngineResult, FreshnessPolicy,
-        FreshnessSample, HybridDatabase, Session, TxnHandle, WorkClass,
+        DurabilityConfig, EngineArchitecture, EngineConfig, EngineError, EngineResult,
+        FreshnessPolicy, FreshnessSample, HybridDatabase, RecoveryReport, Session, SyncPolicy,
+        TxnHandle, WalMetrics, WorkClass,
     };
     pub use olxp_query::{col, lit, AggFunc, AggSpec, JoinKind, Plan, QueryBuilder, SortKey};
     pub use olxp_storage::{

@@ -194,7 +194,12 @@ fn plan_for_shape(shape: u8, knob: i64) -> Plan {
             .join(QueryBuilder::scan("D"), vec![1], vec![0], JoinKind::Inner)
             .build(),
         4 => QueryBuilder::scan("T")
-            .join(QueryBuilder::scan("D"), vec![1], vec![0], JoinKind::LeftOuter)
+            .join(
+                QueryBuilder::scan("D"),
+                vec![1],
+                vec![0],
+                JoinKind::LeftOuter,
+            )
             .build(),
         // Sort (late materialization point) + limit above it.
         _ => QueryBuilder::scan("T")

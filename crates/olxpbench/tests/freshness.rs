@@ -172,7 +172,10 @@ fn driver_reports_freshness_percentiles() {
     );
     assert!(freshness.lag_records_p50 <= freshness.lag_records_p95);
     assert!(freshness.lag_records_p95 <= freshness.lag_records_max);
-    assert!(freshness.lag_records_max <= 512, "bound held during the run");
+    assert!(
+        freshness.lag_records_max <= 512,
+        "bound held during the run"
+    );
     assert_eq!(result.replication_errors, 0);
 
     // An OLTP-only run reports no freshness distribution.
@@ -197,7 +200,9 @@ fn applier_shutdown_is_clean_and_prompt() {
     let session = db.session();
     for i in 0..200i64 {
         let mut txn = session.begin(WorkClass::Oltp);
-        session.insert(&mut txn, "ITEM", item(3_000_000 + i)).unwrap();
+        session
+            .insert(&mut txn, "ITEM", item(3_000_000 + i))
+            .unwrap();
         session.commit(txn).unwrap();
     }
     let started = Instant::now();

@@ -28,12 +28,19 @@ fn workload_by_name_round_trips_every_suite() {
     }
 
     // Short aliases resolve to the same suites.
-    for (alias, full) in [("su", "subenchmark"), ("fi", "fibenchmark"), ("ta", "tabenchmark")] {
+    for (alias, full) in [
+        ("su", "subenchmark"),
+        ("fi", "fibenchmark"),
+        ("ta", "tabenchmark"),
+    ] {
         assert_eq!(workload_by_name(alias).unwrap().name(), full);
     }
 
     // The stitch-schema baseline is registered but is not an OLxP suite.
-    assert_eq!(workload_by_name("chbenchmark").unwrap().name(), "chbenchmark");
+    assert_eq!(
+        workload_by_name("chbenchmark").unwrap().name(),
+        "chbenchmark"
+    );
     assert!(workload_by_name("nosuchbenchmark").is_none());
 }
 

@@ -46,11 +46,7 @@ impl QueryBuilder {
     }
 
     /// Start from an index lookup (`index = None` means the primary key).
-    pub fn index_scan(
-        table: impl Into<String>,
-        index: Option<usize>,
-        prefix: Key,
-    ) -> QueryBuilder {
+    pub fn index_scan(table: impl Into<String>, index: Option<usize>, prefix: Key) -> QueryBuilder {
         QueryBuilder {
             plan: Plan::IndexScan {
                 table: table.into(),
@@ -150,7 +146,12 @@ mod tests {
     #[test]
     fn builder_produces_expected_tree() {
         let plan = QueryBuilder::scan("ACCOUNT")
-            .join(QueryBuilder::scan("CHECKING"), vec![0], vec![0], JoinKind::Inner)
+            .join(
+                QueryBuilder::scan("CHECKING"),
+                vec![0],
+                vec![0],
+                JoinKind::Inner,
+            )
             .filter(col(2).gt(lit(0)))
             .aggregate(vec![0], vec![AggSpec::new(AggFunc::Avg, 2)])
             .sort(vec![SortKey::desc(1)])

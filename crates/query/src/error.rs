@@ -28,7 +28,10 @@ impl fmt::Display for QueryError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             QueryError::ColumnOutOfRange { position, width } => {
-                write!(f, "column #{position} out of range for row of width {width}")
+                write!(
+                    f,
+                    "column #{position} out of range for row of width {width}"
+                )
             }
             QueryError::TypeError(msg) => write!(f, "type error: {msg}"),
             QueryError::InvalidPlan(msg) => write!(f, "invalid plan: {msg}"),

@@ -286,10 +286,12 @@ fn extract_key(row: &RowAt<'_>, positions: &[usize]) -> QueryResult<Vec<Value>> 
     positions
         .iter()
         .map(|&p| {
-            row.value_at(p).cloned().ok_or(QueryError::ColumnOutOfRange {
-                position: p,
-                width: row.width(),
-            })
+            row.value_at(p)
+                .cloned()
+                .ok_or(QueryError::ColumnOutOfRange {
+                    position: p,
+                    width: row.width(),
+                })
         })
         .collect()
 }
@@ -305,7 +307,9 @@ fn run(
     opts: &ExecOptions,
 ) -> QueryResult<Chunked> {
     match plan {
-        Plan::TableScan { table, filter } => scan_table(table, filter.as_ref(), source, stats, opts),
+        Plan::TableScan { table, filter } => {
+            scan_table(table, filter.as_ref(), source, stats, opts)
+        }
         Plan::IndexScan {
             table,
             index,
@@ -401,7 +405,9 @@ fn run(
             }
             let left_in = run(left, source, stats, opts)?;
             let right_in = run(right, source, stats, opts)?;
-            join(&left_in, &right_in, left_keys, right_keys, *kind, stats, opts)
+            join(
+                &left_in, &right_in, left_keys, right_keys, *kind, stats, opts,
+            )
         }
         Plan::Aggregate {
             input,
@@ -439,8 +445,7 @@ fn run(
                         }
                         let selected = batch.selected_count();
                         if selected > remaining {
-                            let keep: Vec<usize> =
-                                batch.selected_rows().take(remaining).collect();
+                            let keep: Vec<usize> = batch.selected_rows().take(remaining).collect();
                             let mut selection = vec![false; batch.num_rows()];
                             for row in keep {
                                 selection[row] = true;
@@ -862,7 +867,12 @@ mod tests {
         let tables = fixture();
         let source = RowSource::new(&tables, 10);
         let inner = QueryBuilder::scan("ORDERS")
-            .join(QueryBuilder::scan("CUSTOMER"), vec![1], vec![0], JoinKind::Inner)
+            .join(
+                QueryBuilder::scan("CUSTOMER"),
+                vec![1],
+                vec![0],
+                JoinKind::Inner,
+            )
             .build();
         let out = execute(&inner, &source).unwrap();
         assert_eq!(out.rows.len(), 3, "order 4 has no matching customer");
@@ -920,7 +930,13 @@ mod tests {
         let source = RowSource::new(&tables, 10);
         let plan = QueryBuilder::scan("ORDERS")
             .filter(col(0).gt(lit(1000)))
-            .aggregate(vec![], vec![AggSpec::new(AggFunc::Count, 0), AggSpec::new(AggFunc::Min, 2)])
+            .aggregate(
+                vec![],
+                vec![
+                    AggSpec::new(AggFunc::Count, 0),
+                    AggSpec::new(AggFunc::Min, 2),
+                ],
+            )
             .build();
         let out = execute(&plan, &source).unwrap();
         assert_eq!(out.rows.len(), 1);
@@ -947,7 +963,12 @@ mod tests {
         let tables = fixture();
         let source = RowSource::new(&tables, 10);
         let plan = QueryBuilder::scan("ORDERS")
-            .join(QueryBuilder::scan("CUSTOMER"), vec![], vec![], JoinKind::Inner)
+            .join(
+                QueryBuilder::scan("CUSTOMER"),
+                vec![],
+                vec![],
+                JoinKind::Inner,
+            )
             .build();
         assert!(matches!(
             execute(&plan, &source),
@@ -993,7 +1014,12 @@ mod tests {
                 .project(vec![col(0), col(2)])
                 .build(),
             QueryBuilder::scan("ORDERS")
-                .join(QueryBuilder::scan("CUSTOMER"), vec![1], vec![0], JoinKind::LeftOuter)
+                .join(
+                    QueryBuilder::scan("CUSTOMER"),
+                    vec![1],
+                    vec![0],
+                    JoinKind::LeftOuter,
+                )
                 .aggregate(vec![1], vec![AggSpec::new(AggFunc::Sum, 2)])
                 .sort(vec![SortKey::asc(0)])
                 .limit(2)

@@ -168,14 +168,13 @@ impl Expr {
     /// slice or batch slot).
     pub fn eval_access<A: ValueAccess + ?Sized>(&self, row: &A) -> QueryResult<Value> {
         match self {
-            Expr::Column(pos) => {
-                row.value_at(*pos)
-                    .cloned()
-                    .ok_or(QueryError::ColumnOutOfRange {
-                        position: *pos,
-                        width: row.width(),
-                    })
-            }
+            Expr::Column(pos) => row
+                .value_at(*pos)
+                .cloned()
+                .ok_or(QueryError::ColumnOutOfRange {
+                    position: *pos,
+                    width: row.width(),
+                }),
             Expr::Literal(v) => Ok(v.clone()),
             Expr::Eq(a, b) => cmp(a, b, row, |o| o == std::cmp::Ordering::Equal),
             Expr::Ne(a, b) => cmp(a, b, row, |o| o != std::cmp::Ordering::Equal),
@@ -211,7 +210,9 @@ impl Expr {
             Expr::Add(a, b) => arith(a, b, row, Value::checked_add),
             Expr::Sub(a, b) => arith(a, b, row, Value::checked_sub),
             Expr::Mul(a, b) => float_arith(a, b, row, |x, y| Some(x * y)),
-            Expr::Div(a, b) => float_arith(a, b, row, |x, y| if y == 0.0 { None } else { Some(x / y) }),
+            Expr::Div(a, b) => {
+                float_arith(a, b, row, |x, y| if y == 0.0 { None } else { Some(x / y) })
+            }
             Expr::IsNull(e) => Ok(Value::Bool(e.eval_access(row)?.is_null())),
         }
     }
@@ -250,7 +251,8 @@ fn arith<A: ValueAccess + ?Sized>(
 ) -> QueryResult<Value> {
     let a = a.eval_access(row)?;
     let b = b.eval_access(row)?;
-    f(&a, &b).ok_or_else(|| QueryError::TypeError(format!("cannot apply arithmetic to {a} and {b}")))
+    f(&a, &b)
+        .ok_or_else(|| QueryError::TypeError(format!("cannot apply arithmetic to {a} and {b}")))
 }
 
 fn float_arith<A: ValueAccess + ?Sized>(
@@ -324,7 +326,10 @@ mod tests {
         let r = row();
         assert_eq!(col(0).eq(lit(10)).eval(&r).unwrap(), Value::Bool(true));
         assert_eq!(col(0).lt(lit(11)).eval(&r).unwrap(), Value::Bool(true));
-        assert_eq!(col(2).ge(lit(Value::Decimal(995))).eval(&r).unwrap(), Value::Bool(true));
+        assert_eq!(
+            col(2).ge(lit(Value::Decimal(995))).eval(&r).unwrap(),
+            Value::Bool(true)
+        );
         assert_eq!(col(0).gt(lit(10)).eval(&r).unwrap(), Value::Bool(false));
     }
 

@@ -76,9 +76,9 @@ impl<'a> RowSource<'a> {
     }
 
     fn table(&self, name: &str) -> QueryResult<&Arc<RowTable>> {
-        self.tables
-            .get(name)
-            .ok_or_else(|| QueryError::Storage(olxp_storage::StorageError::TableNotFound(name.into())))
+        self.tables.get(name).ok_or_else(|| {
+            QueryError::Storage(olxp_storage::StorageError::TableNotFound(name.into()))
+        })
     }
 }
 
@@ -145,9 +145,9 @@ impl<'a> ColumnSource<'a> {
     }
 
     fn table(&self, name: &str) -> QueryResult<&Arc<ColumnTable>> {
-        self.tables
-            .get(name)
-            .ok_or_else(|| QueryError::Storage(olxp_storage::StorageError::TableNotFound(name.into())))
+        self.tables.get(name).ok_or_else(|| {
+            QueryError::Storage(olxp_storage::StorageError::TableNotFound(name.into()))
+        })
     }
 }
 
@@ -191,11 +191,7 @@ impl DataSource for ColumnSource<'_> {
         let mut rows = Vec::new();
         let examined = t.scan_batches(None, olxp_storage::DEFAULT_BATCH_SIZE, |batch| {
             for slot in batch.selected_rows() {
-                let key = Key::new(
-                    pk.iter()
-                        .map(|&i| batch.column(i)[slot].clone())
-                        .collect(),
-                );
+                let key = Key::new(pk.iter().map(|&i| batch.column(i)[slot].clone()).collect());
                 if key.starts_with(prefix) {
                     let mut values = Vec::with_capacity(batch.width());
                     batch.gather_row_into(slot, &mut values);

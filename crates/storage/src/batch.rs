@@ -336,10 +336,8 @@ impl BatchBuilder {
     /// and ready for the next batch.
     pub fn finish(&mut self) -> ColumnBatch<'static> {
         let width = self.columns.len();
-        let columns = std::mem::replace(
-            &mut self.columns,
-            (0..width).map(|_| Vec::new()).collect(),
-        );
+        let columns =
+            std::mem::replace(&mut self.columns, (0..width).map(|_| Vec::new()).collect());
         let rows = std::mem::take(&mut self.rows);
         ColumnBatch::owned_sized(columns, rows)
     }

@@ -147,7 +147,12 @@ impl BufferPool {
 
     /// Pages currently resident for a table (for tests and metrics).
     pub fn resident_pages(&self, table: &str) -> u64 {
-        self.residency.lock().tables.get(table).copied().unwrap_or(0)
+        self.residency
+            .lock()
+            .tables
+            .get(table)
+            .copied()
+            .unwrap_or(0)
     }
 }
 

@@ -111,10 +111,7 @@ mod tests {
         cat.create_table(schema("CUSTOMER", 21)).unwrap();
         assert_eq!(cat.len(), 3);
         assert!(cat.contains("DISTRICT"));
-        assert_eq!(
-            cat.table_names(),
-            vec!["WAREHOUSE", "DISTRICT", "CUSTOMER"]
-        );
+        assert_eq!(cat.table_names(), vec!["WAREHOUSE", "DISTRICT", "CUSTOMER"]);
         assert_eq!(cat.table("CUSTOMER").unwrap().column_count(), 21);
         assert_eq!(cat.total_columns(), 41);
     }

@@ -1,0 +1,284 @@
+//! Consistent checkpoints of the row store and catalog.
+//!
+//! A checkpoint is a point-in-time snapshot of every table's schema and of the
+//! rows visible at a recorded commit timestamp, tagged with the WAL LSN it
+//! covers.  Recovery loads the newest checkpoint and replays only the WAL tail
+//! above its LSN; once a checkpoint is durable, the WAL segments it covers are
+//! truncated (see `Wal::truncate_up_to`), which is what keeps the log from
+//! growing without bound.
+//!
+//! ## Format
+//!
+//! One file per checkpoint, `checkpoint-<lsn>.ckpt`:
+//!
+//! ```text
+//! [ crc32(payload): u32 LE ][ payload ]
+//! payload = MAGIC u32 | version u8 | lsn u64 | commit_ts u64
+//!         | ntables u32 | ntables x (schema | nrows u64 | nrows x row)
+//! ```
+//!
+//! The file is written to a temporary name, fsynced, renamed into place and
+//! the directory fsynced, so a crash mid-checkpoint leaves the previous
+//! checkpoint intact.  Older checkpoint files are deleted after a successful
+//! write; a CRC or decode failure on load surfaces as the typed
+//! [`StorageError::CheckpointCorrupt`].
+
+use crate::error::{StorageError, StorageResult};
+use crate::row::Row;
+use crate::schema::TableSchema;
+use crate::wal::codec::{put_row, put_schema, put_str, read_row, read_schema, Reader};
+use crate::wal::crc32;
+use crate::Timestamp;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+
+const MAGIC: u32 = 0x4F4C_5850; // "OLXP"
+const VERSION: u8 = 1;
+
+/// The snapshot of one table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableCheckpoint {
+    /// The table's schema (recreated verbatim at recovery).
+    pub schema: TableSchema,
+    /// Rows visible at the checkpoint's commit timestamp.
+    pub rows: Vec<Row>,
+}
+
+/// A full checkpoint.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckpointData {
+    /// Highest WAL LSN whose effects are contained in this snapshot.
+    /// Recovery replays only transactions whose commit LSN is above it.
+    pub lsn: u64,
+    /// Commit timestamp the row snapshot was taken at.
+    pub commit_ts: Timestamp,
+    /// Per-table snapshots in catalog (creation) order.
+    pub tables: Vec<TableCheckpoint>,
+}
+
+impl CheckpointData {
+    /// Total rows across all tables.
+    pub fn total_rows(&self) -> usize {
+        self.tables.iter().map(|t| t.rows.len()).sum()
+    }
+}
+
+fn checkpoint_name(lsn: u64) -> String {
+    format!("checkpoint-{lsn:020}.ckpt")
+}
+
+fn list_checkpoints(dir: &Path) -> StorageResult<Vec<(u64, PathBuf)>> {
+    let entries = std::fs::read_dir(dir)
+        .map_err(|e| StorageError::io("read_dir", dir.display().to_string(), &e))?;
+    let mut out = Vec::new();
+    for entry in entries {
+        let entry =
+            entry.map_err(|e| StorageError::io("read_dir", dir.display().to_string(), &e))?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if let Some(lsn) = name
+            .strip_prefix("checkpoint-")
+            .and_then(|s| s.strip_suffix(".ckpt"))
+            .and_then(|s| s.parse::<u64>().ok())
+        {
+            out.push((lsn, entry.path()));
+        }
+    }
+    Ok(out)
+}
+
+/// Best-effort directory fsync so renames and deletions are durable.
+fn sync_dir(dir: &Path) -> StorageResult<()> {
+    let f =
+        File::open(dir).map_err(|e| StorageError::io("open_dir", dir.display().to_string(), &e))?;
+    f.sync_all()
+        .map_err(|e| StorageError::io("fsync_dir", dir.display().to_string(), &e))?;
+    Ok(())
+}
+
+/// Write `data` as the newest checkpoint in `dir` and delete older ones.
+/// Returns the path of the new checkpoint file.
+pub fn write_checkpoint(dir: &Path, data: &CheckpointData) -> StorageResult<PathBuf> {
+    std::fs::create_dir_all(dir)
+        .map_err(|e| StorageError::io("create_dir", dir.display().to_string(), &e))?;
+    let mut payload = Vec::with_capacity(4096);
+    payload.extend_from_slice(&MAGIC.to_le_bytes());
+    payload.push(VERSION);
+    payload.extend_from_slice(&data.lsn.to_le_bytes());
+    payload.extend_from_slice(&data.commit_ts.to_le_bytes());
+    payload.extend_from_slice(&(data.tables.len() as u32).to_le_bytes());
+    for table in &data.tables {
+        put_schema(&mut payload, &table.schema);
+        payload.extend_from_slice(&(table.rows.len() as u64).to_le_bytes());
+        for row in &table.rows {
+            put_row(&mut payload, row);
+        }
+    }
+    // Reserved trailer for future extensions (kept CRC-covered).
+    put_str(&mut payload, "");
+
+    let tmp_path = dir.join(format!("{}.tmp", checkpoint_name(data.lsn)));
+    let final_path = dir.join(checkpoint_name(data.lsn));
+    {
+        let mut f = OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(true)
+            .open(&tmp_path)
+            .map_err(|e| StorageError::io("open", tmp_path.display().to_string(), &e))?;
+        f.write_all(&crc32(&payload).to_le_bytes())
+            .and_then(|()| f.write_all(&payload))
+            .map_err(|e| StorageError::io("write", tmp_path.display().to_string(), &e))?;
+        f.sync_data()
+            .map_err(|e| StorageError::io("fsync", tmp_path.display().to_string(), &e))?;
+    }
+    std::fs::rename(&tmp_path, &final_path)
+        .map_err(|e| StorageError::io("rename", final_path.display().to_string(), &e))?;
+    sync_dir(dir)?;
+    // The new checkpoint is durable; older ones are now garbage.
+    for (lsn, path) in list_checkpoints(dir)? {
+        if lsn < data.lsn {
+            std::fs::remove_file(&path)
+                .map_err(|e| StorageError::io("remove", path.display().to_string(), &e))?;
+        }
+    }
+    Ok(final_path)
+}
+
+/// Load the newest checkpoint in `dir`, or `None` when no checkpoint exists.
+pub fn load_latest_checkpoint(dir: &Path) -> StorageResult<Option<CheckpointData>> {
+    if !dir.exists() {
+        return Ok(None);
+    }
+    let mut checkpoints = list_checkpoints(dir)?;
+    checkpoints.sort_by_key(|(lsn, _)| *lsn);
+    let Some((_, path)) = checkpoints.pop() else {
+        return Ok(None);
+    };
+    let corrupt = |detail: String| StorageError::CheckpointCorrupt {
+        path: path.display().to_string(),
+        detail,
+    };
+    let mut bytes = Vec::new();
+    File::open(&path)
+        .and_then(|mut f| f.read_to_end(&mut bytes))
+        .map_err(|e| StorageError::io("read", path.display().to_string(), &e))?;
+    if bytes.len() < 4 {
+        return Err(corrupt("file shorter than its CRC header".into()));
+    }
+    let crc = u32::from_le_bytes(bytes[..4].try_into().expect("4 bytes"));
+    let payload = &bytes[4..];
+    if crc32(payload) != crc {
+        return Err(corrupt("CRC mismatch".into()));
+    }
+    let mut r = Reader::new(payload);
+    let decode = |e: StorageError| corrupt(format!("undecodable payload: {e}"));
+    if r.u32().map_err(decode)? != MAGIC {
+        return Err(corrupt("bad magic".into()));
+    }
+    let version = r.u8().map_err(decode)?;
+    if version != VERSION {
+        return Err(corrupt(format!("unsupported version {version}")));
+    }
+    let lsn = r.u64().map_err(decode)?;
+    let commit_ts = r.u64().map_err(decode)?;
+    let ntables = r.u32().map_err(decode)? as usize;
+    let mut tables = Vec::with_capacity(ntables.min(1 << 12));
+    for _ in 0..ntables {
+        let schema = read_schema(&mut r).map_err(decode)?;
+        let nrows = r.u64().map_err(decode)? as usize;
+        let mut rows = Vec::with_capacity(nrows.min(1 << 20));
+        for _ in 0..nrows {
+            rows.push(read_row(&mut r).map_err(decode)?);
+        }
+        tables.push(TableCheckpoint { schema, rows });
+    }
+    Ok(Some(CheckpointData {
+        lsn,
+        commit_ts,
+        tables,
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{ColumnDef, DataType};
+    use crate::test_util::temp_dir;
+    use crate::value::Value;
+
+    fn sample() -> CheckpointData {
+        let schema = TableSchema::new(
+            "ITEM",
+            vec![
+                ColumnDef::new("i_id", DataType::Int, false),
+                ColumnDef::new("i_name", DataType::Str, false),
+            ],
+            vec!["i_id"],
+        )
+        .unwrap();
+        let rows = (0..100)
+            .map(|i| Row::new(vec![Value::Int(i), Value::Str(format!("item-{i}"))]))
+            .collect();
+        CheckpointData {
+            lsn: 42,
+            commit_ts: 17,
+            tables: vec![TableCheckpoint { schema, rows }],
+        }
+    }
+
+    #[test]
+    fn write_load_roundtrip() {
+        let dir = temp_dir("roundtrip");
+        let data = sample();
+        write_checkpoint(&dir, &data).unwrap();
+        let loaded = load_latest_checkpoint(&dir).unwrap().unwrap();
+        assert_eq!(loaded, data);
+        assert_eq!(loaded.total_rows(), 100);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn newer_checkpoint_replaces_older() {
+        let dir = temp_dir("replace");
+        let mut data = sample();
+        write_checkpoint(&dir, &data).unwrap();
+        data.lsn = 99;
+        data.tables[0].rows.truncate(3);
+        write_checkpoint(&dir, &data).unwrap();
+        let loaded = load_latest_checkpoint(&dir).unwrap().unwrap();
+        assert_eq!(loaded.lsn, 99);
+        assert_eq!(loaded.total_rows(), 3);
+        assert_eq!(
+            list_checkpoints(&dir).unwrap().len(),
+            1,
+            "old checkpoint files are deleted"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_dir_or_checkpoint_is_none() {
+        let dir = temp_dir("missing");
+        assert!(load_latest_checkpoint(&dir.join("nope")).unwrap().is_none());
+        assert!(load_latest_checkpoint(&dir).unwrap().is_none());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corruption_is_typed() {
+        let dir = temp_dir("corrupt");
+        let path = write_checkpoint(&dir, &sample()).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        let err = load_latest_checkpoint(&dir);
+        assert!(
+            matches!(err, Err(StorageError::CheckpointCorrupt { .. })),
+            "got {err:?}"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -143,7 +143,9 @@ impl ColumnTable {
         }
         data.applied_ts = data.applied_ts.max(commit_ts);
         data.applied_lsn = data.applied_lsn.max(lsn);
-        self.counters.mutations_applied.fetch_add(1, Ordering::Relaxed);
+        self.counters
+            .mutations_applied
+            .fetch_add(1, Ordering::Relaxed);
         Ok(())
     }
 
@@ -169,7 +171,9 @@ impl ColumnTable {
         }
         data.applied_ts = data.applied_ts.max(commit_ts);
         data.applied_lsn = data.applied_lsn.max(lsn);
-        self.counters.mutations_applied.fetch_add(1, Ordering::Relaxed);
+        self.counters
+            .mutations_applied
+            .fetch_add(1, Ordering::Relaxed);
         Ok(())
     }
 
@@ -181,7 +185,9 @@ impl ColumnTable {
         }
         data.applied_ts = data.applied_ts.max(commit_ts);
         data.applied_lsn = data.applied_lsn.max(lsn);
-        self.counters.mutations_applied.fetch_add(1, Ordering::Relaxed);
+        self.counters
+            .mutations_applied
+            .fetch_add(1, Ordering::Relaxed);
         Ok(())
     }
 
@@ -194,7 +200,12 @@ impl ColumnTable {
     /// `projection` selects and orders the columns each batch exposes; `None`
     /// exposes every column in schema order.  Returns the number of slots
     /// examined.  Scanning an empty table is a no-op and touches no counters.
-    pub fn scan_batches<F>(&self, projection: Option<&[usize]>, batch_size: usize, mut f: F) -> usize
+    pub fn scan_batches<F>(
+        &self,
+        projection: Option<&[usize]>,
+        batch_size: usize,
+        mut f: F,
+    ) -> usize
     where
         F: FnMut(&ColumnBatch<'_>),
     {
@@ -345,10 +356,13 @@ mod tests {
     #[test]
     fn insert_update_delete_roundtrip() {
         let t = table();
-        t.apply_insert(&Key::int(1), &order(1, 500, "new"), 10, 1).unwrap();
-        t.apply_insert(&Key::int(2), &order(2, 700, "new"), 11, 2).unwrap();
+        t.apply_insert(&Key::int(1), &order(1, 500, "new"), 10, 1)
+            .unwrap();
+        t.apply_insert(&Key::int(2), &order(2, 700, "new"), 11, 2)
+            .unwrap();
         assert_eq!(t.live_row_count(), 2);
-        t.apply_update(&Key::int(1), &order(1, 900, "paid"), 12, 3).unwrap();
+        t.apply_update(&Key::int(1), &order(1, 900, "paid"), 12, 3)
+            .unwrap();
         t.apply_delete(&Key::int(2), 13, 4).unwrap();
         assert_eq!(t.live_row_count(), 1);
         assert_eq!(t.slot_count(), 2, "deleted slots remain physically present");
@@ -373,8 +387,10 @@ mod tests {
     #[test]
     fn reapplied_insert_is_idempotent() {
         let t = table();
-        t.apply_insert(&Key::int(1), &order(1, 500, "new"), 10, 1).unwrap();
-        t.apply_insert(&Key::int(1), &order(1, 650, "new"), 10, 1).unwrap();
+        t.apply_insert(&Key::int(1), &order(1, 500, "new"), 10, 1)
+            .unwrap();
+        t.apply_insert(&Key::int(1), &order(1, 650, "new"), 10, 1)
+            .unwrap();
         assert_eq!(t.live_row_count(), 1);
         let mut amounts = Vec::new();
         t.scan_projected(&[1], |v| amounts.push(v[0].clone()));
@@ -411,7 +427,8 @@ mod tests {
     #[test]
     fn stats_are_tracked() {
         let t = table();
-        t.apply_insert(&Key::int(1), &order(1, 500, "new"), 10, 1).unwrap();
+        t.apply_insert(&Key::int(1), &order(1, 500, "new"), 10, 1)
+            .unwrap();
         t.scan_rows(|_| {});
         let s = t.stats();
         assert_eq!(s.mutations_applied, 1);

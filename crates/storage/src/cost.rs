@@ -169,7 +169,10 @@ mod tests {
     #[test]
     fn cost_helpers_scale_linearly() {
         let c = CostParams::default();
-        assert_eq!(c.row_scan(StorageMedium::Memory, 10), 10 * c.mem_scan_row_ns);
+        assert_eq!(
+            c.row_scan(StorageMedium::Memory, 10),
+            10 * c.mem_scan_row_ns
+        );
         assert_eq!(c.columnar_scan(100), 100 * c.columnar_scan_row_ns);
         assert_eq!(c.join(7), 7 * c.join_probe_ns);
         assert_eq!(c.network(3), 3 * c.network_rtt_ns);

@@ -30,8 +30,49 @@ pub enum StorageError {
     NullViolation { column: String },
     /// The table already exists in the catalog.
     TableExists(String),
+    /// A filesystem operation of the durability subsystem failed.
+    Io {
+        /// Operation that failed (e.g. "open", "fsync", "rename").
+        op: &'static str,
+        /// Path the operation targeted.
+        path: String,
+        /// Error text from the OS.
+        message: String,
+    },
+    /// A write-ahead-log record failed its integrity check somewhere other
+    /// than the torn tail of the newest segment (torn tails are expected after
+    /// a crash and are silently truncated; anything else means the log bytes
+    /// were damaged after they were acknowledged as durable).
+    WalCorrupt {
+        /// Segment file containing the damaged record.
+        segment: String,
+        /// Byte offset of the damaged record within the segment.
+        offset: u64,
+        /// What exactly failed (CRC mismatch, undecodable payload, ...).
+        detail: String,
+    },
+    /// A checkpoint file failed its integrity check and cannot be loaded.
+    CheckpointCorrupt {
+        /// The checkpoint file.
+        path: String,
+        /// What exactly failed.
+        detail: String,
+    },
+    /// A serialized value could not be decoded (version mismatch or bug).
+    Codec(String),
     /// Internal invariant violation (bug).
     Internal(String),
+}
+
+impl StorageError {
+    /// Wrap an `std::io::Error` with the operation and path that failed.
+    pub fn io(op: &'static str, path: impl Into<String>, err: &std::io::Error) -> StorageError {
+        StorageError::Io {
+            op,
+            path: path.into(),
+            message: err.to_string(),
+        }
+    }
 }
 
 impl fmt::Display for StorageError {
@@ -54,14 +95,35 @@ impl fmt::Display for StorageError {
                 column,
                 expected,
                 got,
-            } => write!(f, "type mismatch for column {column}: expected {expected}, got {got}"),
+            } => write!(
+                f,
+                "type mismatch for column {column}: expected {expected}, got {got}"
+            ),
             StorageError::ArityMismatch { expected, got } => {
-                write!(f, "row arity mismatch: expected {expected} columns, got {got}")
+                write!(
+                    f,
+                    "row arity mismatch: expected {expected} columns, got {got}"
+                )
             }
             StorageError::NullViolation { column } => {
                 write!(f, "NULL value for NOT NULL column {column}")
             }
             StorageError::TableExists(t) => write!(f, "table already exists: {t}"),
+            StorageError::Io { op, path, message } => {
+                write!(f, "i/o error during {op} on {path}: {message}")
+            }
+            StorageError::WalCorrupt {
+                segment,
+                offset,
+                detail,
+            } => write!(
+                f,
+                "corrupt WAL record in {segment} at offset {offset}: {detail}"
+            ),
+            StorageError::CheckpointCorrupt { path, detail } => {
+                write!(f, "corrupt checkpoint {path}: {detail}")
+            }
+            StorageError::Codec(msg) => write!(f, "codec error: {msg}"),
             StorageError::Internal(msg) => write!(f, "internal storage error: {msg}"),
         }
     }

@@ -22,15 +22,22 @@
 //! * a **storage cost model** ([`cost::CostParams`]) describing the relative
 //!   service times of memory-resident and SSD-resident data, which is how the
 //!   MemSQL-like (in-memory) and TiDB-like (SSD) deployments of the paper are
-//!   distinguished on a single host.
+//!   distinguished on a single host;
+//! * a **durability subsystem**: a segmented, CRC-checksummed **write-ahead
+//!   log** ([`wal::Wal`]) with group commit, and **checkpoints**
+//!   ([`checkpoint`]) that snapshot the row store + catalog so the log can be
+//!   truncated.  Together they let the engine recover every acknowledged
+//!   commit after a crash.
 //!
 //! Everything here is deliberately self-contained: no external database is
-//! required, and all state lives in process memory so benchmark experiments are
-//! reproducible on a laptop.
+//! required, and all table state lives in process memory (optionally made
+//! crash-safe by the WAL) so benchmark experiments are reproducible on a
+//! laptop.
 
 pub mod batch;
 pub mod bufferpool;
 pub mod catalog;
+pub mod checkpoint;
 pub mod colstore;
 pub mod cost;
 pub mod error;
@@ -40,10 +47,15 @@ pub mod row;
 pub mod rowstore;
 pub mod schema;
 pub mod value;
+pub mod wal;
+
+#[cfg(test)]
+pub(crate) mod test_util;
 
 pub use batch::{BatchBuilder, ColumnBatch, DEFAULT_BATCH_SIZE};
 pub use bufferpool::{BufferPool, BufferPoolStats};
 pub use catalog::Catalog;
+pub use checkpoint::{CheckpointData, TableCheckpoint};
 pub use colstore::{ColumnTable, ColumnTableStats};
 pub use cost::{CostParams, StorageMedium};
 pub use error::{StorageError, StorageResult};
@@ -53,6 +65,7 @@ pub use row::Row;
 pub use rowstore::{RowTable, RowTableStats, ScanDirection};
 pub use schema::{ColumnDef, DataType, IndexDef, TableSchema};
 pub use value::Value;
+pub use wal::{SyncPolicy, Wal, WalOp, WalRecord, WalReplay, WalStatsSnapshot};
 
 /// Transaction timestamp type used throughout the stack.
 ///

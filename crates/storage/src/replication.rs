@@ -134,7 +134,8 @@ impl ReplicationLog {
             appended_at: Instant::now(),
         });
         self.appended.fetch_max(lsn, Ordering::Release);
-        self.appended_commit_ts.fetch_max(commit_ts, Ordering::Release);
+        self.appended_commit_ts
+            .fetch_max(commit_ts, Ordering::Release);
         self.pending_cv.notify_one();
         lsn
     }
@@ -267,7 +268,8 @@ impl ReplicationLog {
     /// per record, to keep the hot apply path free of lock traffic.
     fn mark_applied(&self, lsn: u64, commit_ts: Timestamp) {
         self.applied.fetch_max(lsn, Ordering::Release);
-        self.applied_commit_ts.fetch_max(commit_ts, Ordering::Release);
+        self.applied_commit_ts
+            .fetch_max(commit_ts, Ordering::Release);
     }
 
     /// Wake readers parked on the applied watermark.  Called by the
@@ -415,8 +417,20 @@ mod tests {
     #[test]
     fn lsns_are_monotonic_and_lag_is_tracked() {
         let log = ReplicationLog::new();
-        let a = log.append("ORDERS", MutationOp::Insert, Key::int(1), Some(order(1, 10)), 5);
-        let b = log.append("ORDERS", MutationOp::Insert, Key::int(2), Some(order(2, 20)), 6);
+        let a = log.append(
+            "ORDERS",
+            MutationOp::Insert,
+            Key::int(1),
+            Some(order(1, 10)),
+            5,
+        );
+        let b = log.append(
+            "ORDERS",
+            MutationOp::Insert,
+            Key::int(2),
+            Some(order(2, 20)),
+            6,
+        );
         assert!(b > a);
         assert_eq!(log.pending(), 2);
         assert_eq!(log.lag_records(), 2);
@@ -479,7 +493,13 @@ mod tests {
                 scope.spawn(move || {
                     for i in 0..200 {
                         let id = (t * 200 + i) as i64;
-                        log.append("ORDERS", MutationOp::Insert, Key::int(id), Some(order(id, 1)), 1);
+                        log.append(
+                            "ORDERS",
+                            MutationOp::Insert,
+                            Key::int(id),
+                            Some(order(id, 1)),
+                            1,
+                        );
                     }
                 });
             }
@@ -502,9 +522,27 @@ mod tests {
         let mut repl = Replicator::new(Arc::clone(&log));
         repl.register("ORDERS", Arc::clone(&replica));
 
-        log.append("ORDERS", MutationOp::Insert, Key::int(1), Some(order(1, 10)), 5);
-        log.append("ORDERS", MutationOp::Update, Key::int(1), Some(order(1, 99)), 6);
-        log.append("ORDERS", MutationOp::Insert, Key::int(2), Some(order(2, 20)), 7);
+        log.append(
+            "ORDERS",
+            MutationOp::Insert,
+            Key::int(1),
+            Some(order(1, 10)),
+            5,
+        );
+        log.append(
+            "ORDERS",
+            MutationOp::Update,
+            Key::int(1),
+            Some(order(1, 99)),
+            6,
+        );
+        log.append(
+            "ORDERS",
+            MutationOp::Insert,
+            Key::int(2),
+            Some(order(2, 20)),
+            7,
+        );
         log.append("ORDERS", MutationOp::Delete, Key::int(2), None, 8);
 
         let applied = repl.catch_up().unwrap();
@@ -527,10 +565,22 @@ mod tests {
         let mut repl = Replicator::new(Arc::clone(&log));
         repl.register("ORDERS", Arc::clone(&replica));
 
-        log.append("ORDERS", MutationOp::Insert, Key::int(1), Some(order(1, 10)), 5);
+        log.append(
+            "ORDERS",
+            MutationOp::Insert,
+            Key::int(1),
+            Some(order(1, 10)),
+            5,
+        );
         // Poison record: an insert with no row image fails to apply.
         log.append("ORDERS", MutationOp::Insert, Key::int(2), None, 6);
-        log.append("ORDERS", MutationOp::Insert, Key::int(3), Some(order(3, 30)), 7);
+        log.append(
+            "ORDERS",
+            MutationOp::Insert,
+            Key::int(3),
+            Some(order(3, 30)),
+            7,
+        );
 
         let err = repl.apply_pending(16);
         assert!(matches!(err, Err(StorageError::Internal(_))));
@@ -560,7 +610,13 @@ mod tests {
         let replica = Arc::new(ColumnTable::new(orders_schema()));
         let mut repl = Replicator::new(Arc::clone(&log));
         repl.register("ORDERS", Arc::clone(&replica));
-        log.append("ORDERS", MutationOp::Update, Key::int(7), Some(order(7, 70)), 3);
+        log.append(
+            "ORDERS",
+            MutationOp::Update,
+            Key::int(7),
+            Some(order(7, 70)),
+            3,
+        );
         repl.catch_up().unwrap();
         assert_eq!(replica.live_row_count(), 1);
     }
@@ -594,7 +650,13 @@ mod tests {
     fn unregistered_tables_are_skipped_but_acknowledged() {
         let log = Arc::new(ReplicationLog::new());
         let repl = Replicator::new(Arc::clone(&log));
-        log.append("HISTORY", MutationOp::Insert, Key::int(1), Some(order(1, 1)), 2);
+        log.append(
+            "HISTORY",
+            MutationOp::Insert,
+            Key::int(1),
+            Some(order(1, 1)),
+            2,
+        );
         assert_eq!(repl.catch_up().unwrap(), 1);
         assert_eq!(log.lag_records(), 0);
     }
@@ -603,7 +665,13 @@ mod tests {
     fn drain_respects_batch_size() {
         let log = ReplicationLog::new();
         for i in 0..10 {
-            log.append("ORDERS", MutationOp::Insert, Key::int(i), Some(order(i, 1)), 1);
+            log.append(
+                "ORDERS",
+                MutationOp::Insert,
+                Key::int(i),
+                Some(order(i, 1)),
+                1,
+            );
         }
         assert_eq!(log.drain(3).len(), 3);
         assert_eq!(log.pending(), 7);
@@ -613,7 +681,13 @@ mod tests {
     fn requeue_front_preserves_order() {
         let log = ReplicationLog::new();
         for i in 0..5 {
-            log.append("ORDERS", MutationOp::Insert, Key::int(i), Some(order(i, 1)), 1);
+            log.append(
+                "ORDERS",
+                MutationOp::Insert,
+                Key::int(i),
+                Some(order(i, 1)),
+                1,
+            );
         }
         let drained = log.drain(3);
         log.requeue_front(drained);
@@ -628,14 +702,27 @@ mod tests {
         let replica = Arc::new(ColumnTable::new(orders_schema()));
         let mut repl = Replicator::new(Arc::clone(&log));
         repl.register("ORDERS", Arc::clone(&replica));
-        log.append("ORDERS", MutationOp::Insert, Key::int(1), Some(order(1, 1)), 2);
+        log.append(
+            "ORDERS",
+            MutationOp::Insert,
+            Key::int(1),
+            Some(order(1, 1)),
+            2,
+        );
 
-        assert!(!log.wait_for_applied(1, Duration::from_millis(5)), "nothing applied yet");
+        assert!(
+            !log.wait_for_applied(1, Duration::from_millis(5)),
+            "nothing applied yet"
+        );
         thread::scope(|scope| {
             let waiter_log = Arc::clone(&log);
-            let waiter = scope.spawn(move || waiter_log.wait_for_applied(1, Duration::from_secs(5)));
+            let waiter =
+                scope.spawn(move || waiter_log.wait_for_applied(1, Duration::from_secs(5)));
             repl.catch_up().unwrap();
-            assert!(waiter.join().unwrap(), "waiter observes the applied watermark");
+            assert!(
+                waiter.join().unwrap(),
+                "waiter observes the applied watermark"
+            );
         });
     }
 
@@ -646,7 +733,13 @@ mod tests {
         thread::scope(|scope| {
             let waiter_log = Arc::clone(&log);
             let waiter = scope.spawn(move || waiter_log.wait_for_pending(Duration::from_secs(5)));
-            log.append("ORDERS", MutationOp::Insert, Key::int(1), Some(order(1, 1)), 2);
+            log.append(
+                "ORDERS",
+                MutationOp::Insert,
+                Key::int(1),
+                Some(order(1, 1)),
+                2,
+            );
             assert!(waiter.join().unwrap());
         });
     }

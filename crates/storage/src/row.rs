@@ -206,7 +206,10 @@ mod tests {
         let r = Row::new(vec![Value::Int(1)]);
         assert!(matches!(
             r.validate(&schema()),
-            Err(StorageError::ArityMismatch { expected: 3, got: 1 })
+            Err(StorageError::ArityMismatch {
+                expected: 3,
+                got: 1
+            })
         ));
     }
 

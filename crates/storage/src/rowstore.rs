@@ -256,8 +256,7 @@ impl RowTable {
     /// snapshot-isolation write-conflict validation ("first committer wins").
     pub fn latest_commit_ts(&self, pk: &Key) -> Option<Timestamp> {
         let data = self.data.read();
-        data.get(pk)
-            .and_then(|chain| chain.last().map(|v| v.begin))
+        data.get(pk).and_then(|chain| chain.last().map(|v| v.begin))
     }
 
     /// Scan every row visible at `read_ts`, invoking `f` for each.  Returns the
@@ -384,14 +383,14 @@ impl RowTable {
         key: &Key,
         read_ts: Timestamp,
     ) -> StorageResult<IndexLookup> {
-        let index_def = self
-            .schema
-            .indexes()
-            .get(index_pos)
-            .ok_or_else(|| StorageError::IndexNotFound {
-                table: self.schema.name().to_string(),
-                index: format!("#{index_pos}"),
-            })?;
+        let index_def =
+            self.schema
+                .indexes()
+                .get(index_pos)
+                .ok_or_else(|| StorageError::IndexNotFound {
+                    table: self.schema.name().to_string(),
+                    index: format!("#{index_pos}"),
+                })?;
         let index = self.secondary[index_pos].read();
         let mut out = Vec::new();
         let mut examined = 0usize;
@@ -490,7 +489,10 @@ mod tests {
     fn insert_and_point_read() {
         let t = item_table();
         t.insert(item(1, "bolt", 150), 10).unwrap();
-        assert!(t.get(&Key::int(1), 9).is_none(), "not visible before commit");
+        assert!(
+            t.get(&Key::int(1), 9).is_none(),
+            "not visible before commit"
+        );
         let row = t.get(&Key::int(1), 10).unwrap();
         assert_eq!(row[1], Value::Str("bolt".into()));
         assert_eq!(t.stats().writes, 1);

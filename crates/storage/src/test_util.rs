@@ -1,0 +1,14 @@
+//! Helpers shared by this crate's unit tests.
+
+use std::path::PathBuf;
+
+/// A unique, created-on-demand temp directory for durability tests.
+pub(crate) fn temp_dir(tag: &str) -> PathBuf {
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .expect("clock after epoch")
+        .as_nanos();
+    let dir = std::env::temp_dir().join(format!("olxp-{tag}-{}-{nanos}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}

@@ -77,7 +77,9 @@ impl TxnError {
     pub fn is_retryable(&self) -> bool {
         matches!(
             self,
-            TxnError::Aborted { .. } | TxnError::WriteConflict { .. } | TxnError::LockTimeout { .. }
+            TxnError::Aborted { .. }
+                | TxnError::WriteConflict { .. }
+                | TxnError::LockTimeout { .. }
         )
     }
 }

@@ -147,10 +147,7 @@ impl LockManager {
                             key: key.to_string(),
                         });
                     }
-                    let timed_out = shard
-                        .released
-                        .wait_until(&mut guard, deadline)
-                        .timed_out();
+                    let timed_out = shard.released.wait_until(&mut guard, deadline).timed_out();
                     if timed_out {
                         self.stats.timeouts.fetch_add(1, Ordering::Relaxed);
                         let waited = started.elapsed().as_nanos() as u64;

@@ -46,6 +46,14 @@ impl TimestampOracle {
     pub fn load_ts(&self) -> Timestamp {
         self.commit_ts()
     }
+
+    /// Fast-forward the clock so that `ts` is in the past: after this call,
+    /// [`Self::read_ts`] returns at least `ts` and no future commit timestamp
+    /// collides with one already durable.  Used by crash recovery to resume
+    /// the timeline above the newest recovered commit; never moves backwards.
+    pub fn advance_to(&self, ts: Timestamp) {
+        self.next.fetch_max(ts.saturating_add(1), Ordering::SeqCst);
+    }
 }
 
 #[cfg(test)]
@@ -70,6 +78,18 @@ mod tests {
         let after = oracle.read_ts();
         assert!(before < commit);
         assert!(after >= commit);
+    }
+
+    #[test]
+    fn advance_to_fast_forwards_but_never_rewinds() {
+        let oracle = TimestampOracle::new();
+        oracle.advance_to(100);
+        assert_eq!(oracle.read_ts(), 100);
+        assert!(oracle.commit_ts() > 100);
+        oracle.advance_to(5); // stale advance is a no-op
+        assert!(oracle.read_ts() >= 100);
+        oracle.advance_to(Timestamp::MAX); // saturates instead of wrapping
+        assert_eq!(oracle.read_ts(), Timestamp::MAX - 1);
     }
 
     #[test]

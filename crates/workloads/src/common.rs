@@ -25,7 +25,11 @@ impl PlannedQuery {
         tables: Vec<&'static str>,
         build: fn(&mut StdRng) -> Plan,
     ) -> PlannedQuery {
-        PlannedQuery { name, tables, build }
+        PlannedQuery {
+            name,
+            tables,
+            build,
+        }
     }
 }
 
@@ -161,7 +165,9 @@ mod tests {
             assert!((8..=16).contains(&s.len()));
         }
         assert_eq!(rand_numeric_string(&mut r, 16).len(), 16);
-        assert!(rand_numeric_string(&mut r, 4).chars().all(|c| c.is_ascii_digit()));
+        assert!(rand_numeric_string(&mut r, 4)
+            .chars()
+            .all(|c| c.is_ascii_digit()));
     }
 
     #[test]

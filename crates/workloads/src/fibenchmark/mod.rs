@@ -207,22 +207,32 @@ online_txn!(Balance, "Balance", true, |state, s, txn, rng| {
     Ok(())
 });
 
-online_txn!(DepositChecking, "DepositChecking", false, |state, s, txn, rng| {
-    let custid = state.rand_account(rng);
-    let amount = common::rand_amount_cents(rng, 1.0, 100.0);
-    let _ = read_balance(s, txn, "ACCOUNT", custid)?;
-    adjust_balance(s, txn, "CHECKING", custid, amount)?;
-    Ok(())
-});
+online_txn!(
+    DepositChecking,
+    "DepositChecking",
+    false,
+    |state, s, txn, rng| {
+        let custid = state.rand_account(rng);
+        let amount = common::rand_amount_cents(rng, 1.0, 100.0);
+        let _ = read_balance(s, txn, "ACCOUNT", custid)?;
+        adjust_balance(s, txn, "CHECKING", custid, amount)?;
+        Ok(())
+    }
+);
 
-online_txn!(TransactSavings, "TransactSavings", false, |state, s, txn, rng| {
-    let custid = state.rand_account(rng);
-    let amount = common::rand_amount_cents(rng, 1.0, 100.0)
-        - common::rand_amount_cents(rng, 0.0, 50.0);
-    let _ = read_balance(s, txn, "ACCOUNT", custid)?;
-    adjust_balance(s, txn, "SAVINGS", custid, amount)?;
-    Ok(())
-});
+online_txn!(
+    TransactSavings,
+    "TransactSavings",
+    false,
+    |state, s, txn, rng| {
+        let custid = state.rand_account(rng);
+        let amount =
+            common::rand_amount_cents(rng, 1.0, 100.0) - common::rand_amount_cents(rng, 0.0, 50.0);
+        let _ = read_balance(s, txn, "ACCOUNT", custid)?;
+        adjust_balance(s, txn, "SAVINGS", custid, amount)?;
+        Ok(())
+    }
+);
 
 online_txn!(Amalgamate, "Amalgamate", false, |state, s, txn, rng| {
     let (from, to) = state.rand_account_pair(rng);
@@ -288,126 +298,156 @@ macro_rules! hybrid_txn {
     };
 }
 
-hybrid_txn!(PaymentWithBalanceTrend, "X1-PaymentWithBalanceTrend", false, |state, s, txn, rng| {
-    // Real-time query: average and minimum checking balance across the bank.
-    let plan = QueryBuilder::scan("CHECKING")
-        .aggregate(
-            vec![],
-            vec![
-                AggSpec::new(AggFunc::Avg, col::chk::BAL),
-                AggSpec::new(AggFunc::Min, col::chk::BAL),
-            ],
-        )
-        .build();
-    let _trend = s.query_in_txn(txn, &plan)?;
-    let (from, to) = state.rand_account_pair(rng);
-    let amount = common::rand_amount_cents(rng, 1.0, 100.0);
-    adjust_balance(s, txn, "CHECKING", from, -amount)?;
-    adjust_balance(s, txn, "CHECKING", to, amount)?;
-    Ok(())
-});
+hybrid_txn!(
+    PaymentWithBalanceTrend,
+    "X1-PaymentWithBalanceTrend",
+    false,
+    |state, s, txn, rng| {
+        // Real-time query: average and minimum checking balance across the bank.
+        let plan = QueryBuilder::scan("CHECKING")
+            .aggregate(
+                vec![],
+                vec![
+                    AggSpec::new(AggFunc::Avg, col::chk::BAL),
+                    AggSpec::new(AggFunc::Min, col::chk::BAL),
+                ],
+            )
+            .build();
+        let _trend = s.query_in_txn(txn, &plan)?;
+        let (from, to) = state.rand_account_pair(rng);
+        let amount = common::rand_amount_cents(rng, 1.0, 100.0);
+        adjust_balance(s, txn, "CHECKING", from, -amount)?;
+        adjust_balance(s, txn, "CHECKING", to, amount)?;
+        Ok(())
+    }
+);
 
-hybrid_txn!(DepositWithFraudScreen, "X2-DepositWithFraudScreen", false, |state, s, txn, rng| {
-    let custid = state.rand_account(rng);
-    // Real-time query: the customer's maximum balance across both accounts.
-    let plan = QueryBuilder::scan_where("SAVINGS", qcol(col::sav::CUSTID).eq(lit(custid)))
-        .join(
-            QueryBuilder::scan_where("CHECKING", qcol(col::chk::CUSTID).eq(lit(custid))),
-            vec![col::sav::CUSTID],
-            vec![col::chk::CUSTID],
-            JoinKind::Inner,
-        )
-        .aggregate(
-            vec![],
-            vec![
-                AggSpec::new(AggFunc::Max, col::sav::BAL),
-                AggSpec::new(AggFunc::Max, 2 + col::chk::BAL),
-            ],
-        )
-        .build();
-    let _screen = s.query_in_txn(txn, &plan)?;
-    let amount = common::rand_amount_cents(rng, 1.0, 100.0);
-    adjust_balance(s, txn, "CHECKING", custid, amount)?;
-    Ok(())
-});
+hybrid_txn!(
+    DepositWithFraudScreen,
+    "X2-DepositWithFraudScreen",
+    false,
+    |state, s, txn, rng| {
+        let custid = state.rand_account(rng);
+        // Real-time query: the customer's maximum balance across both accounts.
+        let plan = QueryBuilder::scan_where("SAVINGS", qcol(col::sav::CUSTID).eq(lit(custid)))
+            .join(
+                QueryBuilder::scan_where("CHECKING", qcol(col::chk::CUSTID).eq(lit(custid))),
+                vec![col::sav::CUSTID],
+                vec![col::chk::CUSTID],
+                JoinKind::Inner,
+            )
+            .aggregate(
+                vec![],
+                vec![
+                    AggSpec::new(AggFunc::Max, col::sav::BAL),
+                    AggSpec::new(AggFunc::Max, 2 + col::chk::BAL),
+                ],
+            )
+            .build();
+        let _screen = s.query_in_txn(txn, &plan)?;
+        let amount = common::rand_amount_cents(rng, 1.0, 100.0);
+        adjust_balance(s, txn, "CHECKING", custid, amount)?;
+        Ok(())
+    }
+);
 
-hybrid_txn!(AmalgamateWithExposure, "X3-AmalgamateWithExposure", false, |state, s, txn, rng| {
-    // Real-time query: total funds currently held in savings.
-    let plan = QueryBuilder::scan("SAVINGS")
-        .aggregate(
-            vec![],
-            vec![
-                AggSpec::new(AggFunc::Sum, col::sav::BAL),
-                AggSpec::new(AggFunc::Count, col::sav::CUSTID),
-            ],
-        )
-        .build();
-    let _exposure = s.query_in_txn(txn, &plan)?;
-    let (from, to) = state.rand_account_pair(rng);
-    let savings = cents(&read_balance(s, txn, "SAVINGS", from)?[col::sav::BAL]);
-    adjust_balance(s, txn, "SAVINGS", from, -savings)?;
-    adjust_balance(s, txn, "CHECKING", to, savings)?;
-    Ok(())
-});
+hybrid_txn!(
+    AmalgamateWithExposure,
+    "X3-AmalgamateWithExposure",
+    false,
+    |state, s, txn, rng| {
+        // Real-time query: total funds currently held in savings.
+        let plan = QueryBuilder::scan("SAVINGS")
+            .aggregate(
+                vec![],
+                vec![
+                    AggSpec::new(AggFunc::Sum, col::sav::BAL),
+                    AggSpec::new(AggFunc::Count, col::sav::CUSTID),
+                ],
+            )
+            .build();
+        let _exposure = s.query_in_txn(txn, &plan)?;
+        let (from, to) = state.rand_account_pair(rng);
+        let savings = cents(&read_balance(s, txn, "SAVINGS", from)?[col::sav::BAL]);
+        adjust_balance(s, txn, "SAVINGS", from, -savings)?;
+        adjust_balance(s, txn, "CHECKING", to, savings)?;
+        Ok(())
+    }
+);
 
-hybrid_txn!(CheckingBalanceMinSavings, "X4-CheckingBalanceMinSavings", false, |state, s, txn, rng| {
-    // The paper's X6: "checks whether the cheque balance is sufficient and
-    // aggregates the value of the minimum savings".
-    let plan = QueryBuilder::scan("SAVINGS")
-        .aggregate(
-            vec![],
-            vec![
-                AggSpec::new(AggFunc::Min, col::sav::BAL),
-                AggSpec::new(AggFunc::Avg, col::sav::BAL),
-            ],
-        )
-        .build();
-    let _min_savings = s.query_in_txn(txn, &plan)?;
-    let custid = state.rand_account(rng);
-    let amount = common::rand_amount_cents(rng, 1.0, 500.0);
-    let checking = cents(&read_balance(s, txn, "CHECKING", custid)?[col::chk::BAL]);
-    let penalty = if checking < amount { 100 } else { 0 };
-    adjust_balance(s, txn, "CHECKING", custid, -(amount + penalty))?;
-    Ok(())
-});
+hybrid_txn!(
+    CheckingBalanceMinSavings,
+    "X4-CheckingBalanceMinSavings",
+    false,
+    |state, s, txn, rng| {
+        // The paper's X6: "checks whether the cheque balance is sufficient and
+        // aggregates the value of the minimum savings".
+        let plan = QueryBuilder::scan("SAVINGS")
+            .aggregate(
+                vec![],
+                vec![
+                    AggSpec::new(AggFunc::Min, col::sav::BAL),
+                    AggSpec::new(AggFunc::Avg, col::sav::BAL),
+                ],
+            )
+            .build();
+        let _min_savings = s.query_in_txn(txn, &plan)?;
+        let custid = state.rand_account(rng);
+        let amount = common::rand_amount_cents(rng, 1.0, 500.0);
+        let checking = cents(&read_balance(s, txn, "CHECKING", custid)?[col::chk::BAL]);
+        let penalty = if checking < amount { 100 } else { 0 };
+        adjust_balance(s, txn, "CHECKING", custid, -(amount + penalty))?;
+        Ok(())
+    }
+);
 
-hybrid_txn!(SavingsRateAdjustment, "X5-SavingsRateAdjustment", false, |state, s, txn, rng| {
-    // Real-time query: distribution of savings balances (volatility of
-    // extreme values, §IV-B2).
-    let plan = QueryBuilder::scan("SAVINGS")
-        .aggregate(
-            vec![],
-            vec![
-                AggSpec::new(AggFunc::Max, col::sav::BAL),
-                AggSpec::new(AggFunc::Min, col::sav::BAL),
-                AggSpec::new(AggFunc::Avg, col::sav::BAL),
-            ],
-        )
-        .build();
-    let _volatility = s.query_in_txn(txn, &plan)?;
-    let custid = state.rand_account(rng);
-    let amount = common::rand_amount_cents(rng, 0.0, 25.0);
-    adjust_balance(s, txn, "SAVINGS", custid, amount)?;
-    Ok(())
-});
+hybrid_txn!(
+    SavingsRateAdjustment,
+    "X5-SavingsRateAdjustment",
+    false,
+    |state, s, txn, rng| {
+        // Real-time query: distribution of savings balances (volatility of
+        // extreme values, §IV-B2).
+        let plan = QueryBuilder::scan("SAVINGS")
+            .aggregate(
+                vec![],
+                vec![
+                    AggSpec::new(AggFunc::Max, col::sav::BAL),
+                    AggSpec::new(AggFunc::Min, col::sav::BAL),
+                    AggSpec::new(AggFunc::Avg, col::sav::BAL),
+                ],
+            )
+            .build();
+        let _volatility = s.query_in_txn(txn, &plan)?;
+        let custid = state.rand_account(rng);
+        let amount = common::rand_amount_cents(rng, 0.0, 25.0);
+        adjust_balance(s, txn, "SAVINGS", custid, amount)?;
+        Ok(())
+    }
+);
 
-hybrid_txn!(BalanceWithBankPosition, "X6-BalanceWithBankPosition", true, |state, s, txn, rng| {
-    // Real-time query: the bank-wide checking position.
-    let plan = QueryBuilder::scan("CHECKING")
-        .aggregate(
-            vec![],
-            vec![
-                AggSpec::new(AggFunc::Sum, col::chk::BAL),
-                AggSpec::new(AggFunc::Avg, col::chk::BAL),
-            ],
-        )
-        .build();
-    let _position = s.query_in_txn(txn, &plan)?;
-    let custid = state.rand_account(rng);
-    let _savings = read_balance(s, txn, "SAVINGS", custid)?;
-    let _checking = read_balance(s, txn, "CHECKING", custid)?;
-    Ok(())
-});
+hybrid_txn!(
+    BalanceWithBankPosition,
+    "X6-BalanceWithBankPosition",
+    true,
+    |state, s, txn, rng| {
+        // Real-time query: the bank-wide checking position.
+        let plan = QueryBuilder::scan("CHECKING")
+            .aggregate(
+                vec![],
+                vec![
+                    AggSpec::new(AggFunc::Sum, col::chk::BAL),
+                    AggSpec::new(AggFunc::Avg, col::chk::BAL),
+                ],
+            )
+            .build();
+        let _position = s.query_in_txn(txn, &plan)?;
+        let custid = state.rand_account(rng);
+        let _savings = read_balance(s, txn, "SAVINGS", custid)?;
+        let _checking = read_balance(s, txn, "CHECKING", custid)?;
+        Ok(())
+    }
+);
 
 // ---------------------------------------------------------------------------
 // Workload

@@ -467,6 +467,9 @@ mod tests {
         let hybrids = hybrid_transactions(&state);
         assert_eq!(hybrids.len(), 5);
         let read_only = hybrids.iter().filter(|h| h.is_read_only()).count();
-        assert_eq!(read_only, 3, "3 of 5 hybrid transactions are read-only (60%)");
+        assert_eq!(
+            read_only, 3,
+            "3 of 5 hybrid transactions are read-only (60%)"
+        );
     }
 }

@@ -5,12 +5,12 @@ pub mod oltp;
 pub mod schema;
 
 use crate::common;
+use oltp::SubenchmarkState;
 use olxp_engine::{EngineResult, HybridDatabase};
 use olxpbench_core::{
     AnalyticalQuery, HybridTransaction, OnlineTransaction, TransactionMix, Workload,
     WorkloadFeatures, WorkloadKind,
 };
-use oltp::SubenchmarkState;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
@@ -130,7 +130,9 @@ impl Workload for Subenchmark {
 }
 
 /// Re-export the schema constants for experiments.
-pub use schema::{CUSTOMERS_PER_DISTRICT, DISTRICTS_PER_WAREHOUSE, ITEM_COUNT, ORDERS_PER_DISTRICT};
+pub use schema::{
+    CUSTOMERS_PER_DISTRICT, DISTRICTS_PER_WAREHOUSE, ITEM_COUNT, ORDERS_PER_DISTRICT,
+};
 
 /// Convenience: a loaded subenchmark database for tests and examples.
 pub fn prepare_database(

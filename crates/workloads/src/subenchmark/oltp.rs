@@ -84,7 +84,11 @@ pub(crate) fn select_customer(
             txn,
             "CUSTOMER",
             &["c_w_id", "c_d_id", "c_last"],
-            &[Value::Int(w_id), Value::Int(d_id), Value::Str(last_name.to_string())],
+            &[
+                Value::Int(w_id),
+                Value::Int(d_id),
+                Value::Str(last_name.to_string()),
+            ],
         )?;
         if rows.is_empty() {
             // Fall back to the primary-key customer (the generated last names
@@ -297,7 +301,17 @@ pub(crate) fn payment_statements_txn(
     h_id: i64,
 ) -> EngineResult<()> {
     session.run_transaction(WorkClass::Oltp, RETRIES, |s, txn| {
-        payment_statements(s, txn, w_id, d_id, c_id, by_name_choice, last_name, amount, h_id)
+        payment_statements(
+            s,
+            txn,
+            w_id,
+            d_id,
+            c_id,
+            by_name_choice,
+            last_name,
+            amount,
+            h_id,
+        )
     })
 }
 
@@ -474,12 +488,7 @@ impl OnlineTransaction for Delivery {
                 let mut total = 0i64;
                 for mut line in lines {
                     total += as_cents(&line[col::ol::AMOUNT]);
-                    let line_key = Key::ints(&[
-                        w_id,
-                        d_id,
-                        o_id,
-                        as_int(&line[col::ol::NUMBER]),
-                    ]);
+                    let line_key = Key::ints(&[w_id, d_id, o_id, as_int(&line[col::ol::NUMBER])]);
                     line.set(
                         col::ol::DELIVERY_D,
                         Value::Timestamp(common::synthetic_timestamp(o_id)),

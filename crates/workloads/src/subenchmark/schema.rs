@@ -200,7 +200,11 @@ pub fn schemas() -> Vec<TableSchema> {
         vec!["c_w_id", "c_d_id", "c_id"],
     )
     .expect("static schema")
-    .with_index("idx_customer_name", vec!["c_w_id", "c_d_id", "c_last"], false)
+    .with_index(
+        "idx_customer_name",
+        vec!["c_w_id", "c_d_id", "c_last"],
+        false,
+    )
     .expect("static schema")
     .with_foreign_key(vec!["c_w_id", "c_d_id"], "DISTRICT", vec!["d_w_id", "d_id"])
     .expect("static schema");
@@ -249,7 +253,11 @@ pub fn schemas() -> Vec<TableSchema> {
         vec!["o_w_id", "o_d_id", "o_id"],
     )
     .expect("static schema")
-    .with_index("idx_orders_customer", vec!["o_w_id", "o_d_id", "o_c_id"], false)
+    .with_index(
+        "idx_orders_customer",
+        vec!["o_w_id", "o_d_id", "o_c_id"],
+        false,
+    )
     .expect("static schema")
     .with_foreign_key(
         vec!["o_w_id", "o_d_id", "o_c_id"],
@@ -284,7 +292,13 @@ pub fn schemas() -> Vec<TableSchema> {
 
     let item = TableSchema::new(
         "ITEM",
-        vec![int("i_id"), int("i_im_id"), s("i_name"), dec("i_price"), s("i_data")],
+        vec![
+            int("i_id"),
+            int("i_im_id"),
+            s("i_name"),
+            dec("i_price"),
+            s("i_data"),
+        ],
         vec!["i_id"],
     )
     .expect("static schema")
@@ -539,8 +553,14 @@ mod tests {
             db.table_key_count("NEW_ORDER"),
             (DISTRICTS_PER_WAREHOUSE * NEW_ORDERS_PER_DISTRICT) as usize
         );
-        assert!(db.table_key_count("ORDER_LINE") >= (DISTRICTS_PER_WAREHOUSE * ORDERS_PER_DISTRICT * 5) as usize);
+        assert!(
+            db.table_key_count("ORDER_LINE")
+                >= (DISTRICTS_PER_WAREHOUSE * ORDERS_PER_DISTRICT * 5) as usize
+        );
         // Columnar replicas converged.
-        assert_eq!(db.col_table("ITEM").unwrap().live_row_count(), ITEM_COUNT as usize);
+        assert_eq!(
+            db.col_table("ITEM").unwrap().live_row_count(),
+            ITEM_COUNT as usize
+        );
     }
 }

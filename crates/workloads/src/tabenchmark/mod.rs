@@ -124,7 +124,11 @@ pub fn schemas() -> Vec<TableSchema> {
     .expect("static schema")
     .with_index("idx_special_facility_active", vec!["is_active"], false)
     .expect("static schema")
-    .with_foreign_key(vec!["s_id", "sf_type"], "SUBSCRIBER", vec!["s_id", "sf_type"])
+    .with_foreign_key(
+        vec!["s_id", "sf_type"],
+        "SUBSCRIBER",
+        vec!["s_id", "sf_type"],
+    )
     .expect("static schema");
 
     let call_forwarding = TableSchema::new(
@@ -190,12 +194,13 @@ fn require(row: Option<Row>, table: &str, key: &Key) -> EngineResult<Row> {
 
 /// The slow lookup of the paper: find a subscriber's rows by `sub_nbr`, which
 /// has no index, so the statement degenerates into a scan.
-fn lookup_by_sub_nbr(
-    s: &Session,
-    txn: &mut TxnHandle,
-    sub_nbr: &str,
-) -> EngineResult<Vec<Row>> {
-    s.select_eq(txn, "SUBSCRIBER", &["sub_nbr"], &[Value::Str(sub_nbr.to_string())])
+fn lookup_by_sub_nbr(s: &Session, txn: &mut TxnHandle, sub_nbr: &str) -> EngineResult<Vec<Row>> {
+    s.select_eq(
+        txn,
+        "SUBSCRIBER",
+        &["sub_nbr"],
+        &[Value::Str(sub_nbr.to_string())],
+    )
 }
 
 // ---------------------------------------------------------------------------
@@ -234,106 +239,147 @@ macro_rules! online_txn {
     };
 }
 
-online_txn!(GetSubscriberData, "GetSubscriberData", true, |state, s, txn, rng| {
-    let s_id = state.rand_subscriber(rng);
-    // Prefix lookup on the composite primary key — served by the index.
-    let _rows = s.select_eq(txn, "SUBSCRIBER", &["s_id"], &[Value::Int(s_id)])?;
-    Ok(())
-});
+online_txn!(
+    GetSubscriberData,
+    "GetSubscriberData",
+    true,
+    |state, s, txn, rng| {
+        let s_id = state.rand_subscriber(rng);
+        // Prefix lookup on the composite primary key — served by the index.
+        let _rows = s.select_eq(txn, "SUBSCRIBER", &["s_id"], &[Value::Int(s_id)])?;
+        Ok(())
+    }
+);
 
-online_txn!(GetAccessData, "GetAccessData", true, |state, s, txn, rng| {
-    let s_id = state.rand_subscriber(rng);
-    let ai_type = common::uniform(rng, 1, 4);
-    let _row = s.read(txn, "ACCESS_INFO", &Key::ints(&[s_id, ai_type]))?;
-    Ok(())
-});
+online_txn!(
+    GetAccessData,
+    "GetAccessData",
+    true,
+    |state, s, txn, rng| {
+        let s_id = state.rand_subscriber(rng);
+        let ai_type = common::uniform(rng, 1, 4);
+        let _row = s.read(txn, "ACCESS_INFO", &Key::ints(&[s_id, ai_type]))?;
+        Ok(())
+    }
+);
 
-online_txn!(GetNewDestination, "GetNewDestination", true, |state, s, txn, rng| {
-    let s_id = state.rand_subscriber(rng);
-    let sf_type = common::uniform(rng, 1, 4);
-    let facility = s.read(txn, "SPECIAL_FACILITY", &Key::ints(&[s_id, sf_type]))?;
-    if facility.map(|f| as_int(&f[col::sf::IS_ACTIVE]) == 1).unwrap_or(false) {
-        let _forwards = s.scan_prefix(txn, "CALL_FORWARDING", &Key::ints(&[s_id, sf_type]))?;
+online_txn!(
+    GetNewDestination,
+    "GetNewDestination",
+    true,
+    |state, s, txn, rng| {
+        let s_id = state.rand_subscriber(rng);
+        let sf_type = common::uniform(rng, 1, 4);
+        let facility = s.read(txn, "SPECIAL_FACILITY", &Key::ints(&[s_id, sf_type]))?;
+        if facility
+            .map(|f| as_int(&f[col::sf::IS_ACTIVE]) == 1)
+            .unwrap_or(false)
+        {
+            let _forwards = s.scan_prefix(txn, "CALL_FORWARDING", &Key::ints(&[s_id, sf_type]))?;
+        }
+        Ok(())
     }
-    Ok(())
-});
+);
 
-online_txn!(UpdateSubscriberData, "UpdateSubscriberData", false, |state, s, txn, rng| {
-    let s_id = state.rand_subscriber(rng);
-    let sf_type = common::uniform(rng, 1, 4);
-    let sub_key = Key::ints(&[s_id, 1]);
-    if let Some(mut subscriber) = s.read(txn, "SUBSCRIBER", &sub_key)? {
-        subscriber.set(col::sub::BIT_1, Value::Int(common::uniform(rng, 0, 1)));
-        s.update(txn, "SUBSCRIBER", &sub_key, subscriber)?;
+online_txn!(
+    UpdateSubscriberData,
+    "UpdateSubscriberData",
+    false,
+    |state, s, txn, rng| {
+        let s_id = state.rand_subscriber(rng);
+        let sf_type = common::uniform(rng, 1, 4);
+        let sub_key = Key::ints(&[s_id, 1]);
+        if let Some(mut subscriber) = s.read(txn, "SUBSCRIBER", &sub_key)? {
+            subscriber.set(col::sub::BIT_1, Value::Int(common::uniform(rng, 0, 1)));
+            s.update(txn, "SUBSCRIBER", &sub_key, subscriber)?;
+        }
+        let sf_key = Key::ints(&[s_id, sf_type]);
+        if let Some(mut facility) = s.read(txn, "SPECIAL_FACILITY", &sf_key)? {
+            facility.set(col::sf::DATA_A, Value::Int(common::uniform(rng, 0, 255)));
+            s.update(txn, "SPECIAL_FACILITY", &sf_key, facility)?;
+        }
+        Ok(())
     }
-    let sf_key = Key::ints(&[s_id, sf_type]);
-    if let Some(mut facility) = s.read(txn, "SPECIAL_FACILITY", &sf_key)? {
-        facility.set(col::sf::DATA_A, Value::Int(common::uniform(rng, 0, 255)));
-        s.update(txn, "SPECIAL_FACILITY", &sf_key, facility)?;
-    }
-    Ok(())
-});
+);
 
-online_txn!(UpdateLocation, "UpdateLocation", false, |state, s, txn, rng| {
-    let s_id = state.rand_subscriber(rng);
-    let location = common::uniform(rng, 1, 1 << 16);
-    // Lookup by sub_nbr — the un-indexed column: full scan (the slow query).
-    let rows = lookup_by_sub_nbr(s, txn, &common::sub_nbr(s_id))?;
-    for mut row in rows {
-        let key = Key::ints(&[as_int(&row[col::sub::S_ID]), as_int(&row[col::sub::SF_TYPE])]);
-        row.set(col::sub::VLR_LOCATION, Value::Int(location));
-        s.update(txn, "SUBSCRIBER", &key, row)?;
+online_txn!(
+    UpdateLocation,
+    "UpdateLocation",
+    false,
+    |state, s, txn, rng| {
+        let s_id = state.rand_subscriber(rng);
+        let location = common::uniform(rng, 1, 1 << 16);
+        // Lookup by sub_nbr — the un-indexed column: full scan (the slow query).
+        let rows = lookup_by_sub_nbr(s, txn, &common::sub_nbr(s_id))?;
+        for mut row in rows {
+            let key = Key::ints(&[
+                as_int(&row[col::sub::S_ID]),
+                as_int(&row[col::sub::SF_TYPE]),
+            ]);
+            row.set(col::sub::VLR_LOCATION, Value::Int(location));
+            s.update(txn, "SUBSCRIBER", &key, row)?;
+        }
+        Ok(())
     }
-    Ok(())
-});
+);
 
-online_txn!(InsertCallForwarding, "InsertCallForwarding", false, |state, s, txn, rng| {
-    let s_id = state.rand_subscriber(rng);
-    let start_time = *common::pick(rng, &[0i64, 8, 16]);
-    let end_time = start_time + common::uniform(rng, 1, 8);
-    // The slow sub_nbr lookup precedes the insert, as in TATP.
-    let rows = lookup_by_sub_nbr(s, txn, &common::sub_nbr(s_id))?;
-    let Some(subscriber) = rows.first() else {
-        return Ok(());
-    };
-    let sf_type = as_int(&subscriber[col::sub::SF_TYPE]);
-    let facilities = s.scan_prefix(txn, "SPECIAL_FACILITY", &Key::int(s_id))?;
-    if facilities.is_empty() {
-        return Ok(());
+online_txn!(
+    InsertCallForwarding,
+    "InsertCallForwarding",
+    false,
+    |state, s, txn, rng| {
+        let s_id = state.rand_subscriber(rng);
+        let start_time = *common::pick(rng, &[0i64, 8, 16]);
+        let end_time = start_time + common::uniform(rng, 1, 8);
+        // The slow sub_nbr lookup precedes the insert, as in TATP.
+        let rows = lookup_by_sub_nbr(s, txn, &common::sub_nbr(s_id))?;
+        let Some(subscriber) = rows.first() else {
+            return Ok(());
+        };
+        let sf_type = as_int(&subscriber[col::sub::SF_TYPE]);
+        let facilities = s.scan_prefix(txn, "SPECIAL_FACILITY", &Key::int(s_id))?;
+        if facilities.is_empty() {
+            return Ok(());
+        }
+        let key = Key::ints(&[s_id, sf_type, start_time]);
+        if s.read(txn, "CALL_FORWARDING", &key)?.is_none() {
+            s.insert(
+                txn,
+                "CALL_FORWARDING",
+                Row::new(vec![
+                    Value::Int(s_id),
+                    Value::Int(sf_type),
+                    Value::Int(start_time),
+                    Value::Int(end_time),
+                    Value::Str(common::rand_numeric_string(rng, 15)),
+                ]),
+            )?;
+        }
+        Ok(())
     }
-    let key = Key::ints(&[s_id, sf_type, start_time]);
-    if s.read(txn, "CALL_FORWARDING", &key)?.is_none() {
-        s.insert(
-            txn,
-            "CALL_FORWARDING",
-            Row::new(vec![
-                Value::Int(s_id),
-                Value::Int(sf_type),
-                Value::Int(start_time),
-                Value::Int(end_time),
-                Value::Str(common::rand_numeric_string(rng, 15)),
-            ]),
-        )?;
-    }
-    Ok(())
-});
+);
 
-online_txn!(DeleteCallForwarding, "DeleteCallForwarding", false, |state, s, txn, rng| {
-    let s_id = state.rand_subscriber(rng);
-    let start_time = *common::pick(rng, &[0i64, 8, 16]);
-    // "explain SELECT s_id FROM SUBSCRIBER WHERE sub_nbr = ?" — the slow query
-    // highlighted in §VI-C1.
-    let rows = lookup_by_sub_nbr(s, txn, &common::sub_nbr(s_id))?;
-    let Some(subscriber) = rows.first() else {
-        return Ok(());
-    };
-    let sf_type = as_int(&subscriber[col::sub::SF_TYPE]);
-    let key = Key::ints(&[s_id, sf_type, start_time]);
-    if s.read(txn, "CALL_FORWARDING", &key)?.is_some() {
-        s.delete(txn, "CALL_FORWARDING", &key)?;
+online_txn!(
+    DeleteCallForwarding,
+    "DeleteCallForwarding",
+    false,
+    |state, s, txn, rng| {
+        let s_id = state.rand_subscriber(rng);
+        let start_time = *common::pick(rng, &[0i64, 8, 16]);
+        // "explain SELECT s_id FROM SUBSCRIBER WHERE sub_nbr = ?" — the slow query
+        // highlighted in §VI-C1.
+        let rows = lookup_by_sub_nbr(s, txn, &common::sub_nbr(s_id))?;
+        let Some(subscriber) = rows.first() else {
+            return Ok(());
+        };
+        let sf_type = as_int(&subscriber[col::sub::SF_TYPE]);
+        let key = Key::ints(&[s_id, sf_type, start_time]);
+        if s.read(txn, "CALL_FORWARDING", &key)?.is_some() {
+            s.delete(txn, "CALL_FORWARDING", &key)?;
+        }
+        Ok(())
     }
-    Ok(())
-});
+);
 
 // ---------------------------------------------------------------------------
 // Hybrid transactions
@@ -371,155 +417,185 @@ macro_rules! hybrid_txn {
     };
 }
 
-hybrid_txn!(UpdateLocationWithLoad, "X1-UpdateLocationWithLoad", false, |state, s, txn, rng| {
-    // Real-time query: how loaded is each VLR location right now?
-    let plan = QueryBuilder::scan("SUBSCRIBER")
-        .aggregate(
-            vec![col::sub::VLR_LOCATION],
-            vec![AggSpec::new(AggFunc::Count, col::sub::S_ID)],
-        )
-        .sort(vec![SortKey::desc(1)])
-        .limit(5)
-        .build();
-    let _load = s.query_in_txn(txn, &plan)?;
-    let s_id = state.rand_subscriber(rng);
-    let location = common::uniform(rng, 1, 1 << 16);
-    // As in TATP's UpdateLocation, the subscriber is addressed by sub_nbr —
-    // the un-indexed column — so this is the paper's slow composite-key path.
-    let rows = lookup_by_sub_nbr(s, txn, &common::sub_nbr(s_id))?;
-    for mut row in rows {
-        let key = Key::ints(&[as_int(&row[col::sub::S_ID]), as_int(&row[col::sub::SF_TYPE])]);
-        row.set(col::sub::VLR_LOCATION, Value::Int(location));
-        s.update(txn, "SUBSCRIBER", &key, row)?;
-    }
-    Ok(())
-});
-
-hybrid_txn!(InsertForwardingAtPeak, "X2-InsertForwardingAtPeak", false, |state, s, txn, rng| {
-    // Real-time query: the Start Time Query (Q3) — the average start time of
-    // existing call forwardings, used for load forecasting.
-    let plan = QueryBuilder::scan("CALL_FORWARDING")
-        .aggregate(
-            vec![],
-            vec![
-                AggSpec::new(AggFunc::Avg, col::cf::START_TIME),
-                AggSpec::new(AggFunc::Count, col::cf::S_ID),
-            ],
-        )
-        .build();
-    let _peak = s.query_in_txn(txn, &plan)?;
-    let s_id = state.rand_subscriber(rng);
-    let start_time = *common::pick(rng, &[0i64, 8, 16]);
-    let facilities = s.scan_prefix(txn, "SPECIAL_FACILITY", &Key::int(s_id))?;
-    let Some(facility) = facilities.first() else {
-        return Ok(());
-    };
-    let sf_type = as_int(&facility[col::sf::SF_TYPE]);
-    let key = Key::ints(&[s_id, sf_type, start_time]);
-    if s.read(txn, "CALL_FORWARDING", &key)?.is_none() {
-        s.insert(
-            txn,
-            "CALL_FORWARDING",
-            Row::new(vec![
-                Value::Int(s_id),
-                Value::Int(sf_type),
-                Value::Int(start_time),
-                Value::Int(start_time + 8),
-                Value::Str(common::rand_numeric_string(rng, 15)),
-            ]),
-        )?;
-    }
-    Ok(())
-});
-
-hybrid_txn!(DeleteForwardingWithUsage, "X3-DeleteForwardingWithUsage", false, |state, s, txn, rng| {
-    let s_id = state.rand_subscriber(rng);
-    // Real-time query: the subscriber's current forwarding usage.
-    let plan = QueryBuilder::scan_where("CALL_FORWARDING", qcol(col::cf::S_ID).eq(lit(s_id)))
-        .aggregate(vec![], vec![AggSpec::new(AggFunc::Count, col::cf::S_ID)])
-        .build();
-    let _usage = s.query_in_txn(txn, &plan)?;
-    // TATP's DeleteCallForwarding resolves the subscriber via sub_nbr first —
-    // the slow query of §VI-C1.
-    let _subscriber = lookup_by_sub_nbr(s, txn, &common::sub_nbr(s_id))?;
-    let start_time = *common::pick(rng, &[0i64, 8, 16]);
-    let forwards = s.scan_prefix(txn, "CALL_FORWARDING", &Key::int(s_id))?;
-    if let Some(target) = forwards
-        .iter()
-        .find(|f| as_int(&f[col::cf::START_TIME]) == start_time)
-    {
-        let key = Key::ints(&[
-            s_id,
-            as_int(&target[col::cf::SF_TYPE]),
-            start_time,
-        ]);
-        s.delete(txn, "CALL_FORWARDING", &key)?;
-    }
-    Ok(())
-});
-
-hybrid_txn!(UpdateProfileWithAccessStats, "X4-UpdateProfileWithAccessStats", false, |state, s, txn, rng| {
-    // Real-time query: distribution of access types across the HLR.
-    let plan = QueryBuilder::scan("ACCESS_INFO")
-        .aggregate(
-            vec![col::ai::AI_TYPE],
-            vec![
-                AggSpec::new(AggFunc::Count, col::ai::S_ID),
-                AggSpec::new(AggFunc::Avg, col::ai::DATA1),
-            ],
-        )
-        .sort(vec![SortKey::asc(0)])
-        .build();
-    let _stats = s.query_in_txn(txn, &plan)?;
-    let s_id = state.rand_subscriber(rng);
-    let key = Key::ints(&[s_id, 1]);
-    if let Some(mut subscriber) = s.read(txn, "SUBSCRIBER", &key)? {
-        subscriber.set(col::sub::BIT_1, Value::Int(common::uniform(rng, 0, 1)));
-        s.update(txn, "SUBSCRIBER", &key, subscriber)?;
-    }
-    Ok(())
-});
-
-hybrid_txn!(FuzzySubscriberSearch, "X5-FuzzySubscriberSearch", true, |state, s, txn, rng| {
-    // The Fuzzy Search Transaction (X6 in the paper): select subscriber ids
-    // whose user data matches a fuzzy sub-string criterion.
-    let fragment = format!("{:03}", common::uniform(rng, 0, 999));
-    let plan = QueryBuilder::scan_where(
-        "SUBSCRIBER",
-        qcol(col::sub::SUB_NBR).like(format!("%{fragment}%")),
-    )
-    .project(vec![qcol(col::sub::S_ID), qcol(col::sub::SUB_NBR)])
-    .limit(50)
-    .build();
-    let matches = s.query_in_txn(txn, &plan)?;
-    // Follow up with the online lookup for one matching subscriber.
-    let s_id = matches
-        .rows
-        .first()
-        .map(|r| as_int(&r[0]))
-        .unwrap_or_else(|| state.subscriber_count());
-    let _rows = s.select_eq(txn, "SUBSCRIBER", &["s_id"], &[Value::Int(s_id)])?;
-    Ok(())
-});
-
-hybrid_txn!(DestinationWithActiveStats, "X6-DestinationWithActiveStats", true, |state, s, txn, rng| {
-    // Real-time query: share of active special facilities.
-    let plan = QueryBuilder::scan("SPECIAL_FACILITY")
-        .aggregate(
-            vec![col::sf::IS_ACTIVE],
-            vec![AggSpec::new(AggFunc::Count, col::sf::S_ID)],
-        )
-        .build();
-    let _active = s.query_in_txn(txn, &plan)?;
-    let s_id = state.rand_subscriber(rng);
-    let sf_type = common::uniform(rng, 1, 4);
-    if let Some(facility) = s.read(txn, "SPECIAL_FACILITY", &Key::ints(&[s_id, sf_type]))? {
-        if as_int(&facility[col::sf::IS_ACTIVE]) == 1 {
-            let _forwards = s.scan_prefix(txn, "CALL_FORWARDING", &Key::ints(&[s_id, sf_type]))?;
+hybrid_txn!(
+    UpdateLocationWithLoad,
+    "X1-UpdateLocationWithLoad",
+    false,
+    |state, s, txn, rng| {
+        // Real-time query: how loaded is each VLR location right now?
+        let plan = QueryBuilder::scan("SUBSCRIBER")
+            .aggregate(
+                vec![col::sub::VLR_LOCATION],
+                vec![AggSpec::new(AggFunc::Count, col::sub::S_ID)],
+            )
+            .sort(vec![SortKey::desc(1)])
+            .limit(5)
+            .build();
+        let _load = s.query_in_txn(txn, &plan)?;
+        let s_id = state.rand_subscriber(rng);
+        let location = common::uniform(rng, 1, 1 << 16);
+        // As in TATP's UpdateLocation, the subscriber is addressed by sub_nbr —
+        // the un-indexed column — so this is the paper's slow composite-key path.
+        let rows = lookup_by_sub_nbr(s, txn, &common::sub_nbr(s_id))?;
+        for mut row in rows {
+            let key = Key::ints(&[
+                as_int(&row[col::sub::S_ID]),
+                as_int(&row[col::sub::SF_TYPE]),
+            ]);
+            row.set(col::sub::VLR_LOCATION, Value::Int(location));
+            s.update(txn, "SUBSCRIBER", &key, row)?;
         }
+        Ok(())
     }
-    Ok(())
-});
+);
+
+hybrid_txn!(
+    InsertForwardingAtPeak,
+    "X2-InsertForwardingAtPeak",
+    false,
+    |state, s, txn, rng| {
+        // Real-time query: the Start Time Query (Q3) — the average start time of
+        // existing call forwardings, used for load forecasting.
+        let plan = QueryBuilder::scan("CALL_FORWARDING")
+            .aggregate(
+                vec![],
+                vec![
+                    AggSpec::new(AggFunc::Avg, col::cf::START_TIME),
+                    AggSpec::new(AggFunc::Count, col::cf::S_ID),
+                ],
+            )
+            .build();
+        let _peak = s.query_in_txn(txn, &plan)?;
+        let s_id = state.rand_subscriber(rng);
+        let start_time = *common::pick(rng, &[0i64, 8, 16]);
+        let facilities = s.scan_prefix(txn, "SPECIAL_FACILITY", &Key::int(s_id))?;
+        let Some(facility) = facilities.first() else {
+            return Ok(());
+        };
+        let sf_type = as_int(&facility[col::sf::SF_TYPE]);
+        let key = Key::ints(&[s_id, sf_type, start_time]);
+        if s.read(txn, "CALL_FORWARDING", &key)?.is_none() {
+            s.insert(
+                txn,
+                "CALL_FORWARDING",
+                Row::new(vec![
+                    Value::Int(s_id),
+                    Value::Int(sf_type),
+                    Value::Int(start_time),
+                    Value::Int(start_time + 8),
+                    Value::Str(common::rand_numeric_string(rng, 15)),
+                ]),
+            )?;
+        }
+        Ok(())
+    }
+);
+
+hybrid_txn!(
+    DeleteForwardingWithUsage,
+    "X3-DeleteForwardingWithUsage",
+    false,
+    |state, s, txn, rng| {
+        let s_id = state.rand_subscriber(rng);
+        // Real-time query: the subscriber's current forwarding usage.
+        let plan = QueryBuilder::scan_where("CALL_FORWARDING", qcol(col::cf::S_ID).eq(lit(s_id)))
+            .aggregate(vec![], vec![AggSpec::new(AggFunc::Count, col::cf::S_ID)])
+            .build();
+        let _usage = s.query_in_txn(txn, &plan)?;
+        // TATP's DeleteCallForwarding resolves the subscriber via sub_nbr first —
+        // the slow query of §VI-C1.
+        let _subscriber = lookup_by_sub_nbr(s, txn, &common::sub_nbr(s_id))?;
+        let start_time = *common::pick(rng, &[0i64, 8, 16]);
+        let forwards = s.scan_prefix(txn, "CALL_FORWARDING", &Key::int(s_id))?;
+        if let Some(target) = forwards
+            .iter()
+            .find(|f| as_int(&f[col::cf::START_TIME]) == start_time)
+        {
+            let key = Key::ints(&[s_id, as_int(&target[col::cf::SF_TYPE]), start_time]);
+            s.delete(txn, "CALL_FORWARDING", &key)?;
+        }
+        Ok(())
+    }
+);
+
+hybrid_txn!(
+    UpdateProfileWithAccessStats,
+    "X4-UpdateProfileWithAccessStats",
+    false,
+    |state, s, txn, rng| {
+        // Real-time query: distribution of access types across the HLR.
+        let plan = QueryBuilder::scan("ACCESS_INFO")
+            .aggregate(
+                vec![col::ai::AI_TYPE],
+                vec![
+                    AggSpec::new(AggFunc::Count, col::ai::S_ID),
+                    AggSpec::new(AggFunc::Avg, col::ai::DATA1),
+                ],
+            )
+            .sort(vec![SortKey::asc(0)])
+            .build();
+        let _stats = s.query_in_txn(txn, &plan)?;
+        let s_id = state.rand_subscriber(rng);
+        let key = Key::ints(&[s_id, 1]);
+        if let Some(mut subscriber) = s.read(txn, "SUBSCRIBER", &key)? {
+            subscriber.set(col::sub::BIT_1, Value::Int(common::uniform(rng, 0, 1)));
+            s.update(txn, "SUBSCRIBER", &key, subscriber)?;
+        }
+        Ok(())
+    }
+);
+
+hybrid_txn!(
+    FuzzySubscriberSearch,
+    "X5-FuzzySubscriberSearch",
+    true,
+    |state, s, txn, rng| {
+        // The Fuzzy Search Transaction (X6 in the paper): select subscriber ids
+        // whose user data matches a fuzzy sub-string criterion.
+        let fragment = format!("{:03}", common::uniform(rng, 0, 999));
+        let plan = QueryBuilder::scan_where(
+            "SUBSCRIBER",
+            qcol(col::sub::SUB_NBR).like(format!("%{fragment}%")),
+        )
+        .project(vec![qcol(col::sub::S_ID), qcol(col::sub::SUB_NBR)])
+        .limit(50)
+        .build();
+        let matches = s.query_in_txn(txn, &plan)?;
+        // Follow up with the online lookup for one matching subscriber.
+        let s_id = matches
+            .rows
+            .first()
+            .map(|r| as_int(&r[0]))
+            .unwrap_or_else(|| state.subscriber_count());
+        let _rows = s.select_eq(txn, "SUBSCRIBER", &["s_id"], &[Value::Int(s_id)])?;
+        Ok(())
+    }
+);
+
+hybrid_txn!(
+    DestinationWithActiveStats,
+    "X6-DestinationWithActiveStats",
+    true,
+    |state, s, txn, rng| {
+        // Real-time query: share of active special facilities.
+        let plan = QueryBuilder::scan("SPECIAL_FACILITY")
+            .aggregate(
+                vec![col::sf::IS_ACTIVE],
+                vec![AggSpec::new(AggFunc::Count, col::sf::S_ID)],
+            )
+            .build();
+        let _active = s.query_in_txn(txn, &plan)?;
+        let s_id = state.rand_subscriber(rng);
+        let sf_type = common::uniform(rng, 1, 4);
+        if let Some(facility) = s.read(txn, "SPECIAL_FACILITY", &Key::ints(&[s_id, sf_type]))? {
+            if as_int(&facility[col::sf::IS_ACTIVE]) == 1 {
+                let _forwards =
+                    s.scan_prefix(txn, "CALL_FORWARDING", &Key::ints(&[s_id, sf_type]))?;
+            }
+        }
+        Ok(())
+    }
+);
 
 // ---------------------------------------------------------------------------
 // Workload

@@ -46,8 +46,16 @@ fn main() {
     session.commit(txn).expect("commit");
     let scanned = started.elapsed();
 
-    println!("lookup by (s_id) prefix  : {:?} -> {} rows", indexed, by_key.len());
-    println!("lookup by sub_nbr (scan) : {:?} -> {} rows", scanned, by_nbr.len());
+    println!(
+        "lookup by (s_id) prefix  : {:?} -> {} rows",
+        indexed,
+        by_key.len()
+    );
+    println!(
+        "lookup by sub_nbr (scan) : {:?} -> {} rows",
+        scanned,
+        by_nbr.len()
+    );
     println!(
         "the un-indexed composite-key lookup is {:.0}x slower — the paper's DeleteCallForwarding slow query",
         scanned.as_secs_f64() / indexed.as_secs_f64().max(1e-9)
@@ -63,7 +71,10 @@ fn main() {
     let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(99);
     let started = Instant::now();
     fuzzy.execute(&session, &mut rng).expect("fuzzy search");
-    println!("fuzzy subscriber search (hybrid transaction X5) took {:?}", started.elapsed());
+    println!(
+        "fuzzy subscriber search (hybrid transaction X5) took {:?}",
+        started.elapsed()
+    );
 
     // A real-time HLR load report through the analytical path.
     let schema = db.catalog().table("SUBSCRIBER").expect("table");

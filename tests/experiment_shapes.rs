@@ -164,7 +164,10 @@ fn single_engine_wins_oltp_peak_dual_engine_wins_hybrid_on_subenchmark() {
         let workload = Subenchmark::new();
         let mut oltp_peaks = Vec::new();
         let mut hybrid_means = Vec::new();
-        for arch in [EngineArchitecture::SingleEngine, EngineArchitecture::DualEngine] {
+        for arch in [
+            EngineArchitecture::SingleEngine,
+            EngineArchitecture::DualEngine,
+        ] {
             let db = engine(arch);
             prepare(&db, &workload);
             let oltp = BenchmarkDriver::new(BenchConfig {
@@ -207,7 +210,10 @@ fn tabenchmark_hybrid_workload_favours_the_single_engine() {
     assert_shape(|| {
         let workload = Tabenchmark::new();
         let mut hybrid_means = Vec::new();
-        for arch in [EngineArchitecture::SingleEngine, EngineArchitecture::DualEngine] {
+        for arch in [
+            EngineArchitecture::SingleEngine,
+            EngineArchitecture::DualEngine,
+        ] {
             let db = engine(arch);
             prepare(&db, &workload);
             let result = BenchmarkDriver::new(BenchConfig {
@@ -250,8 +256,14 @@ fn domain_specific_baselines_order_matches_the_paper() {
         let su = means[0].1;
         let fi = means[1].1;
         let ta = means[2].1;
-        assert!(fi < su, "fibenchmark ({fi:.2}ms) should be faster than subenchmark ({su:.2}ms)");
-        assert!(fi < ta, "fibenchmark ({fi:.2}ms) should be faster than tabenchmark ({ta:.2}ms)");
+        assert!(
+            fi < su,
+            "fibenchmark ({fi:.2}ms) should be faster than subenchmark ({su:.2}ms)"
+        );
+        assert!(
+            fi < ta,
+            "fibenchmark ({fi:.2}ms) should be faster than tabenchmark ({ta:.2}ms)"
+        );
     });
 }
 

@@ -49,7 +49,8 @@ fn every_suite_runs_all_three_agent_classes_on_the_dual_engine() {
         assert!(hybrid.count > 0, "{name}: no hybrid transactions completed");
         assert!(result.commits > 0, "{name}: nothing committed");
         assert!(
-            oltp.errors + olap.errors + hybrid.errors <= (oltp.count + olap.count + hybrid.count) / 10,
+            oltp.errors + olap.errors + hybrid.errors
+                <= (oltp.count + olap.count + hybrid.count) / 10,
             "{name}: too many request failures"
         );
         // Percentile ordering sanity.
@@ -77,8 +78,14 @@ fn single_engine_also_supports_every_suite() {
         let driver = BenchmarkDriver::new(config);
         driver.prepare(&db, workload.as_ref()).unwrap();
         let result = driver.run(&db, workload.as_ref()).unwrap();
-        assert!(result.oltp.unwrap().count > 0, "{name}: no OLTP completions");
-        assert!(result.olap.unwrap().count > 0, "{name}: no OLAP completions");
+        assert!(
+            result.oltp.unwrap().count > 0,
+            "{name}: no OLTP completions"
+        );
+        assert!(
+            result.olap.unwrap().count > 0,
+            "{name}: no OLAP completions"
+        );
         assert_eq!(result.hybrid.is_some(), has_hybrid);
     }
 }
@@ -141,8 +148,14 @@ fn table_features_match_the_paper() {
 fn isolation_levels_follow_the_architecture() {
     let dual = fast_engine(EngineArchitecture::DualEngine);
     let single = fast_engine(EngineArchitecture::SingleEngine);
-    assert_eq!(dual.config().default_isolation(), IsolationLevel::RepeatableRead);
-    assert_eq!(single.config().default_isolation(), IsolationLevel::ReadCommitted);
+    assert_eq!(
+        dual.config().default_isolation(),
+        IsolationLevel::RepeatableRead
+    );
+    assert_eq!(
+        single.config().default_isolation(),
+        IsolationLevel::ReadCommitted
+    );
 
     // Snapshot isolation on the dual engine: a transaction does not observe a
     // concurrent commit that happened after its snapshot.
@@ -164,7 +177,9 @@ fn isolation_levels_follow_the_architecture() {
         .unwrap()
         .unwrap();
     row.set(1, Value::Decimal(999_999));
-    session.update(&mut writer, "CHECKING", &Key::int(1), row).unwrap();
+    session
+        .update(&mut writer, "CHECKING", &Key::int(1), row)
+        .unwrap();
     session.commit(writer).unwrap();
 
     let after = session

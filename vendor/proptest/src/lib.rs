@@ -197,7 +197,10 @@ fn parse_regex_subset(pattern: &str) -> Vec<RegexAtom> {
                 }
                 if let Some(atom) = atoms.last_mut() {
                     let mut parts = spec.splitn(2, ',');
-                    let min = parts.next().and_then(|p| p.trim().parse().ok()).unwrap_or(0);
+                    let min = parts
+                        .next()
+                        .and_then(|p| p.trim().parse().ok())
+                        .unwrap_or(0);
                     let max = match parts.next() {
                         Some(p) => p.trim().parse().unwrap_or(min.max(8)),
                         None => min,

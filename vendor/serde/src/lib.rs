@@ -491,10 +491,7 @@ mod tests {
         let tree = v.serialize();
         assert_eq!(Vec::<(String, u32)>::deserialize(&tree).unwrap(), v);
         assert_eq!(Option::<i64>::deserialize(&Value::Null).unwrap(), None);
-        assert_eq!(
-            Option::<i64>::deserialize(&Value::I64(3)).unwrap(),
-            Some(3)
-        );
+        assert_eq!(Option::<i64>::deserialize(&Value::I64(3)).unwrap(), Some(3));
     }
 
     #[test]

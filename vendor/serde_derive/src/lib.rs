@@ -19,10 +19,21 @@ use std::fmt::Write as _;
 
 /// Parsed shape of the item being derived on.
 enum Shape {
-    NamedStruct { name: String, fields: Vec<String> },
-    TupleStruct { name: String, arity: usize },
-    UnitStruct { name: String },
-    Enum { name: String, variants: Vec<Variant> },
+    NamedStruct {
+        name: String,
+        fields: Vec<String>,
+    },
+    TupleStruct {
+        name: String,
+        arity: usize,
+    },
+    UnitStruct {
+        name: String,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
 }
 
 struct Variant {
@@ -80,14 +91,18 @@ fn parse_item(input: TokenStream) -> Shape {
                 }
             }
             Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::UnitStruct { name },
-            other => panic!("serde_derive (vendored): unexpected token after `struct {name}`: {other:?}"),
+            other => {
+                panic!("serde_derive (vendored): unexpected token after `struct {name}`: {other:?}")
+            }
         },
         "enum" => match tokens.get(i) {
             Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Shape::Enum {
                 name,
                 variants: parse_variants(g.stream()),
             },
-            other => panic!("serde_derive (vendored): unexpected token after `enum {name}`: {other:?}"),
+            other => {
+                panic!("serde_derive (vendored): unexpected token after `enum {name}`: {other:?}")
+            }
         },
         other => panic!("serde_derive (vendored): expected `struct` or `enum`, found `{other}`"),
     }
@@ -152,7 +167,9 @@ fn parse_named_fields(stream: TokenStream) -> Vec<String> {
         let field = expect_ident(&tokens, &mut i);
         match tokens.get(i) {
             Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
-            other => panic!("serde_derive (vendored): expected `:` after field `{field}`, found {other:?}"),
+            other => panic!(
+                "serde_derive (vendored): expected `:` after field `{field}`, found {other:?}"
+            ),
         }
         skip_type(&tokens, &mut i);
         i += 1; // the separating comma, if any
@@ -286,7 +303,8 @@ fn gen_serialize(shape: &Shape) -> String {
                         );
                     }
                     VariantKind::Tuple(arity) => {
-                        let binders: Vec<String> = (0..*arity).map(|idx| format!("f{idx}")).collect();
+                        let binders: Vec<String> =
+                            (0..*arity).map(|idx| format!("f{idx}")).collect();
                         let items: Vec<String> = binders
                             .iter()
                             .map(|b| format!("::serde::Serialize::serialize({b})"))

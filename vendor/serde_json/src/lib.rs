@@ -180,10 +180,7 @@ fn parse_value(s: &str) -> Result<Value, Error> {
     let value = p.value()?;
     p.skip_ws();
     if p.pos != p.bytes.len() {
-        return Err(Error::new(format!(
-            "trailing characters at byte {}",
-            p.pos
-        )));
+        return Err(Error::new(format!("trailing characters at byte {}", p.pos)));
     }
     Ok(value)
 }
@@ -237,10 +234,7 @@ impl<'a> Parser<'a> {
             self.pos += text.len();
             Ok(value)
         } else {
-            Err(Error::new(format!(
-                "invalid literal at byte {}",
-                self.pos
-            )))
+            Err(Error::new(format!("invalid literal at byte {}", self.pos)))
         }
     }
 
@@ -262,7 +256,12 @@ impl<'a> Parser<'a> {
                     self.pos += 1;
                     return Ok(Value::Map(entries));
                 }
-                _ => return Err(Error::new(format!("expected `,` or `}}` at byte {}", self.pos))),
+                _ => {
+                    return Err(Error::new(format!(
+                        "expected `,` or `}}` at byte {}",
+                        self.pos
+                    )))
+                }
             }
         }
     }
@@ -282,7 +281,12 @@ impl<'a> Parser<'a> {
                     self.pos += 1;
                     return Ok(Value::Seq(items));
                 }
-                _ => return Err(Error::new(format!("expected `,` or `]` at byte {}", self.pos))),
+                _ => {
+                    return Err(Error::new(format!(
+                        "expected `,` or `]` at byte {}",
+                        self.pos
+                    )))
+                }
             }
         }
     }
@@ -334,10 +338,7 @@ impl<'a> Parser<'a> {
                             );
                         }
                         other => {
-                            return Err(Error::new(format!(
-                                "invalid escape `\\{}`",
-                                other as char
-                            )))
+                            return Err(Error::new(format!("invalid escape `\\{}`", other as char)))
                         }
                     }
                 }
@@ -345,7 +346,10 @@ impl<'a> Parser<'a> {
                     // Consume one UTF-8 encoded char.
                     let rest = std::str::from_utf8(&self.bytes[self.pos..])
                         .map_err(|_| Error::new("invalid UTF-8 in string"))?;
-                    let c = rest.chars().next().ok_or_else(|| Error::new("unterminated string"))?;
+                    let c = rest
+                        .chars()
+                        .next()
+                        .ok_or_else(|| Error::new("unterminated string"))?;
                     out.push(c);
                     self.pos += c.len_utf8();
                 }
