@@ -3,15 +3,19 @@
 //! ```text
 //! olxp-experiments <experiment-id>|all [--quick]
 //!                  [--durability none|group|always] [--data-dir PATH]
+//!                  [--shards N]
 //! ```
 //!
 //! Experiment ids: `table1`, `table2`, `fig1`, `fig3`, `fig4`, `fig5`, `fig6`,
-//! `fig7`, `fig8`, `fig9`, `findings`, `fig10`, `interference`, `durability`.
+//! `fig7`, `fig8`, `fig9`, `findings`, `fig10`, `interference`, `durability`,
+//! `shards`.
 //!
 //! `--durability` runs every experiment engine on a write-ahead log with the
-//! given sync policy (default `none`: in-memory, the paper's setup), and
+//! given sync policy (default `none`: in-memory, the paper's setup),
 //! `--data-dir` roots the engines' WAL segments and checkpoints at PATH
-//! (default: a per-process temp directory).
+//! (default: a per-process temp directory), and `--shards` overrides the
+//! engine shard count for every experiment (the `shards` experiment sweeps
+//! its own counts and ignores the override).
 
 use olxpbench_bench::{all_experiment_ids, run_experiment, DurabilityMode, ExpOptions};
 use std::time::Instant;
@@ -20,7 +24,7 @@ fn usage_error(message: &str) -> ! {
     eprintln!("{message}");
     eprintln!(
         "usage: olxp-experiments <experiment-id>|all [--quick] \
-         [--durability none|group|always] [--data-dir PATH]"
+         [--durability none|group|always] [--data-dir PATH] [--shards N]"
     );
     std::process::exit(2);
 }
@@ -30,6 +34,7 @@ fn main() {
     let mut quick = false;
     let mut durability = DurabilityMode::None;
     let mut data_dir: Option<&'static str> = None;
+    let mut shards: Option<usize> = None;
     let mut targets: Vec<String> = Vec::new();
 
     let mut iter = args.into_iter();
@@ -54,6 +59,17 @@ fn main() {
                 // the one CLI-provided path lives for the whole process.
                 data_dir = Some(Box::leak(value.into_boxed_str()));
             }
+            "--shards" => {
+                let Some(value) = iter.next() else {
+                    usage_error("--shards requires a positive shard count");
+                };
+                match value.parse::<usize>() {
+                    Ok(n) if n >= 1 => shards = Some(n),
+                    _ => usage_error(&format!(
+                        "invalid shard count {value:?} (expected a positive integer)"
+                    )),
+                }
+            }
             flag if flag.starts_with("--") => {
                 usage_error(&format!("unknown flag {flag}"));
             }
@@ -69,6 +85,7 @@ fn main() {
     let opts = ExpOptions {
         durability,
         data_dir,
+        shards,
         ..base
     };
 

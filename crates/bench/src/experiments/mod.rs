@@ -74,6 +74,9 @@ pub struct ExpOptions {
     /// Root directory for durable engines' data (`--data-dir`).  Each engine
     /// gets its own subdirectory; `None` falls back to a temp directory.
     pub data_dir: Option<&'static str>,
+    /// Shard-count override for every engine the experiments create
+    /// (`--shards`).  `None` keeps the engine default.
+    pub shards: Option<usize>,
 }
 
 impl Default for ExpOptions {
@@ -83,6 +86,7 @@ impl Default for ExpOptions {
             time_scale: 1.0,
             durability: DurabilityMode::None,
             data_dir: None,
+            shards: None,
         }
     }
 }
@@ -142,6 +146,7 @@ pub fn all_experiment_ids() -> Vec<&'static str> {
         "fig10",
         "interference",
         "durability",
+        "shards",
     ]
 }
 
@@ -163,6 +168,7 @@ pub fn run_experiment(id: &str, opts: ExpOptions) -> Option<String> {
         "fig10" => scaling::fig10_scalability(opts),
         "interference" => design::interference(opts),
         "durability" => durability::commit_latency_by_sync_policy(opts),
+        "shards" => scaling::shard_scaling(opts),
         _ => return None,
     };
     Some(report)
@@ -203,6 +209,9 @@ pub(crate) fn make_db(
     let mut config = base.with_nodes(nodes).with_time_scale(opts.time_scale);
     if let Some(durability) = durability_for(opts) {
         config = config.with_durability(durability);
+    }
+    if let Some(shards) = opts.shards {
+        config = config.with_shards(shards);
     }
     HybridDatabase::new(config).expect("experiment engine config is valid")
 }

@@ -89,7 +89,8 @@ pub struct Cluster {
     storage_nodes: Vec<NodeId>,
     analytical_nodes: Vec<NodeId>,
     time_scale: f64,
-    round_robin: AtomicU64,
+    storage_round_robin: AtomicU64,
+    analytical_round_robin: AtomicU64,
 }
 
 /// Outcome of occupying a worker for a piece of simulated work.
@@ -126,7 +127,8 @@ impl Cluster {
             storage_nodes,
             analytical_nodes,
             time_scale: config.time_scale,
-            round_robin: AtomicU64::new(0),
+            storage_round_robin: AtomicU64::new(0),
+            analytical_round_robin: AtomicU64::new(0),
         }
     }
 
@@ -160,15 +162,18 @@ impl Cluster {
     }
 
     /// The storage node owning a whole-table operation (scans start here and
-    /// scatter to the rest); rotates to spread load.
+    /// scatter to the rest); rotates to spread load.  Each rotation keeps its
+    /// own counter: a shared one would let interleaved storage and analytical
+    /// requests skew both rotations (e.g. every analytical call advancing the
+    /// storage rotation past a node it never served).
     pub fn next_storage_node(&self) -> NodeId {
-        let i = self.round_robin.fetch_add(1, Ordering::Relaxed) as usize;
+        let i = self.storage_round_robin.fetch_add(1, Ordering::Relaxed) as usize;
         self.storage_nodes[i % self.storage_nodes.len()]
     }
 
     /// The analytical node that should execute the next columnar query.
     pub fn next_analytical_node(&self) -> NodeId {
-        let i = self.round_robin.fetch_add(1, Ordering::Relaxed) as usize;
+        let i = self.analytical_round_robin.fetch_add(1, Ordering::Relaxed) as usize;
         self.analytical_nodes[i % self.analytical_nodes.len()]
     }
 
@@ -277,6 +282,23 @@ mod tests {
             seen.insert(cluster.next_analytical_node());
         }
         assert_eq!(seen.len(), cluster.analytical_nodes().len());
+    }
+
+    #[test]
+    fn interleaved_rotations_still_cover_every_node() {
+        // With one shared counter, alternating storage/analytical calls made
+        // each rotation see only every other index, so a two-node rotation
+        // degenerated to a single node.  Per-rotation counters keep full
+        // coverage under any interleaving.
+        let cluster = Cluster::from_config(&EngineConfig::dual_engine().with_nodes(4));
+        let mut storage_seen = std::collections::HashSet::new();
+        let mut analytical_seen = std::collections::HashSet::new();
+        for _ in 0..4 {
+            storage_seen.insert(cluster.next_storage_node());
+            analytical_seen.insert(cluster.next_analytical_node());
+        }
+        assert_eq!(storage_seen.len(), cluster.storage_nodes().len());
+        assert_eq!(analytical_seen.len(), cluster.analytical_nodes().len());
     }
 
     #[test]

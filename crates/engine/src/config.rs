@@ -238,6 +238,23 @@ pub struct EngineConfig {
     /// engine behaves exactly like the in-memory seed unless a data directory
     /// is configured.
     pub durability: DurabilityConfig,
+    /// Number of hash-partitioned storage shards.  Each shard owns its own
+    /// `RowTable` partition, lock table, replication applier, WAL stream and
+    /// commit gate; the timestamp oracle stays global.  `1` (the default) is
+    /// behaviorally identical to the unsharded engine.  Constructors honour
+    /// the `OLXP_TEST_SHARDS` environment variable so the whole test suite can
+    /// be re-run against a sharded engine without code changes.
+    pub shards: usize,
+}
+
+/// Default shard count: `OLXP_TEST_SHARDS` if set to a positive integer,
+/// otherwise 1.
+fn default_shards() -> usize {
+    std::env::var("OLXP_TEST_SHARDS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(1)
 }
 
 impl EngineConfig {
@@ -259,6 +276,7 @@ impl EngineConfig {
             freshness: FreshnessPolicy::Eventual,
             freshness_timeout_ms: 2_000,
             durability: DurabilityConfig::disabled(),
+            shards: default_shards(),
         }
     }
 
@@ -280,6 +298,7 @@ impl EngineConfig {
             freshness: FreshnessPolicy::Eventual,
             freshness_timeout_ms: 2_000,
             durability: DurabilityConfig::disabled(),
+            shards: default_shards(),
         }
     }
 
@@ -346,6 +365,12 @@ impl EngineConfig {
         self
     }
 
+    /// Override the storage shard count (builder style).
+    pub fn with_shards(mut self, shards: usize) -> EngineConfig {
+        self.shards = shards;
+        self
+    }
+
     /// Storage medium implied by the architecture.
     pub fn medium(&self) -> StorageMedium {
         match self.architecture {
@@ -405,6 +430,12 @@ impl EngineConfig {
             return Err(EngineError::Config(
                 "freshness_timeout_ms must be >= 1 under a bounded freshness policy".into(),
             ));
+        }
+        if self.shards == 0 {
+            return Err(EngineError::Config("shards must be >= 1".into()));
+        }
+        if self.shards > 1024 {
+            return Err(EngineError::Config("shards must be <= 1024".into()));
         }
         self.durability.validate()?;
         Ok(())

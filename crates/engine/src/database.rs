@@ -1,4 +1,14 @@
 //! The HTAP database facade.
+//!
+//! Since the sharding refactor the write path is hash-partitioned into N
+//! engine [`Shard`]s.  Each shard owns its own `RowTable` partition of every
+//! table, its own lock table (held by the transaction manager), its own
+//! replication log + applier feeding the shared columnar replicas, its own
+//! segmented WAL stream (`wal-shard<K>-<seq>.seg`) and its own commit gate.
+//! The timestamp oracle stays global: it is the single commit-timestamp
+//! authority, so snapshots remain consistent across shards.  `shards = 1`
+//! is behaviorally identical to the unsharded engine (including WAL file
+//! names), which keeps the seed configuration and all existing tests valid.
 
 use crate::cluster::Cluster;
 use crate::config::{EngineArchitecture, EngineConfig};
@@ -13,7 +23,9 @@ use olxp_storage::{
 };
 use olxp_txn::TransactionManager;
 use parking_lot::{Mutex, RwLock, RwLockReadGuard};
-use std::collections::HashMap;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{HashMap, HashSet};
+use std::hash::{Hash, Hasher};
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -34,19 +46,70 @@ struct BackgroundApplier {
     handle: Option<std::thread::JoinHandle<()>>,
 }
 
+/// The shard owning `(table, key)` among `shard_count` hash partitions.
+///
+/// Deterministic across processes (SipHash with fixed keys), so checkpoint
+/// rows and WAL records re-route to the same shard on recovery, and tests can
+/// predict key placement.
+pub fn shard_of(table: &str, key: &Key, shard_count: usize) -> usize {
+    if shard_count <= 1 {
+        return 0;
+    }
+    let mut hasher = DefaultHasher::new();
+    table.hash(&mut hasher);
+    key.hash(&mut hasher);
+    (hasher.finish() as usize) % shard_count
+}
+
+/// WAL stream name for one shard.  A single-shard engine keeps the legacy
+/// plain `wal` stream so its on-disk layout is byte-identical to the
+/// unsharded engine; sharded engines use one `wal-shard<K>` stream each
+/// (segment files `wal-shard<K>-<seq>.seg`).
+fn wal_stream(shard: usize, shard_count: usize) -> String {
+    if shard_count == 1 {
+        "wal".to_string()
+    } else {
+        format!("wal-shard{shard}")
+    }
+}
+
+/// One hash partition of the engine's write path: a `RowTable` partition per
+/// table, a replication log + applier feeding the shared columnar replicas,
+/// an optional WAL stream and the commit gate coordinating commits with
+/// checkpoints on this shard.
+struct Shard {
+    row_tables: RwLock<Arc<HashMap<String, Arc<RowTable>>>>,
+    replication: Arc<ReplicationLog>,
+    replicator: Arc<Mutex<Replicator>>,
+    applier: Mutex<Option<BackgroundApplier>>,
+    wal: Option<Arc<Wal>>,
+    /// Commits hold this for read across [WAL append .. commit marker]; the
+    /// checkpointer takes every shard's gate for write to pick a consistent
+    /// `(commit_ts, per-shard LSN)` cut with no transaction mid-flight.
+    commit_gate: RwLock<()>,
+    /// Simulated log device for the cost model: a WAL stream is a serial
+    /// resource, so modelled log-force time is paid while holding this lock
+    /// and commits to the same shard queue behind each other (commits to
+    /// different shards proceed in parallel).  Uncontended and delay-free at
+    /// `time_scale 0`.
+    wal_device: Mutex<()>,
+}
+
 /// What crash recovery found and rebuilt when a durable database was opened.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct RecoveryReport {
-    /// WAL LSN the loaded checkpoint covered (0 when no checkpoint existed).
+    /// Checkpoint ordering key (sum of the per-shard WAL cuts; 0 when no
+    /// checkpoint existed).
     pub checkpoint_lsn: u64,
     /// Commit timestamp the checkpoint snapshot was taken at.
     pub checkpoint_commit_ts: Timestamp,
     /// Rows loaded from the checkpoint.
     pub checkpoint_rows: u64,
-    /// WAL records scanned during replay (including ones the checkpoint
-    /// already covered).
+    /// WAL records scanned during replay across all shard streams (including
+    /// ones the checkpoint already covered).
     pub wal_records_scanned: u64,
-    /// Committed transactions replayed from the WAL tail.
+    /// Committed transactions replayed from the WAL tails.  A cross-shard
+    /// transaction counts once, however many shards it touched.
     pub wal_txns_replayed: u64,
     /// Mutations applied while replaying those transactions.
     pub wal_mutations_replayed: u64,
@@ -57,42 +120,41 @@ pub struct RecoveryReport {
     /// Replication records re-seeded into the columnar replicas so freshness
     /// watermarks resume correctly.
     pub replication_reseeded: u64,
+    /// Cross-shard transactions resolved from an in-doubt prepared state: a
+    /// shard held Prepare + mutations without its own Commit marker, and
+    /// another shard's Commit marker decided the outcome as committed.
+    pub in_doubt_committed: u64,
 }
 
 /// An in-process HTAP database instance configured as one of the paper's
 /// architectural archetypes.
 ///
-/// The database owns the catalog, the row tables, the columnar replicas, the
-/// replication pipeline between them, the transaction manager, the simulated
-/// cluster and the engine metrics.  Benchmark threads interact with it through
-/// [`Session`]s obtained from [`HybridDatabase::session`].
+/// The database owns the catalog, the sharded row store, the columnar
+/// replicas, the per-shard replication pipelines, the transaction manager,
+/// the simulated cluster and the engine metrics.  Benchmark threads interact
+/// with it through [`Session`]s obtained from [`HybridDatabase::session`].
 ///
 /// When [`EngineConfig::background_applier`] is set (the default), opening the
-/// database spawns a dedicated applier thread that continuously drains the
-/// replication log into the columnar replicas — the "background process"
-/// behind TiDB's asynchronous log replication — so analytical freshness no
-/// longer depends on sessions opportunistically stepping replication.  The
-/// thread parks when the log is empty, wakes on append, and is joined when the
-/// last reference to the database is dropped.
+/// database spawns one dedicated applier thread per shard that continuously
+/// drains the shard's replication log into the columnar replicas — the
+/// "background process" behind TiDB's asynchronous log replication.  Each
+/// thread parks when its log is empty, wakes on append, and is joined when
+/// the last reference to the database is dropped.
 pub struct HybridDatabase {
     config: EngineConfig,
     catalog: Catalog,
-    row_tables: RwLock<Arc<HashMap<String, Arc<RowTable>>>>,
+    shards: Vec<Shard>,
     col_tables: RwLock<Arc<HashMap<String, Arc<ColumnTable>>>>,
     txn_mgr: TransactionManager,
-    replication: Arc<ReplicationLog>,
-    replicator: Arc<Mutex<Replicator>>,
     cluster: Cluster,
     metrics: Arc<EngineMetrics>,
-    applier: Mutex<Option<BackgroundApplier>>,
     olap_route_counter: AtomicU64,
     commit_counter: AtomicU64,
-    /// Write-ahead log (durable engines only).
-    wal: Option<Arc<Wal>>,
-    /// Commits hold this for read across [WAL append .. commit marker]; the
-    /// checkpointer takes it for write to pick a consistent `(commit_ts, LSN)`
-    /// cut with no transaction mid-flight between the two.
-    commit_gate: RwLock<()>,
+    /// Global WAL transaction-id allocator.  Ids must be unique across every
+    /// shard's WAL stream: recovery keys its committed-transaction map by
+    /// them, and a cross-shard transaction logs the same id on every shard it
+    /// touches.  Seeded past the newest replayed id on open.
+    txn_ids: AtomicU64,
     /// What recovery rebuilt when this database was opened (durable engines).
     recovery: Mutex<Option<RecoveryReport>>,
     /// WAL records logged since the last checkpoint (drives auto-checkpoints).
@@ -115,63 +177,93 @@ impl HybridDatabase {
     /// Open a database.
     ///
     /// For in-memory configurations this simply constructs an empty engine.
-    /// For durable configurations it loads the newest checkpoint, replays the
-    /// WAL tail above the checkpoint's LSN (tolerating — and truncating — a
-    /// torn final record, the signature of a crash mid-write), rebuilds the
-    /// row store and catalog, re-seeds the replication pipeline so the
-    /// columnar replicas and freshness watermarks resume correctly, and
-    /// fast-forwards the timestamp oracle past the newest recovered commit.
+    /// For durable configurations it loads the newest checkpoint, replays
+    /// every shard's WAL tail above that shard's checkpoint cut (tolerating —
+    /// and truncating — a torn final record, the signature of a crash
+    /// mid-write), rebuilds the sharded row store and catalog, resolves
+    /// in-doubt cross-shard transactions (a prepared transaction replays iff
+    /// *any* shard logged its Commit marker), re-seeds the replication
+    /// pipelines so the columnar replicas and freshness watermarks resume
+    /// correctly, and fast-forwards the timestamp oracle past the newest
+    /// recovered commit.
+    ///
+    /// A durable directory must be reopened with the shard count it was
+    /// written with: shard streams are named by shard index and checkpoint
+    /// cuts are recorded per shard.
     pub fn open(config: EngineConfig) -> EngineResult<Arc<HybridDatabase>> {
         config.validate()?;
-        let (wal, checkpoint, replay) = match config.durability.data_dir.as_deref() {
-            Some(dir) => {
-                let checkpoint = load_latest_checkpoint(Path::new(dir))?;
-                let (wal, replay) =
-                    Wal::open(dir, config.durability.sync, config.durability.segment_bytes)?;
-                (Some(Arc::new(wal)), checkpoint, Some(replay))
-            }
-            None => (None, None, None),
+        let shard_count = config.shards;
+        let mut shards = Vec::with_capacity(shard_count);
+        let mut replays: Vec<WalReplay> = Vec::new();
+        let checkpoint = match config.durability.data_dir.as_deref() {
+            Some(dir) => load_latest_checkpoint(Path::new(dir))?,
+            None => None,
         };
-        let replication = Arc::new(ReplicationLog::new());
-        let replicator = Arc::new(Mutex::new(Replicator::new(Arc::clone(&replication))));
+        for shard in 0..shard_count {
+            let wal = match config.durability.data_dir.as_deref() {
+                Some(dir) => {
+                    let (wal, replay) = Wal::open_named(
+                        dir,
+                        &wal_stream(shard, shard_count),
+                        config.durability.sync,
+                        config.durability.segment_bytes,
+                    )?;
+                    replays.push(replay);
+                    Some(Arc::new(wal))
+                }
+                None => None,
+            };
+            let replication = Arc::new(ReplicationLog::new());
+            let replicator = Arc::new(Mutex::new(Replicator::new(Arc::clone(&replication))));
+            shards.push(Shard {
+                row_tables: RwLock::new(Arc::new(HashMap::new())),
+                replication,
+                replicator,
+                applier: Mutex::new(None),
+                wal,
+                commit_gate: RwLock::new(()),
+                wal_device: Mutex::new(()),
+            });
+        }
         let metrics = Arc::new(EngineMetrics::new());
         let cluster = Cluster::from_config(&config);
-        let txn_mgr = TransactionManager::with_lock_timeout(Duration::from_millis(
-            config.lock_wait_timeout_ms,
-        ));
+        let txn_mgr = TransactionManager::with_shards(
+            Duration::from_millis(config.lock_wait_timeout_ms),
+            shard_count,
+        );
+        let max_replayed_id = replays.iter().map(|r| r.max_txn_id).max().unwrap_or(0);
         let db = Arc::new(HybridDatabase {
             config,
             catalog: Catalog::new(),
-            row_tables: RwLock::new(Arc::new(HashMap::new())),
+            shards,
             col_tables: RwLock::new(Arc::new(HashMap::new())),
             txn_mgr,
-            replication,
-            replicator,
             cluster,
             metrics,
-            applier: Mutex::new(None),
             olap_route_counter: AtomicU64::new(0),
             commit_counter: AtomicU64::new(0),
-            wal,
-            commit_gate: RwLock::new(()),
+            txn_ids: AtomicU64::new(max_replayed_id + 1),
             recovery: Mutex::new(None),
             wal_records_since_ckpt: AtomicU64::new(0),
             checkpointing: AtomicBool::new(false),
             checkpoints_taken: AtomicU64::new(0),
             checkpoint_failures: AtomicU64::new(0),
         });
-        if let Some(replay) = replay {
-            let report = db.recover(checkpoint, replay)?;
+        if db.is_durable() {
+            let report = db.recover(checkpoint, replays)?;
             *db.recovery.lock() = Some(report);
         }
         if db.config.background_applier {
-            *db.applier.lock() = Some(spawn_applier(
-                Arc::clone(&db.replication),
-                Arc::clone(&db.replicator),
-                Arc::clone(&db.metrics),
-                db.config.replication_batch,
-                Duration::from_micros(db.config.applier_idle_wait_us),
-            ));
+            for (shard, state) in db.shards.iter().enumerate() {
+                *state.applier.lock() = Some(spawn_applier(
+                    shard,
+                    Arc::clone(&state.replication),
+                    Arc::clone(&state.replicator),
+                    Arc::clone(&db.metrics),
+                    db.config.replication_batch,
+                    Duration::from_micros(db.config.applier_idle_wait_us),
+                ));
+            }
         }
         Ok(db)
     }
@@ -211,33 +303,42 @@ impl HybridDatabase {
         &self.metrics
     }
 
-    /// Snapshot of engine metrics (durable engines include live WAL counters).
+    /// Snapshot of engine metrics (durable engines include live WAL counters
+    /// aggregated across every shard's stream).
     pub fn metrics_snapshot(&self) -> MetricsSnapshot {
         let mut snapshot = self.metrics.snapshot();
         snapshot.wal = self.wal_metrics();
+        snapshot.shards = self.shards.len() as u64;
         snapshot
     }
 
-    /// Durability counters (all-zero for in-memory engines).
+    /// Durability counters (all-zero for in-memory engines).  Counters are
+    /// summed across the per-shard WAL streams; group-commit batch
+    /// percentiles report the largest observed on any shard.
     pub fn wal_metrics(&self) -> WalMetrics {
-        let Some(wal) = &self.wal else {
+        if !self.is_durable() {
             return WalMetrics::default();
-        };
-        let stats = wal.stats();
-        WalMetrics {
-            appends: stats.appends,
-            fsyncs: stats.fsyncs,
-            bytes_written: stats.bytes_written,
-            synced_commits: stats.synced_commits,
+        }
+        let mut m = WalMetrics {
             checkpoints: self.checkpoints_taken.load(Ordering::Relaxed),
             checkpoint_failures: self.checkpoint_failures.load(Ordering::Relaxed),
-            group_batch_p50: stats.batch_p50,
-            group_batch_p90: stats.batch_p90,
-            group_batch_p99: stats.batch_p99,
-            group_batch_max: stats.batch_max,
-            last_lsn: stats.last_lsn,
-            durable_lsn: stats.durable_lsn,
+            ..WalMetrics::default()
+        };
+        for shard in &self.shards {
+            let Some(wal) = &shard.wal else { continue };
+            let stats = wal.stats();
+            m.appends += stats.appends;
+            m.fsyncs += stats.fsyncs;
+            m.bytes_written += stats.bytes_written;
+            m.synced_commits += stats.synced_commits;
+            m.group_batch_p50 = m.group_batch_p50.max(stats.batch_p50);
+            m.group_batch_p90 = m.group_batch_p90.max(stats.batch_p90);
+            m.group_batch_p99 = m.group_batch_p99.max(stats.batch_p99);
+            m.group_batch_max = m.group_batch_max.max(stats.batch_max);
+            m.last_lsn += stats.last_lsn;
+            m.durable_lsn += stats.durable_lsn;
         }
+        m
     }
 
     /// What recovery rebuilt when this database was opened, or `None` for an
@@ -248,15 +349,128 @@ impl HybridDatabase {
 
     /// True when this engine writes a WAL.
     pub fn is_durable(&self) -> bool {
-        self.wal.is_some()
+        self.shards.iter().any(|s| s.wal.is_some())
     }
 
-    /// Create a table: a row table always, plus a columnar replica registered
-    /// with the replication pipeline.  Durable engines log the DDL to the WAL
-    /// (and sync it per the policy) so the schema survives a crash even before
-    /// the first checkpoint.
+    // ------------------------------------------------------------------
+    // Sharding
+    // ------------------------------------------------------------------
+
+    /// Number of hash-partitioned storage shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard owning `(table, key)`.
+    pub fn shard_for(&self, table: &str, key: &Key) -> usize {
+        shard_of(table, key, self.shards.len())
+    }
+
+    /// One shard's partition of a table.
+    fn row_partition(&self, shard: usize, table: &str) -> EngineResult<Arc<RowTable>> {
+        self.shards[shard]
+            .row_tables
+            .read()
+            .get(table)
+            .cloned()
+            .ok_or_else(|| EngineError::UnknownTable(table.to_string()))
+    }
+
+    /// The row-table partition owning `key` of `table`.
+    pub fn row_table_for(&self, table: &str, key: &Key) -> EngineResult<Arc<RowTable>> {
+        self.row_partition(self.shard_for(table, key), table)
+    }
+
+    /// Every shard's partition of `table`, in shard order.
+    pub fn row_partitions(&self, table: &str) -> EngineResult<Vec<Arc<RowTable>>> {
+        let parts: Vec<Arc<RowTable>> = self
+            .shards
+            .iter()
+            .filter_map(|s| s.row_tables.read().get(table).cloned())
+            .collect();
+        if parts.is_empty() {
+            return Err(EngineError::UnknownTable(table.to_string()));
+        }
+        Ok(parts)
+    }
+
+    /// Scan every shard's partition of `table` at `ts`, calling `f` for each
+    /// visible row (shard-major order).  Returns rows examined.
+    pub fn scan_table(
+        &self,
+        table: &str,
+        ts: Timestamp,
+        mut f: impl FnMut(&Key, &Arc<Row>),
+    ) -> EngineResult<usize> {
+        let mut examined = 0;
+        for part in self.row_partitions(table)? {
+            examined += part.scan(ts, &mut f);
+        }
+        Ok(examined)
+    }
+
+    /// Live rows of `table` across all shards at the current read timestamp.
+    pub fn table_live_row_count(&self, table: &str) -> EngineResult<usize> {
+        let ts = self.txn_mgr.oracle().read_ts();
+        Ok(self
+            .row_partitions(table)?
+            .iter()
+            .map(|p| p.live_row_count(ts))
+            .sum())
+    }
+
+    /// Per-shard row-table maps, in shard order (feeds the sharded query
+    /// source).
+    pub fn sharded_row_tables(&self) -> Vec<Arc<HashMap<String, Arc<RowTable>>>> {
+        self.shards
+            .iter()
+            .map(|s| Arc::clone(&s.row_tables.read()))
+            .collect()
+    }
+
+    /// Allocate a WAL transaction id (unique across all shard streams).
+    pub(crate) fn allocate_txn_id(&self) -> u64 {
+        self.txn_ids.fetch_add(1, Ordering::SeqCst)
+    }
+
+    /// One shard's write-ahead log, when durability is enabled.
+    pub(crate) fn wal_for_shard(&self, shard: usize) -> Option<&Arc<Wal>> {
+        self.shards[shard].wal.as_ref()
+    }
+
+    /// Shared hold on one shard's commit gate.  Committers keep it across
+    /// [WAL mutation append .. commit marker append] on that shard so the
+    /// checkpointer's exclusive hold observes no transaction mid-flight.
+    /// Multi-gate holders (cross-shard commits, the checkpointer) always
+    /// acquire in ascending shard order.
+    pub(crate) fn commit_gate_read_for(&self, shard: usize) -> RwLockReadGuard<'_, ()> {
+        self.shards[shard].commit_gate.read()
+    }
+
+    /// One shard's replication log.
+    pub(crate) fn replication_for(&self, shard: usize) -> &Arc<ReplicationLog> {
+        &self.shards[shard].replication
+    }
+
+    /// Every shard's replication log, in shard order (freshness checks).
+    pub(crate) fn replication_logs(&self) -> Vec<Arc<ReplicationLog>> {
+        self.shards
+            .iter()
+            .map(|s| Arc::clone(&s.replication))
+            .collect()
+    }
+
+    // ------------------------------------------------------------------
+    // Tables
+    // ------------------------------------------------------------------
+
+    /// Create a table: a row-table partition in every shard, plus one shared
+    /// columnar replica registered with every shard's replication pipeline.
+    /// Durable engines log the DDL to shard 0's WAL (and sync it per the
+    /// policy) so the schema survives a crash even before the first
+    /// checkpoint.
     pub fn create_table(&self, schema: TableSchema) -> EngineResult<()> {
-        if let Some(wal) = &self.wal {
+        if let Some(wal) = &self.shards[0].wal {
             // Log before installing: if the WAL refuses the record, nothing
             // was registered and the call can simply be retried.  The rare
             // spurious record (logged but install lost to a concurrent
@@ -267,11 +481,12 @@ impl HybridDatabase {
                 return Err(StorageError::TableExists(schema.name().to_string()).into());
             }
             let lsn = {
-                let _gate = self.commit_gate.read();
+                let _gate = self.shards[0].commit_gate.read();
                 let lsn = wal.log_create_table(&schema)?;
                 self.install_table(schema)?;
                 lsn
             };
+            let wal = Arc::clone(wal);
             wal.sync_to(lsn)?;
             self.note_wal_records(1);
             Ok(())
@@ -280,34 +495,40 @@ impl HybridDatabase {
         }
     }
 
-    /// Register a table with the catalog, stores and replication pipeline
+    /// Register a table with the catalog, stores and replication pipelines
     /// without touching the WAL (shared by [`Self::create_table`] and
     /// recovery, which must not re-log what it replays).
     fn install_table(&self, schema: TableSchema) -> EngineResult<()> {
         let schema = self.catalog.create_table(schema)?;
-        let row_table = Arc::new(RowTable::new(Arc::clone(&schema)));
         let col_table = Arc::new(ColumnTable::new(Arc::clone(&schema)));
-        {
-            let mut map = self.row_tables.write();
-            let mut new_map = HashMap::clone(map.as_ref());
-            new_map.insert(schema.name().to_string(), Arc::clone(&row_table));
-            *map = Arc::new(new_map);
+        for shard in &self.shards {
+            let row_table = Arc::new(RowTable::new(Arc::clone(&schema)));
+            {
+                let mut map = shard.row_tables.write();
+                let mut new_map = HashMap::clone(map.as_ref());
+                new_map.insert(schema.name().to_string(), row_table);
+                *map = Arc::new(new_map);
+            }
+            shard
+                .replicator
+                .lock()
+                .register(schema.name().to_string(), Arc::clone(&col_table));
         }
         {
             let mut map = self.col_tables.write();
             let mut new_map = HashMap::clone(map.as_ref());
-            new_map.insert(schema.name().to_string(), Arc::clone(&col_table));
+            new_map.insert(schema.name().to_string(), col_table);
             *map = Arc::new(new_map);
         }
-        self.replicator
-            .lock()
-            .register(schema.name().to_string(), col_table);
         Ok(())
     }
 
-    /// Shared snapshot of the row tables (cheap to clone, used by query sources).
+    /// Shard 0's snapshot of the row tables (cheap to clone).  With more than
+    /// one shard this is only that shard's partition; use
+    /// [`Self::sharded_row_tables`] or [`Self::scan_table`] for whole-table
+    /// access.
     pub fn row_tables(&self) -> Arc<HashMap<String, Arc<RowTable>>> {
-        Arc::clone(&self.row_tables.read())
+        Arc::clone(&self.shards[0].row_tables.read())
     }
 
     /// Shared snapshot of the columnar replicas.
@@ -315,13 +536,11 @@ impl HybridDatabase {
         Arc::clone(&self.col_tables.read())
     }
 
-    /// The row table for `name`.
+    /// Shard 0's partition of the row table for `name`.  With one shard (the
+    /// default) this is the whole table; sharded callers wanting a key's
+    /// partition use [`Self::row_table_for`].
     pub fn row_table(&self, name: &str) -> EngineResult<Arc<RowTable>> {
-        self.row_tables
-            .read()
-            .get(name)
-            .cloned()
-            .ok_or_else(|| EngineError::UnknownTable(name.to_string()))
+        self.row_partition(0, name)
     }
 
     /// The columnar replica for `name`.
@@ -346,21 +565,25 @@ impl HybridDatabase {
     ///
     /// Loading bypasses the cost model and the cluster so that experiment
     /// setup time does not pollute measurements; the rows are still shipped
-    /// through the replication log so the columnar replicas converge.  On a
-    /// durable engine each load is logged as a one-mutation transaction, but
-    /// the fsync is deferred to [`Self::finish_load`] so bulk loading is not
-    /// throttled to one fsync per row.
+    /// through the owning shard's replication log so the columnar replicas
+    /// converge.  On a durable engine each load is logged as a one-mutation
+    /// transaction on the owning shard's WAL, but the fsync is deferred to
+    /// [`Self::finish_load`] so bulk loading is not throttled to one fsync
+    /// per row.
     pub fn load_row(&self, table: &str, row: Row) -> EngineResult<()> {
-        let row_table = self.row_table(table)?;
-        let key = row_table.schema().primary_key_of(&row);
-        let ts = if let Some(wal) = &self.wal {
+        let schema = self.catalog.table(table)?;
+        let key = schema.primary_key_of(&row);
+        let shard_idx = self.shard_for(table, &key);
+        let row_table = self.row_partition(shard_idx, table)?;
+        let shard = &self.shards[shard_idx];
+        let ts = if let Some(wal) = &shard.wal {
             // The gate is taken before the timestamp is allocated, so a
             // checkpoint's `(commit_ts, LSN)` cut can never land between
             // this load's timestamp and its WAL records (same invariant as
             // `Session::commit`).
-            let _gate = self.commit_gate.read();
+            let _gate = shard.commit_gate.read();
             let ts = self.txn_mgr.oracle().load_ts();
-            let txn_id = wal.allocate_txn_id();
+            let txn_id = self.allocate_txn_id();
             let op = WalOp {
                 table: table.to_string(),
                 op: MutationOp::Insert,
@@ -377,19 +600,28 @@ impl HybridDatabase {
             row_table.insert(row.clone(), ts)?;
             ts
         };
-        self.replication
+        shard
+            .replication
             .append(table, MutationOp::Insert, key, Some(row), ts);
         Ok(())
     }
 
-    /// Finish bulk loading: apply all pending replication so the columnar
-    /// replicas are complete before measurement starts, and (on a durable
-    /// engine) make the loaded data durable with one fsync.
+    /// Finish bulk loading: apply all pending replication on every shard so
+    /// the columnar replicas are complete before measurement starts, and (on
+    /// a durable engine) make the loaded data durable with one fsync per
+    /// shard stream.
     pub fn finish_load(&self) -> EngineResult<usize> {
-        let applied = self.replicator.lock().catch_up()?;
+        let mut applied = 0;
+        for shard in &self.shards {
+            applied += shard.replicator.lock().catch_up()?;
+        }
         self.metrics.add_replication_applied(applied as u64);
-        if let Some(wal) = &self.wal {
-            wal.flush_and_fsync()?;
+        if self.is_durable() {
+            for shard in &self.shards {
+                if let Some(wal) = &shard.wal {
+                    wal.flush_and_fsync()?;
+                }
+            }
             self.maybe_checkpoint();
         }
         Ok(applied)
@@ -399,73 +631,73 @@ impl HybridDatabase {
     // Replication
     // ------------------------------------------------------------------
 
-    /// Apply one batch of pending replication records (asynchronous log
-    /// replication step).  Called opportunistically by sessions when no
-    /// background applier is running; failures are counted in the engine
-    /// metrics and surfaced to the caller.
+    /// Apply one batch of pending replication records on every shard
+    /// (asynchronous log replication step).  Called opportunistically by
+    /// sessions when no background applier is running; failures are counted
+    /// in the engine metrics and surfaced to the caller.
     pub fn replicate_step(&self) -> EngineResult<usize> {
-        let result = self
-            .replicator
-            .lock()
-            .apply_pending(self.config.replication_batch);
-        match result {
-            Ok(applied) => {
-                if applied > 0 {
-                    self.metrics.add_replication_applied(applied as u64);
+        let mut total = 0;
+        for shard in &self.shards {
+            let result = shard
+                .replicator
+                .lock()
+                .apply_pending(self.config.replication_batch);
+            match result {
+                Ok(applied) => total += applied,
+                Err(e) => {
+                    if total > 0 {
+                        self.metrics.add_replication_applied(total as u64);
+                    }
+                    self.metrics.add_replication_error();
+                    return Err(e.into());
                 }
-                Ok(applied)
-            }
-            Err(e) => {
-                self.metrics.add_replication_error();
-                Err(e.into())
             }
         }
+        if total > 0 {
+            self.metrics.add_replication_applied(total as u64);
+        }
+        Ok(total)
     }
 
-    /// True while the dedicated background applier thread is running.
+    /// True while any shard's dedicated background applier thread is running.
     pub fn has_background_applier(&self) -> bool {
-        self.applier.lock().is_some()
+        self.shards.iter().any(|s| s.applier.lock().is_some())
     }
 
-    /// Stop the background applier thread and wait for it to exit.  Further
-    /// replication is applied opportunistically (or via [`Self::finish_load`]).
-    /// Idempotent; also invoked on drop.
+    /// Stop every shard's background applier thread and wait for it to exit.
+    /// Further replication is applied opportunistically (or via
+    /// [`Self::finish_load`]).  Idempotent; also invoked on drop.
     pub fn shutdown_applier(&self) {
-        let Some(mut applier) = self.applier.lock().take() else {
-            return;
-        };
-        applier.shutdown.store(true, Ordering::Release);
-        self.replication.notify_waiters();
-        if let Some(handle) = applier.handle.take() {
-            let _ = handle.join();
+        for shard in &self.shards {
+            let Some(mut applier) = shard.applier.lock().take() else {
+                continue;
+            };
+            applier.shutdown.store(true, Ordering::Release);
+            shard.replication.notify_waiters();
+            if let Some(handle) = applier.handle.take() {
+                let _ = handle.join();
+            }
         }
     }
 
-    /// Records appended to the replication log but not yet applied.
+    /// Records appended to the replication logs but not yet applied, summed
+    /// across shards.
     pub fn replication_lag(&self) -> u64 {
-        self.replication.lag_records()
+        self.shards
+            .iter()
+            .map(|s| s.replication.lag_records())
+            .sum()
     }
 
-    /// The shared replication log (used by tests and metrics).
+    /// Shard 0's replication log (the only one in unsharded setups; used by
+    /// tests and metrics).
     pub fn replication_log(&self) -> &Arc<ReplicationLog> {
-        &self.replication
+        &self.shards[0].replication
     }
 
     // ------------------------------------------------------------------
     // Durability: WAL plumbing, checkpoints and crash recovery
     // ------------------------------------------------------------------
-
-    /// The write-ahead log, when durability is enabled.
-    pub(crate) fn wal(&self) -> Option<&Arc<Wal>> {
-        self.wal.as_ref()
-    }
-
-    /// Shared hold on the commit gate.  Committers keep it across
-    /// [WAL mutation append .. commit marker append] so the checkpointer's
-    /// exclusive hold observes no transaction mid-flight.
-    pub(crate) fn commit_gate_read(&self) -> RwLockReadGuard<'_, ()> {
-        self.commit_gate.read()
-    }
 
     /// Account WAL records toward the automatic checkpoint threshold.
     pub(crate) fn note_wal_records(&self, records: u64) {
@@ -476,13 +708,13 @@ impl HybridDatabase {
     /// Take an automatic checkpoint when the configured record threshold has
     /// been crossed.  At most one checkpoint runs at a time; a failure is
     /// counted and retried at the next trigger (durability is unaffected —
-    /// the WAL retains everything a failed checkpoint did not truncate).
+    /// the WALs retain everything a failed checkpoint did not truncate).
     ///
-    /// Must not be called while holding the commit gate (the checkpoint takes
-    /// it exclusively).
+    /// Must not be called while holding any commit gate (the checkpoint takes
+    /// them all exclusively).
     pub(crate) fn maybe_checkpoint(&self) {
         let every = self.config.durability.checkpoint_every_records;
-        if every == 0 || self.wal.is_none() {
+        if every == 0 || !self.is_durable() {
             return;
         }
         if self.wal_records_since_ckpt.load(Ordering::Relaxed) < every {
@@ -502,75 +734,112 @@ impl HybridDatabase {
     }
 
     /// Write a checkpoint: a consistent snapshot of the catalog and of every
-    /// row visible at one commit timestamp, tagged with the WAL LSN it
-    /// covers.  WAL segments wholly below that LSN are truncated afterwards.
+    /// row visible at one commit timestamp (merged across shards), tagged
+    /// with the WAL cut of every shard stream.  Each shard's WAL segments
+    /// wholly below its own cut are truncated afterwards.
     ///
-    /// The `(commit_ts, lsn)` cut is taken under an exclusive hold of the
-    /// commit gate, so no transaction is between its WAL append and its
-    /// commit marker at that instant: every transaction is either fully below
-    /// the LSN (and visible at the timestamp) or fully above it (and replayed
-    /// from the WAL on recovery).
+    /// The `(commit_ts, per-shard LSN)` cut is taken while holding *every*
+    /// shard's commit gate exclusively (acquired in ascending shard order,
+    /// the same order cross-shard commits use, so the two cannot deadlock):
+    /// no transaction is between its WAL append and its commit marker on any
+    /// shard at that instant, so every transaction — including a cross-shard
+    /// one — is either fully below the cut on all its shards (and visible at
+    /// the timestamp) or fully above it (and replayed from the WAL tails on
+    /// recovery).
     pub fn checkpoint(&self) -> EngineResult<u64> {
-        let wal = self
-            .wal
-            .as_ref()
-            .ok_or_else(|| EngineError::Config("durability is disabled".into()))?;
+        if !self.is_durable() {
+            return Err(EngineError::Config("durability is disabled".into()));
+        }
         let data_dir = self
             .config
             .durability
             .data_dir
             .as_deref()
             .ok_or_else(|| EngineError::Config("durability is disabled".into()))?;
-        let (ckpt_ts, ckpt_lsn) = {
-            let _gate = self.commit_gate.write();
-            (self.txn_mgr.oracle().read_ts(), wal.last_lsn())
+        let (ckpt_ts, shard_cuts) = {
+            let _gates: Vec<_> = self.shards.iter().map(|s| s.commit_gate.write()).collect();
+            let cuts: Vec<(u32, u64)> = self
+                .shards
+                .iter()
+                .enumerate()
+                .map(|(i, s)| (i as u32, s.wal.as_ref().map_or(0, |w| w.last_lsn())))
+                .collect();
+            (self.txn_mgr.oracle().read_ts(), cuts)
         };
-        // The MVCC snapshot at `ckpt_ts` is stable after the gate is
+        // The MVCC snapshot at `ckpt_ts` is stable after the gates are
         // released: later commits carry strictly larger timestamps.
         let mut tables = Vec::new();
         for schema in self.catalog.tables() {
-            let row_table = self.row_table(schema.name())?;
             let mut rows = Vec::new();
-            row_table.scan(ckpt_ts, |_, row| rows.push(Row::clone(row)));
+            for part in self.row_partitions(schema.name())? {
+                part.scan(ckpt_ts, |_, row| rows.push(Row::clone(row)));
+            }
             tables.push(TableCheckpoint {
                 schema: TableSchema::clone(&schema),
                 rows,
             });
         }
+        let lsn_sum: u64 = shard_cuts.iter().map(|&(_, lsn)| lsn).sum();
         let data = CheckpointData {
-            lsn: ckpt_lsn,
+            lsn: lsn_sum,
             commit_ts: ckpt_ts,
             tables,
+            shard_cuts: shard_cuts.clone(),
         };
         write_checkpoint(Path::new(data_dir), &data)?;
-        wal.truncate_up_to(ckpt_lsn)?;
+        for &(shard, cut) in &shard_cuts {
+            if let Some(wal) = &self.shards[shard as usize].wal {
+                wal.truncate_up_to(cut)?;
+            }
+        }
         self.checkpoints_taken.fetch_add(1, Ordering::Relaxed);
         self.wal_records_since_ckpt.store(0, Ordering::Relaxed);
-        Ok(ckpt_lsn)
+        Ok(lsn_sum)
     }
 
-    /// Simulate a crash: stop the applier and discard all process state the
-    /// OS would lose on a kill — nothing buffered in the WAL is flushed, and
+    /// Simulate a crash: stop the appliers and discard all process state the
+    /// OS would lose on a kill — nothing buffered in any WAL is flushed, and
     /// the clean-shutdown flush on drop is suppressed.  Everything a
     /// [`crate::Session::commit`] acknowledged under a syncing policy is
     /// already on disk and survives a subsequent [`HybridDatabase::open`].
     pub fn simulate_crash(&self) {
         self.shutdown_applier();
-        if let Some(wal) = &self.wal {
-            wal.mark_crashed();
+        for shard in &self.shards {
+            if let Some(wal) = &shard.wal {
+                wal.mark_crashed();
+            }
         }
     }
 
-    /// Rebuild the stores from a checkpoint plus the replayed WAL tail.
+    /// Rebuild the stores from a checkpoint plus every shard's replayed WAL
+    /// tail.
+    ///
+    /// Replay runs in two passes.  The collection pass walks every shard
+    /// stream, installing DDL beyond that shard's cut and gathering each
+    /// transaction's mutations, Prepare LSN and Commit marker per shard —
+    /// plus a *global* committed map from every Commit marker on any shard.
+    /// The apply pass then resolves each shard's transactions in LSN order:
+    /// a transaction's effects on a shard are applied iff it is globally
+    /// committed and its resolution LSN on that shard (its own Commit marker
+    /// if present, else its Prepare) lies beyond the shard's checkpoint cut.
+    /// That rule is what makes cross-shard atomicity survive a crash between
+    /// one shard's Commit marker and another's: the shard that never logged
+    /// its marker still replays the transaction because *some* shard proved
+    /// the commit was decided, and a prepared transaction with no marker
+    /// anywhere is presumed aborted.
     fn recover(
         &self,
         checkpoint: Option<CheckpointData>,
-        replay: WalReplay,
+        replays: Vec<WalReplay>,
     ) -> EngineResult<RecoveryReport> {
+        let shard_count = self.shards.len();
         let mut report = RecoveryReport {
-            torn_bytes_truncated: replay.truncated_bytes,
+            torn_bytes_truncated: replays.iter().map(|r| r.truncated_bytes).sum(),
             ..RecoveryReport::default()
         };
+        let cuts: Vec<u64> = (0..shard_count)
+            .map(|s| checkpoint.as_ref().map_or(0, |c| c.cut_for_shard(s as u32)))
+            .collect();
         let mut max_ts: Timestamp = 0;
         if let Some(checkpoint) = checkpoint {
             report.checkpoint_lsn = checkpoint.lsn;
@@ -578,86 +847,144 @@ impl HybridDatabase {
             max_ts = checkpoint.commit_ts;
             // Checkpointed rows do not carry per-row timestamps; they are all
             // installed at the snapshot timestamp, which preserves visibility
-            // for every read at or above it (and the WAL tail only holds
-            // transactions committed after the snapshot).
+            // for every read at or above it (and the WAL tails only hold
+            // transactions committed after the snapshot).  Rows re-route to
+            // their shard by the same hash the write path uses, so a
+            // checkpoint taken at this shard count reloads into identical
+            // partitions.
             let load_ts = checkpoint.commit_ts.max(1);
             for table in checkpoint.tables {
                 self.install_table(table.schema.clone())?;
-                let row_table = self.row_table(table.schema.name())?;
+                let schema = self.catalog.table(table.schema.name())?;
                 for row in table.rows {
-                    row_table.insert(row, load_ts)?;
+                    let key = schema.primary_key_of(&row);
+                    let shard = shard_of(schema.name(), &key, shard_count);
+                    self.row_partition(shard, schema.name())?
+                        .insert(row, load_ts)?;
                     report.checkpoint_rows += 1;
                 }
             }
         }
 
-        // Replay committed transactions above the checkpoint's LSN, buffering
-        // mutations until their commit marker proves the commit was
-        // acknowledged (a crash between the two must not resurrect it).
-        let ckpt_lsn = report.checkpoint_lsn;
-        let mut pending: HashMap<u64, Vec<(WalOp, Timestamp)>> = HashMap::new();
-        for ReplayedRecord { lsn, record } in replay.records {
-            report.wal_records_scanned += 1;
-            match record {
-                WalRecord::CreateTable { schema } => {
-                    if lsn > ckpt_lsn && !self.catalog.contains(schema.name()) {
-                        self.install_table(schema)?;
+        // Collection pass.
+        #[derive(Default)]
+        struct ShardTxn {
+            ops: Vec<(WalOp, Timestamp)>,
+            commit: Option<(u64, Timestamp)>,
+            prepare_lsn: Option<u64>,
+        }
+        let mut per_shard: Vec<HashMap<u64, ShardTxn>> = Vec::with_capacity(shard_count);
+        let mut committed: HashMap<u64, Timestamp> = HashMap::new();
+        for (shard, replay) in replays.into_iter().enumerate() {
+            let mut txns: HashMap<u64, ShardTxn> = HashMap::new();
+            for ReplayedRecord { lsn, record } in replay.records {
+                report.wal_records_scanned += 1;
+                match record {
+                    WalRecord::CreateTable { schema } => {
+                        if lsn > cuts[shard] && !self.catalog.contains(schema.name()) {
+                            self.install_table(schema)?;
+                        }
+                    }
+                    WalRecord::Begin { txn_id } => {
+                        txns.entry(txn_id).or_default();
+                    }
+                    WalRecord::Mutation {
+                        txn_id,
+                        op,
+                        commit_ts,
+                    } => {
+                        txns.entry(txn_id).or_default().ops.push((op, commit_ts));
+                    }
+                    WalRecord::Prepare { txn_id } => {
+                        txns.entry(txn_id).or_default().prepare_lsn = Some(lsn);
+                    }
+                    WalRecord::Commit {
+                        txn_id, commit_ts, ..
+                    } => {
+                        txns.entry(txn_id).or_default().commit = Some((lsn, commit_ts));
+                        // A marker below the cut still proves the global
+                        // decision for other shards' in-doubt prepares.
+                        committed.insert(txn_id, commit_ts);
                     }
                 }
-                WalRecord::Begin { txn_id } => {
-                    pending.entry(txn_id).or_default();
+            }
+            per_shard.push(txns);
+        }
+
+        // Apply pass: per shard, in resolution-LSN order (matching original
+        // commit order for any given key, since row locks are held across the
+        // commit's whole WAL window).
+        // (resolution LSN, txn id, commit ts, buffered ops, resolved in doubt).
+        type Resolved = (u64, u64, Timestamp, Vec<(WalOp, Timestamp)>, bool);
+        let mut replayed: HashSet<u64> = HashSet::new();
+        let mut in_doubt: HashSet<u64> = HashSet::new();
+        for (shard, txns) in per_shard.into_iter().enumerate() {
+            let mut resolved: Vec<Resolved> = txns
+                .into_iter()
+                .filter_map(|(txn_id, st)| match (st.commit, st.prepare_lsn) {
+                    (Some((lsn, ts)), _) => Some((lsn, txn_id, ts, st.ops, false)),
+                    (None, Some(prepare_lsn)) => committed
+                        .get(&txn_id)
+                        .map(|&ts| (prepare_lsn, txn_id, ts, st.ops, true)),
+                    // No marker anywhere and no prepare: a crash before the
+                    // commit decision — presumed aborted, never replayed.
+                    (None, None) => None,
+                })
+                .collect();
+            resolved.sort_by_key(|&(lsn, ..)| lsn);
+            for (resolution_lsn, txn_id, commit_ts, ops, was_in_doubt) in resolved {
+                if resolution_lsn <= cuts[shard] {
+                    continue; // fully contained in the checkpoint on this shard
                 }
-                WalRecord::Mutation {
-                    txn_id,
-                    op,
-                    commit_ts,
-                } => {
-                    pending.entry(txn_id).or_default().push((op, commit_ts));
-                }
-                WalRecord::Commit {
-                    txn_id, commit_ts, ..
-                } => {
-                    let ops = pending.remove(&txn_id).unwrap_or_default();
-                    if lsn <= ckpt_lsn {
-                        continue; // fully contained in the checkpoint
-                    }
+                if replayed.insert(txn_id) {
                     report.wal_txns_replayed += 1;
-                    max_ts = max_ts.max(commit_ts);
-                    for (op, op_ts) in ops {
-                        self.recover_apply(&op, op_ts)?;
-                        report.wal_mutations_replayed += 1;
-                    }
+                }
+                // Counted separately from the unique-txn tally: the shard
+                // holding the Commit marker replays the txn normally, and it
+                // is some *other* shard that resolves it in doubt.
+                if was_in_doubt && in_doubt.insert(txn_id) {
+                    report.in_doubt_committed += 1;
+                }
+                max_ts = max_ts.max(commit_ts);
+                for (op, op_ts) in ops {
+                    self.recover_apply(&op, op_ts)?;
+                    report.wal_mutations_replayed += 1;
                 }
             }
         }
 
         // Resume the timeline above the newest recovered commit, then re-seed
-        // the replication pipeline: every recovered row is shipped to its
-        // columnar replica and applied synchronously, so the database opens
-        // with appended == applied watermarks and Strict-freshness reads see
-        // every pre-crash commit immediately.
+        // the replication pipelines: every recovered row is shipped to its
+        // shard's columnar-replica feed and applied synchronously, so the
+        // database opens with appended == applied watermarks and
+        // Strict-freshness reads see every pre-crash commit immediately.
         self.txn_mgr.oracle().advance_to(max_ts);
         let reseed_ts = self.txn_mgr.oracle().read_ts();
         for schema in self.catalog.tables() {
-            let row_table = self.row_table(schema.name())?;
-            row_table.scan(reseed_ts, |key, row| {
-                self.replication.append(
-                    schema.name(),
-                    MutationOp::Insert,
-                    key.clone(),
-                    Some(Row::clone(row)),
-                    reseed_ts,
-                );
-            });
+            for (shard, part) in self.row_partitions(schema.name())?.iter().enumerate() {
+                part.scan(reseed_ts, |key, row| {
+                    self.shards[shard].replication.append(
+                        schema.name(),
+                        MutationOp::Insert,
+                        key.clone(),
+                        Some(Row::clone(row)),
+                        reseed_ts,
+                    );
+                });
+            }
         }
-        let applied = self.replicator.lock().catch_up()?;
+        let mut applied = 0;
+        for shard in &self.shards {
+            applied += shard.replicator.lock().catch_up()?;
+        }
         self.metrics.add_replication_applied(applied as u64);
         report.replication_reseeded = applied as u64;
         report.tables_recovered = self.catalog.len() as u64;
         Ok(report)
     }
 
-    /// Apply one replayed mutation at its original commit timestamp.
+    /// Apply one replayed mutation at its original commit timestamp to the
+    /// shard partition owning its key.
     ///
     /// Idempotent against checkpoint overlap: a key whose newest version is
     /// already at or above the mutation's timestamp is left untouched (the
@@ -665,7 +992,7 @@ impl HybridDatabase {
     /// snapshot never saw becomes an insert, and a delete of an absent key is
     /// a no-op.
     fn recover_apply(&self, op: &WalOp, commit_ts: Timestamp) -> EngineResult<()> {
-        let row_table = self.row_table(&op.table)?;
+        let row_table = self.row_table_for(&op.table, &op.key)?;
         if row_table
             .latest_commit_ts(&op.key)
             .is_some_and(|latest| latest >= commit_ts)
@@ -722,10 +1049,27 @@ impl HybridDatabase {
             .add_queue_wait(class, occupation.queue_wait_nanos);
     }
 
+    /// Occupy `shard`'s simulated WAL device for `service_nanos` of modelled
+    /// log-force time.  Unlike [`HybridDatabase::charge`], which draws from a
+    /// node's multi-worker pool, a log stream admits one force at a time:
+    /// commits to the same shard serialise here while other shards' streams
+    /// proceed in parallel — the modelled counterpart of one fsync queue per
+    /// `wal-shard<K>` stream.  At `time_scale 0` the delay is zero and the
+    /// lock is uncontended for longer than the metrics bookkeeping.
+    pub(crate) fn occupy_wal_device(&self, shard: usize, class: WorkClass, service_nanos: u64) {
+        let started = std::time::Instant::now();
+        let _stream = self.shards[shard].wal_device.lock();
+        let queue_wait_nanos = started.elapsed().as_nanos() as u64;
+        let real = (service_nanos as f64 * self.config.time_scale) as u64;
+        crate::cluster::precise_delay(Duration::from_nanos(real));
+        self.metrics.add_busy(class, service_nanos);
+        self.metrics.add_queue_wait(class, queue_wait_nanos);
+    }
+
     /// Record a commit.  Without a background applier, trigger an
     /// opportunistic replication step every few commits so the columnar
-    /// replicas keep up; with the applier running, the append itself already
-    /// woke the applier thread.
+    /// replicas keep up; with the appliers running, the append itself already
+    /// woke the owning shard's applier thread.
     pub fn note_commit(&self) {
         self.metrics.add_commit();
         let n = self.commit_counter.fetch_add(1, Ordering::Relaxed);
@@ -745,16 +1089,17 @@ impl HybridDatabase {
     // Derived metrics
     // ------------------------------------------------------------------
 
-    /// Lock overhead: time spent blocked (row-lock waits plus worker-queue
-    /// waits) relative to the simulated busy time.  This is the quantity the
-    /// paper measures with `perf` lock samples in Figure 4.
+    /// Lock overhead: time spent blocked (row-lock waits across every shard's
+    /// lock table plus worker-queue waits) relative to the simulated busy
+    /// time.  This is the quantity the paper measures with `perf` lock
+    /// samples in Figure 4.
     pub fn lock_overhead(&self) -> f64 {
         let snapshot = self.metrics.snapshot();
         let busy = snapshot.total_busy_nanos() as f64;
         if busy == 0.0 {
             return 0.0;
         }
-        let lock_wait = self.txn_mgr.locks().stats().wait_nanos as f64;
+        let lock_wait = self.txn_mgr.stats().locks.wait_nanos as f64;
         let queue_wait = snapshot.total_queue_wait_nanos() as f64;
         (lock_wait + queue_wait) / busy
     }
@@ -764,23 +1109,29 @@ impl HybridDatabase {
         self.config.architecture == EngineArchitecture::SingleEngine
     }
 
-    /// Total number of live rows across all row tables (for sanity checks).
+    /// Total number of live rows across all shards and row tables (for
+    /// sanity checks).
     pub fn total_live_rows(&self) -> usize {
         let ts = self.txn_mgr.oracle().read_ts();
-        self.row_tables
-            .read()
-            .values()
-            .map(|t| t.live_row_count(ts))
+        self.shards
+            .iter()
+            .map(|s| {
+                s.row_tables
+                    .read()
+                    .values()
+                    .map(|t| t.live_row_count(ts))
+                    .sum::<usize>()
+            })
             .sum()
     }
 
-    /// Approximate number of keys in a table's row store (physical size used
-    /// by the cost model for full scans).
+    /// Approximate number of keys in a table's row store across all shards
+    /// (physical size used by the cost model for full scans).
     pub fn table_key_count(&self, table: &str) -> usize {
-        self.row_tables
-            .read()
-            .get(table)
-            .map_or(0, |t| t.key_count())
+        self.shards
+            .iter()
+            .map(|s| s.row_tables.read().get(table).map_or(0, |t| t.key_count()))
+            .sum()
     }
 
     /// Look up the partition (storage node) owning a key.
@@ -795,14 +1146,15 @@ impl Drop for HybridDatabase {
     }
 }
 
-/// Spawn the dedicated applier thread.
+/// Spawn one shard's dedicated applier thread.
 ///
-/// The thread drains the replication log in `batch`-sized steps, parking on
-/// the log's condition variable when it is empty (appends wake it).  Apply
-/// failures are counted and retried with a capped backoff — the failed batch
-/// stays queued (see [`Replicator::apply_pending`]), so committed mutations
-/// are never lost while the pipeline is unhealthy.
+/// The thread drains the shard's replication log in `batch`-sized steps,
+/// parking on the log's condition variable when it is empty (appends wake
+/// it).  Apply failures are counted and retried with a capped backoff — the
+/// failed batch stays queued (see [`Replicator::apply_pending`]), so
+/// committed mutations are never lost while the pipeline is unhealthy.
 fn spawn_applier(
+    shard: usize,
     log: Arc<ReplicationLog>,
     replicator: Arc<Mutex<Replicator>>,
     metrics: Arc<EngineMetrics>,
@@ -812,7 +1164,7 @@ fn spawn_applier(
     let shutdown = Arc::new(AtomicBool::new(false));
     let stop = Arc::clone(&shutdown);
     let handle = std::thread::Builder::new()
-        .name("olxp-replication-applier".to_string())
+        .name(format!("olxp-replication-applier-{shard}"))
         .spawn(move || {
             // Error backoff is independent of the idle park time: it must
             // start small so transient failures retry quickly (a parked
@@ -851,6 +1203,7 @@ impl std::fmt::Debug for HybridDatabase {
         f.debug_struct("HybridDatabase")
             .field("architecture", &self.config.architecture)
             .field("nodes", &self.config.nodes)
+            .field("shards", &self.shards.len())
             .field("tables", &self.catalog.len())
             .finish()
     }
@@ -910,6 +1263,51 @@ mod tests {
     }
 
     #[test]
+    fn sharded_engine_partitions_rows_and_merges_scans() {
+        let db = HybridDatabase::new(
+            EngineConfig::dual_engine()
+                .with_shards(4)
+                .with_background_applier(false),
+        )
+        .unwrap();
+        assert_eq!(db.shard_count(), 4);
+        db.create_table(item_schema()).unwrap();
+        for i in 0..200 {
+            db.load_row("ITEM", Row::new(vec![Value::Int(i), Value::Decimal(i)]))
+                .unwrap();
+        }
+        db.finish_load().unwrap();
+        // Every key lives on exactly one shard, and the hash spreads them.
+        let mut per_shard = vec![0usize; 4];
+        let ts = db.txn_manager().oracle().read_ts();
+        for (shard, part) in db.row_partitions("ITEM").unwrap().iter().enumerate() {
+            per_shard[shard] = part.live_row_count(ts);
+        }
+        assert_eq!(per_shard.iter().sum::<usize>(), 200);
+        assert!(
+            per_shard.iter().all(|&n| n > 0),
+            "hash partitioning leaves no shard empty at this size: {per_shard:?}"
+        );
+        // Routed partition agrees with the hash.
+        for i in 0..200i64 {
+            let key = Key::int(i);
+            let shard = db.shard_for("ITEM", &key);
+            assert!(db
+                .row_table_for("ITEM", &key)
+                .unwrap()
+                .get(&key, ts)
+                .is_some());
+            assert_eq!(shard, shard_of("ITEM", &key, 4), "routing is deterministic");
+        }
+        // Merged scan sees everything; the shared columnar replica converged.
+        assert_eq!(db.scan_table("ITEM", ts, |_, _| {}).unwrap(), 200);
+        assert_eq!(db.table_live_row_count("ITEM").unwrap(), 200);
+        assert_eq!(db.col_table("ITEM").unwrap().live_row_count(), 200);
+        assert_eq!(db.replication_lag(), 0);
+        assert_eq!(db.metrics_snapshot().shards, 4);
+    }
+
+    #[test]
     fn background_applier_drains_the_log_without_explicit_steps() {
         let db = HybridDatabase::dual_engine();
         assert!(db.has_background_applier());
@@ -918,7 +1316,7 @@ mod tests {
             db.load_row("ITEM", Row::new(vec![Value::Int(i), Value::Decimal(i)]))
                 .unwrap();
         }
-        // No finish_load: the applier thread must converge on its own.
+        // No finish_load: the applier threads must converge on their own.
         let deadline = std::time::Instant::now() + Duration::from_secs(10);
         while db.replication_lag() > 0 {
             assert!(
@@ -974,6 +1372,8 @@ mod tests {
     #[test]
     fn invalid_config_is_rejected() {
         let bad = EngineConfig::dual_engine().with_nodes(0);
+        assert!(HybridDatabase::new(bad).is_err());
+        let bad = EngineConfig::dual_engine().with_shards(0);
         assert!(HybridDatabase::new(bad).is_err());
     }
 
@@ -1033,6 +1433,41 @@ mod tests {
     }
 
     #[test]
+    fn sharded_durable_crash_reopen_recovers_every_partition() {
+        let dir = temp_dir("shardload");
+        let config = || durable_config(&dir).with_shards(4);
+        {
+            let db = HybridDatabase::open(config()).unwrap();
+            db.create_table(item_schema()).unwrap();
+            for i in 0..60 {
+                db.load_row("ITEM", Row::new(vec![Value::Int(i), Value::Decimal(i)]))
+                    .unwrap();
+            }
+            db.finish_load().unwrap();
+            db.simulate_crash();
+        }
+        let db = HybridDatabase::open(config()).unwrap();
+        let report = db.recovery_report().unwrap();
+        assert_eq!(db.total_live_rows(), 60);
+        assert_eq!(report.wal_txns_replayed, 60);
+        assert_eq!(report.replication_reseeded, 60);
+        assert_eq!(db.col_table("ITEM").unwrap().live_row_count(), 60);
+        let ts = db.txn_manager().oracle().read_ts();
+        for i in 0..60i64 {
+            let key = Key::int(i);
+            assert!(
+                db.row_table_for("ITEM", &key)
+                    .unwrap()
+                    .get(&key, ts)
+                    .is_some(),
+                "row {i} recovered into its owning shard"
+            );
+        }
+        drop(db);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
     fn checkpoint_truncates_wal_and_survives_reopen() {
         let dir = temp_dir("ckpt");
         {
@@ -1053,6 +1488,36 @@ mod tests {
         assert_eq!(report.checkpoint_rows, 20, "rows come from the checkpoint");
         assert_eq!(report.wal_txns_replayed, 0, "nothing after the checkpoint");
         assert_eq!(db.total_live_rows(), 20);
+        drop(db);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn sharded_checkpoint_records_every_shards_cut() {
+        let dir = temp_dir("shardckpt");
+        let config = || durable_config(&dir).with_shards(2);
+        {
+            let db = HybridDatabase::open(config()).unwrap();
+            db.create_table(item_schema()).unwrap();
+            for i in 0..30 {
+                db.load_row("ITEM", Row::new(vec![Value::Int(i), Value::Decimal(i)]))
+                    .unwrap();
+            }
+            db.finish_load().unwrap();
+            db.checkpoint().unwrap();
+            // Post-checkpoint writes replay from the per-shard WAL tails.
+            for i in 30..40 {
+                db.load_row("ITEM", Row::new(vec![Value::Int(i), Value::Decimal(i)]))
+                    .unwrap();
+            }
+            db.finish_load().unwrap();
+            db.simulate_crash();
+        }
+        let db = HybridDatabase::open(config()).unwrap();
+        let report = db.recovery_report().unwrap();
+        assert_eq!(report.checkpoint_rows, 30);
+        assert_eq!(report.wal_txns_replayed, 10);
+        assert_eq!(db.total_live_rows(), 40);
         drop(db);
         std::fs::remove_dir_all(&dir).unwrap();
     }

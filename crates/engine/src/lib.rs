@@ -40,7 +40,7 @@ pub mod session;
 
 pub use cluster::{Cluster, NodeId};
 pub use config::{DurabilityConfig, EngineArchitecture, EngineConfig, FreshnessPolicy};
-pub use database::{HybridDatabase, RecoveryReport};
+pub use database::{shard_of, AnalyticalRoute, HybridDatabase, RecoveryReport};
 pub use error::{EngineError, EngineResult};
 pub use metrics::{EngineMetrics, FreshnessSample, MetricsSnapshot, WalMetrics, WorkClass};
 pub use olxp_storage::SyncPolicy;

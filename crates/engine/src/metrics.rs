@@ -150,8 +150,12 @@ pub struct MetricsSnapshot {
     /// Freshness observations recorded by analytical reads.
     pub freshness_observations: u64,
     /// Durability counters (all-zero for in-memory engines; see
-    /// [`WalMetrics`]).
+    /// [`WalMetrics`]).  On a sharded engine these are aggregated across
+    /// every shard's WAL stream.
     pub wal: WalMetrics,
+    /// Number of hash-partitioned storage shards the engine runs with
+    /// (filled in by [`crate::HybridDatabase::metrics_snapshot`]).
+    pub shards: u64,
 }
 
 impl MetricsSnapshot {
@@ -198,6 +202,7 @@ impl MetricsSnapshot {
             .saturating_sub(earlier.distributed_commits);
         // WAL counters subtract; the percentiles and LSN watermarks are
         // lifetime values, so the newer snapshot's are carried over.
+        out.shards = self.shards;
         out.wal = self.wal;
         out.wal.appends = self.wal.appends.saturating_sub(earlier.wal.appends);
         out.wal.fsyncs = self.wal.fsyncs.saturating_sub(earlier.wal.fsyncs);
@@ -333,9 +338,10 @@ impl EngineMetrics {
             replication_errors: self.replication_errors.load(Ordering::Relaxed),
             distributed_commits: self.distributed_commits.load(Ordering::Relaxed),
             freshness_observations: self.freshness_observations.load(Ordering::Relaxed),
-            // The WAL lives on the database, not here; `HybridDatabase::
-            // metrics_snapshot` fills this in for durable engines.
+            // The WAL and shard layout live on the database, not here;
+            // `HybridDatabase::metrics_snapshot` fills these in.
             wal: WalMetrics::default(),
+            shards: 0,
         }
     }
 }

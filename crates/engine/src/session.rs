@@ -21,7 +21,7 @@ use crate::database::{AnalyticalRoute, HybridDatabase};
 use crate::error::{EngineError, EngineResult};
 use crate::metrics::{FreshnessSample, WorkClass};
 use olxp_query::{
-    execute_with, ColumnSource, ExecOptions, ExecStats, Plan, QueryOutput, RowSource,
+    execute_with, ColumnSource, ExecOptions, ExecStats, Plan, QueryOutput, ShardedRowSource,
 };
 use olxp_storage::{Key, Row, StorageError, StorageMedium, Value, WalOp};
 use olxp_txn::{IsolationLevel, Transaction, TxnError, WriteOp};
@@ -91,16 +91,27 @@ impl Session {
     }
 
     /// Commit a transaction: validate (under snapshot isolation), install the
-    /// write set into the row store, ship it to the replication log and pay
-    /// the write plus two-phase-commit cost.
+    /// write set into the owning shards' row-table partitions, ship it to the
+    /// per-shard replication logs and pay the write plus two-phase-commit
+    /// cost.
     ///
-    /// On a durable engine the commit additionally writes ahead to the WAL
-    /// and blocks until its commit marker is durable per the configured
-    /// [`olxp_storage::SyncPolicy`].  A WAL I/O failure *after* the write set
-    /// has been installed finishes the commit in memory (the installed and
-    /// replicated effects cannot be undone) and returns the storage error:
-    /// such an error means the commit's durability is unknown and the
-    /// engine's disk should be treated as failed — it is not retryable.
+    /// A transaction whose write set touches a single shard commits entirely
+    /// within that shard: its gate, its WAL stream, its fsync queue — no
+    /// global coordination.  A cross-shard transaction runs two-phase commit:
+    /// mutations and a Prepare record are logged on every touched shard and
+    /// forced durable *before* the single commit timestamp is considered
+    /// decided, then a Commit marker keyed by the global transaction id is
+    /// logged on every shard.  Recovery replays a prepared transaction iff
+    /// any shard's stream holds its Commit marker, so a crash between one
+    /// shard's marker and another's can never half-commit.
+    ///
+    /// On a durable engine the commit blocks until its commit markers are
+    /// durable per the configured [`olxp_storage::SyncPolicy`].  A WAL I/O
+    /// failure *after* the write set has been installed finishes the commit
+    /// in memory (the installed and replicated effects cannot be undone) and
+    /// returns the storage error: such an error means the commit's durability
+    /// is unknown and the engine's disk should be treated as failed — it is
+    /// not retryable.
     pub fn commit(&self, mut handle: TxnHandle) -> EngineResult<()> {
         let mgr = self.db.txn_manager();
         let cost = &self.db.config().cost;
@@ -112,7 +123,8 @@ impl Session {
             return Ok(());
         }
 
-        // Snapshot isolation: first committer wins.
+        // Snapshot isolation: first committer wins.  Each key is validated
+        // against the shard partition that owns it.
         if handle.txn.isolation().validates_write_conflicts() {
             let touched: Vec<(String, Key)> = handle
                 .txn
@@ -121,7 +133,7 @@ impl Session {
                 .map(|(t, k)| (t.to_string(), k.clone()))
                 .collect();
             for (table, key) in touched {
-                let row_table = self.db.row_table(&table)?;
+                let row_table = self.db.row_table_for(&table, &key)?;
                 if let Some(latest) = row_table.latest_commit_ts(&key) {
                     if latest > handle.txn.begin_read_ts() {
                         mgr.abort(&mut handle.txn);
@@ -136,30 +148,61 @@ impl Session {
             }
         }
 
-        // Durable engines write ahead: the write set (begin + mutations) is
-        // logged before any in-memory install, the commit marker after the
-        // install succeeds, and the commit is acknowledged only once the
-        // marker's LSN is durable per the sync policy.  A crash anywhere
-        // before the marker leaves an unmarked transaction that recovery
-        // ignores.  The commit gate is held for read from *before* the
-        // commit-timestamp allocation through the commit-marker append, so a
-        // checkpoint's exclusive `(commit_ts, LSN)` cut can never land
-        // between a transaction's timestamp and its WAL window — the
-        // invariant recovery's replay filter depends on.
-        let wal = self.db.wal().cloned();
-        let gate = wal.is_some().then(|| self.db.commit_gate_read());
+        let ops: Vec<WriteOp> = handle.txn.write_set().ops().to_vec();
+        // Shards this write set touches, ascending — the global acquisition
+        // order for commit gates (the checkpointer uses the same order, so
+        // gate acquisition cannot deadlock).
+        let mut touched_shards: Vec<usize> = ops
+            .iter()
+            .map(|op| self.db.shard_for(op.table(), op.key()))
+            .collect();
+        touched_shards.sort_unstable();
+        touched_shards.dedup();
+        let durable = self.db.is_durable();
+
+        // Durable engines write ahead: each shard's slice of the write set
+        // (begin + mutations) is logged on that shard's stream before any
+        // in-memory install, the commit markers after the install succeeds,
+        // and the commit is acknowledged only once every marker's LSN is
+        // durable per the sync policy.  A crash before any marker leaves
+        // unmarked (or prepared-but-undecided) records that recovery
+        // presumes aborted.  Each touched shard's commit gate is held for
+        // read from *before* the commit-timestamp allocation through that
+        // shard's commit-marker append, so a checkpoint's exclusive
+        // `(commit_ts, LSN)` cut can never land between a transaction's
+        // timestamp and its WAL window on any shard — the invariant
+        // recovery's replay filter depends on.
+        let mut gates = Vec::new();
+        if durable {
+            for &shard in &touched_shards {
+                gates.push(self.db.commit_gate_read_for(shard));
+            }
+        }
         let commit_ts = match mgr.prepare_commit(&handle.txn) {
             Ok(ts) => ts,
             Err(e) => {
-                drop(gate);
+                drop(gates);
                 return Err(e.into());
             }
         };
-        let ops: Vec<WriteOp> = handle.txn.write_set().ops().to_vec();
-        let wal_txn = if let Some(wal) = &wal {
-            let wal_ops: Vec<WalOp> = ops
+
+        let mut wal_txn = None;
+        let mut wal_records: u64 = 0;
+        if durable {
+            let txn_id = self.db.allocate_txn_id();
+            // Partition the write set per shard, preserving statement order
+            // within each shard.
+            let mut shard_ops: Vec<(usize, Vec<WalOp>)> = touched_shards
                 .iter()
-                .map(|op| WalOp {
+                .map(|&shard| (shard, Vec::new()))
+                .collect();
+            for op in &ops {
+                let shard = self.db.shard_for(op.table(), op.key());
+                let slot = shard_ops
+                    .iter_mut()
+                    .find(|(s, _)| *s == shard)
+                    .expect("every op's shard is in touched_shards");
+                slot.1.push(WalOp {
                     table: op.table().to_string(),
                     op: match op {
                         WriteOp::Insert { .. } => olxp_storage::MutationOp::Insert,
@@ -168,22 +211,69 @@ impl Session {
                     },
                     key: op.key().clone(),
                     row: op.row().cloned(),
-                })
-                .collect();
-            let txn_id = wal.allocate_txn_id();
-            if let Err(e) = wal.log_mutations(txn_id, &wal_ops, commit_ts) {
-                drop(gate);
+                });
+            }
+            let cross_shard = touched_shards.len() > 1;
+            let mut prepare_lsns: Vec<(usize, u64)> = Vec::new();
+            let mut failed = None;
+            for (shard, ops_for_shard) in &shard_ops {
+                let wal = self
+                    .db
+                    .wal_for_shard(*shard)
+                    .expect("durable engine has a WAL per shard");
+                if let Err(e) = wal.log_mutations(txn_id, ops_for_shard, commit_ts) {
+                    failed = Some(e);
+                    break;
+                }
+                wal_records += ops_for_shard.len() as u64 + 1;
+                if cross_shard {
+                    // Single-shard commits skip the Prepare record and its
+                    // forced sync entirely — their flow is identical to the
+                    // unsharded engine's.
+                    match wal.log_prepare(txn_id) {
+                        Ok(lsn) => {
+                            prepare_lsns.push((*shard, lsn));
+                            wal_records += 1;
+                        }
+                        Err(e) => {
+                            failed = Some(e);
+                            break;
+                        }
+                    }
+                }
+            }
+            if failed.is_none() {
+                // The 2PC log force: every shard's Prepare (and mutations)
+                // must be durable before *any* shard logs a Commit marker.
+                // Otherwise a crash could expose a marker on one shard while
+                // a sibling never persisted the transaction at all, and the
+                // in-doubt rule would have nothing to replay there.
+                for (shard, lsn) in &prepare_lsns {
+                    let wal = self
+                        .db
+                        .wal_for_shard(*shard)
+                        .expect("prepared shard has a WAL");
+                    if let Err(e) = wal.sync_to(*lsn) {
+                        failed = Some(e);
+                        break;
+                    }
+                }
+            }
+            if let Some(e) = failed {
+                // Nothing was installed: unmarked records — and prepares
+                // whose transaction has no Commit marker anywhere — are
+                // presumed aborted on recovery.
+                drop(gates);
                 mgr.abort(&mut handle.txn);
                 self.db.note_abort();
                 return Err(EngineError::Storage(e));
             }
-            Some(txn_id)
-        } else {
-            None
-        };
+            wal_txn = Some(txn_id);
+        }
 
         for op in &ops {
-            let row_table = self.db.row_table(op.table())?;
+            let shard = self.db.shard_for(op.table(), op.key());
+            let row_table = self.db.row_table_for(op.table(), op.key())?;
             let result = match op {
                 WriteOp::Insert { row, .. } => row_table.insert(row.clone(), commit_ts).map(|_| ()),
                 WriteOp::Update { key, row, .. } => row_table.update(key, row.clone(), commit_ts),
@@ -193,9 +283,10 @@ impl Session {
                 // Locks prevent concurrent writers to the same keys, so a
                 // failure here means the workload violated its own invariants
                 // (e.g. double insert); surface it after aborting.  On a
-                // durable engine the logged mutations stay unmarked, so
-                // recovery never replays this transaction.
-                drop(gate);
+                // durable engine the logged records stay without a Commit
+                // marker on any shard, so recovery never replays this
+                // transaction.
+                drop(gates);
                 mgr.abort(&mut handle.txn);
                 self.db.note_abort();
                 return Err(EngineError::Storage(e));
@@ -205,7 +296,7 @@ impl Session {
                 WriteOp::Update { .. } => olxp_storage::MutationOp::Update,
                 WriteOp::Delete { .. } => olxp_storage::MutationOp::Delete,
             };
-            self.db.replication_log().append(
+            self.db.replication_for(shard).append(
                 op.table(),
                 mutation,
                 op.key().clone(),
@@ -215,35 +306,54 @@ impl Session {
         }
 
         // Past this point the write set is installed in the row store and
-        // queued for replication; those effects cannot be undone.  If the
-        // WAL then refuses the commit marker or the fsync, the transaction
-        // is finished *in memory* (so the engine's state stays consistent
-        // with what readers and replicas already see) and the durability
-        // fault is surfaced as an error: the caller must treat the engine's
-        // disk as failed, not retry the transaction.
-        let wal_error = if let (Some(wal), Some(txn_id)) = (&wal, wal_txn) {
-            match wal.log_commit(txn_id, commit_ts) {
-                Ok(lsn) => {
-                    drop(gate);
-                    // Block until the commit is durable (the group-commit
-                    // coordinator batches concurrent committers into shared
-                    // fsyncs).  The row locks are still held, so per-key WAL
-                    // order matches commit-timestamp order.
-                    match wal.sync_to(lsn) {
-                        Ok(()) => {
-                            self.db.note_wal_records(ops.len() as u64 + 2);
-                            None
-                        }
-                        Err(e) => Some(e),
+        // queued for replication; those effects cannot be undone.  If a WAL
+        // then refuses a commit marker or an fsync, the transaction is
+        // finished *in memory* (so the engine's state stays consistent with
+        // what readers and replicas already see) and the durability fault is
+        // surfaced as an error: the caller must treat the engine's disk as
+        // failed, not retry the transaction.
+        let wal_error = if let Some(txn_id) = wal_txn {
+            let mut commit_lsns: Vec<(usize, u64)> = Vec::new();
+            let mut err = None;
+            for &shard in &touched_shards {
+                let wal = self
+                    .db
+                    .wal_for_shard(shard)
+                    .expect("durable engine has a WAL per shard");
+                match wal.log_commit(txn_id, commit_ts) {
+                    Ok(lsn) => {
+                        commit_lsns.push((shard, lsn));
+                        wal_records += 1;
+                    }
+                    Err(e) => {
+                        err = Some(e);
+                        break;
                     }
                 }
-                Err(e) => {
-                    drop(gate);
-                    Some(e)
+            }
+            drop(gates);
+            if err.is_none() {
+                // Block until every marker is durable (each shard's
+                // group-commit coordinator batches concurrent committers
+                // into shared fsyncs).  The row locks are still held, so
+                // per-key WAL order matches commit-timestamp order.
+                for (shard, lsn) in &commit_lsns {
+                    let wal = self
+                        .db
+                        .wal_for_shard(*shard)
+                        .expect("marked shard has a WAL");
+                    if let Err(e) = wal.sync_to(*lsn) {
+                        err = Some(e);
+                        break;
+                    }
                 }
             }
+            if err.is_none() {
+                self.db.note_wal_records(wal_records);
+            }
+            err
         } else {
-            drop(gate);
+            drop(gates);
             None
         };
         if let Some(e) = wal_error {
@@ -253,11 +363,31 @@ impl Session {
         }
         mgr.finish_commit(&mut handle.txn)?;
 
-        // Charge write service time and distributed-commit coordination.
+        // Charge write service time and distributed-commit coordination.  A
+        // commit spanning multiple cluster partitions or multiple storage
+        // shards ran a two-phase protocol; the network round-trips are only
+        // modelled for cluster partitions (shards share the process).
         let mut nanos = cost.write(medium).saturating_mul(ops.len() as u64);
         if handle.partitions.len() > 1 {
             nanos += cost.network(2 * (handle.partitions.len() as u64 - 1));
+        }
+        if handle.partitions.len() > 1 || touched_shards.len() > 1 {
             self.db.metrics().add_distributed_commit();
+        }
+        if wal_txn.is_some() && medium == StorageMedium::Ssd {
+            // With real WAL streams the amortised log-force cost is not an
+            // anonymous slice of node compute: each stream admits one force
+            // at a time, so the per-commit force serialises against every
+            // other commit touching the same shard, and a cross-shard commit
+            // forces every touched shard's stream.  Pay it through the
+            // per-shard device (once per shard, not per row — that is the
+            // amortisation) and keep only the row-install cost on the node's
+            // worker pool.
+            nanos = nanos.saturating_sub(cost.ssd_write_extra_ns.saturating_mul(ops.len() as u64));
+            for &shard in &touched_shards {
+                self.db
+                    .occupy_wal_device(shard, handle.class, cost.ssd_write_extra_ns);
+            }
         }
         let node = handle
             .partitions
@@ -334,7 +464,7 @@ impl Session {
             self.charge_point_read(handle, table, key, 1);
             return Ok(row);
         }
-        let row_table = self.db.row_table(table)?;
+        let row_table = self.db.row_table_for(table, key)?;
         let read_ts = self.db.txn_manager().statement_read_ts(&handle.txn);
         let row = row_table.get(key, read_ts).map(|r| Row::clone(&r));
         self.charge_point_read(handle, table, key, 1);
@@ -357,8 +487,8 @@ impl Session {
         values: &[Value],
     ) -> EngineResult<Vec<Row>> {
         self.note_statement(handle);
-        let row_table = self.db.row_table(table)?;
-        let schema = Arc::clone(row_table.schema());
+        let partitions = self.db.row_partitions(table)?;
+        let schema = Arc::clone(partitions[0].schema());
         let positions = schema.column_indices(columns)?;
         let read_ts = self.db.txn_manager().statement_read_ts(&handle.txn);
         let cost = &self.db.config().cost;
@@ -369,9 +499,27 @@ impl Session {
         let pk = schema.primary_key();
         if positions.len() <= pk.len() && pk[..positions.len()] == positions[..] {
             let mut rows = Vec::new();
-            let examined = row_table.prefix_scan(&lookup_key, read_ts, |_, row| {
-                rows.push(Row::clone(row));
-            });
+            let examined = if positions.len() == pk.len() {
+                // A complete primary key routes to exactly one shard.
+                self.db.row_table_for(table, &lookup_key)?.prefix_scan(
+                    &lookup_key,
+                    read_ts,
+                    |_, row| {
+                        rows.push(Row::clone(row));
+                    },
+                )
+            } else {
+                // A strict prefix hashes differently from the full keys it
+                // covers, so every shard's partition must be consulted.
+                partitions
+                    .iter()
+                    .map(|part| {
+                        part.prefix_scan(&lookup_key, read_ts, |_, row| {
+                            rows.push(Row::clone(row));
+                        })
+                    })
+                    .sum()
+            };
             let nanos = cost.statement_overhead_ns
                 + cost.point_read(medium)
                 + cost.row_scan(medium, examined.saturating_sub(1) as u64);
@@ -386,8 +534,13 @@ impl Session {
             positions.len() <= idx.columns.len() && idx.columns[..positions.len()] == positions[..]
         });
         if let Some(pos) = index_pos {
-            let (pairs, examined) = row_table.index_lookup(pos, &lookup_key, read_ts)?;
-            let rows: Vec<Row> = pairs.into_iter().map(|(_, r)| Row::clone(&r)).collect();
+            let mut rows: Vec<Row> = Vec::new();
+            let mut examined = 0;
+            for part in &partitions {
+                let (pairs, part_examined) = part.index_lookup(pos, &lookup_key, read_ts)?;
+                rows.extend(pairs.into_iter().map(|(_, r)| Row::clone(&r)));
+                examined += part_examined;
+            }
             let nanos = cost.statement_overhead_ns
                 + cost.point_read(medium)
                 + cost.point_read(medium).saturating_mul(rows.len() as u64)
@@ -398,17 +551,22 @@ impl Session {
             return Ok(rows);
         }
 
-        // No usable index: full scan.
+        // No usable index: full scan of every shard's partition.
         let mut rows = Vec::new();
-        let examined = row_table.scan(read_ts, |_, row| {
-            let matches = positions
-                .iter()
-                .zip(values)
-                .all(|(&p, v)| row.get(p) == Some(v));
-            if matches {
-                rows.push(Row::clone(row));
-            }
-        });
+        let examined: usize = partitions
+            .iter()
+            .map(|part| {
+                part.scan(read_ts, |_, row| {
+                    let matches = positions
+                        .iter()
+                        .zip(values)
+                        .all(|(&p, v)| row.get(p) == Some(v));
+                    if matches {
+                        rows.push(Row::clone(row));
+                    }
+                })
+            })
+            .sum();
         let per_row = match medium {
             // The paper: "MemSQL uses time-consuming full table scans in
             // memory, while TiDB uses index full scans that perform a random
@@ -447,12 +605,20 @@ impl Session {
         prefix: &Key,
     ) -> EngineResult<Vec<Row>> {
         self.note_statement(handle);
-        let row_table = self.db.row_table(table)?;
         let read_ts = self.db.txn_manager().statement_read_ts(&handle.txn);
         let mut rows = Vec::new();
-        let examined = row_table.prefix_scan(prefix, read_ts, |_, row| {
-            rows.push(Row::clone(row));
-        });
+        // A prefix hashes differently from the full keys under it, so the
+        // scan consults every shard's partition.
+        let examined: usize = self
+            .db
+            .row_partitions(table)?
+            .iter()
+            .map(|part| {
+                part.prefix_scan(prefix, read_ts, |_, row| {
+                    rows.push(Row::clone(row));
+                })
+            })
+            .sum();
         let cost = &self.db.config().cost;
         let medium = self.db.config().medium();
         let nanos = cost.statement_overhead_ns
@@ -467,8 +633,7 @@ impl Session {
     /// Buffer an insert.
     pub fn insert(&self, handle: &mut TxnHandle, table: &str, row: Row) -> EngineResult<()> {
         self.note_statement(handle);
-        let row_table = self.db.row_table(table)?;
-        let schema = Arc::clone(row_table.schema());
+        let schema = Arc::clone(self.db.row_table(table)?.schema());
         schema.validate_row(&row)?;
         let key = schema.primary_key_of(&row);
         self.lock(handle, table, &key)?;
@@ -477,7 +642,10 @@ impl Session {
             Some(None) => false,
             None => {
                 let read_ts = self.db.txn_manager().statement_read_ts(&handle.txn);
-                row_table.get(&key, read_ts).is_some()
+                self.db
+                    .row_table_for(table, &key)?
+                    .get(&key, read_ts)
+                    .is_some()
             }
         };
         if already_exists {
@@ -505,7 +673,7 @@ impl Session {
         row: Row,
     ) -> EngineResult<()> {
         self.note_statement(handle);
-        let row_table = self.db.row_table(table)?;
+        let row_table = self.db.row_table_for(table, key)?;
         row_table.schema().validate_row(&row)?;
         self.lock(handle, table, key)?;
         let exists = match handle.txn.write_set().effective_row(table, key) {
@@ -535,7 +703,7 @@ impl Session {
     /// Buffer a delete of an existing row.
     pub fn delete(&self, handle: &mut TxnHandle, table: &str, key: &Key) -> EngineResult<()> {
         self.note_statement(handle);
-        let row_table = self.db.row_table(table)?;
+        let row_table = self.db.row_table_for(table, key)?;
         self.lock(handle, table, key)?;
         let exists = match handle.txn.write_set().effective_row(table, key) {
             Some(Some(_)) => true,
@@ -570,9 +738,8 @@ impl Session {
     /// penalty applies.
     pub fn query_in_txn(&self, handle: &mut TxnHandle, plan: &Plan) -> EngineResult<QueryOutput> {
         self.note_statement(handle);
-        let tables = self.db.row_tables();
         let read_ts = self.db.txn_manager().statement_read_ts(&handle.txn);
-        let source = RowSource::new(&tables, read_ts);
+        let source = ShardedRowSource::new(self.db.sharded_row_tables(), read_ts);
         let output = execute_with(plan, &source, self.exec_options())?;
         self.note_query_batches(&output.stats);
         let cost = &self.db.config().cost;
@@ -658,9 +825,8 @@ impl Session {
                 Ok(output)
             }
             AnalyticalRoute::RowStore => {
-                let tables = self.db.row_tables();
                 let read_ts = self.db.txn_manager().oracle().read_ts();
-                let source = RowSource::new(&tables, read_ts);
+                let source = ShardedRowSource::new(self.db.sharded_row_tables(), read_ts);
                 let output = execute_with(plan, &source, self.exec_options())?;
                 // The row store is the authoritative copy: zero staleness.
                 self.db
@@ -700,21 +866,28 @@ impl Session {
     // Internals
     // ------------------------------------------------------------------
 
-    /// One consistent snapshot of the replication lag.
+    /// One consistent snapshot of the replication lag across every shard's
+    /// pipeline: record lag sums, timestamp lag is the worst shard's.
     ///
-    /// The appended watermarks are read *before* the applied watermarks, and
-    /// applied watermarks only grow, so the computed lag never exceeds the
-    /// true lag at the moment the appended side was sampled.  A sample that
-    /// satisfies a bound therefore proves the bound held.
+    /// Per shard, the appended watermarks are read *before* the applied
+    /// watermarks, and applied watermarks only grow, so the computed lag
+    /// never exceeds the true lag at the moment the appended side was
+    /// sampled.  A sample that satisfies a bound therefore proves the bound
+    /// held.
     fn freshness_now(&self) -> FreshnessSample {
-        let log = self.db.replication_log();
-        let appended = log.last_appended_lsn();
-        let appended_ts = log.last_appended_commit_ts();
-        let applied = log.last_applied_lsn();
-        let applied_ts = log.last_applied_commit_ts();
+        let mut lag_records = 0;
+        let mut lag_commit_ts = 0;
+        for log in self.db.replication_logs() {
+            let appended = log.last_appended_lsn();
+            let appended_ts = log.last_appended_commit_ts();
+            let applied = log.last_applied_lsn();
+            let applied_ts = log.last_applied_commit_ts();
+            lag_records += appended.saturating_sub(applied);
+            lag_commit_ts = lag_commit_ts.max(appended_ts.saturating_sub(applied_ts));
+        }
         FreshnessSample {
-            lag_records: appended.saturating_sub(applied),
-            lag_commit_ts: appended_ts.saturating_sub(applied_ts),
+            lag_records,
+            lag_commit_ts,
         }
     }
 
@@ -728,7 +901,11 @@ impl Session {
     /// longer degrades silently to stale answers.
     fn ensure_freshness(&self) -> EngineResult<FreshnessSample> {
         let policy = self.db.config().freshness;
-        let log = self.db.replication_log();
+        let logs = self.db.replication_logs();
+        let lag_of = |log: &Arc<olxp_storage::ReplicationLog>| {
+            log.last_appended_lsn()
+                .saturating_sub(log.last_applied_lsn())
+        };
 
         if let FreshnessPolicy::Eventual = policy {
             // No bound to wait for; still drive replication forward when
@@ -739,14 +916,14 @@ impl Session {
             return Ok(self.freshness_now());
         }
 
-        // Strict pins the watermark at entry: everything committed before the
-        // read started must be visible, later commits need not be.
-        let strict_target = log.last_appended_lsn();
-        let satisfied = |sample: &FreshnessSample| -> bool {
+        // Strict pins every shard's watermark at entry: everything committed
+        // before the read started must be visible, later commits need not be.
+        let strict_targets: Vec<u64> = logs.iter().map(|l| l.last_appended_lsn()).collect();
+        let satisfied = || -> bool {
             match policy {
                 FreshnessPolicy::Eventual => true,
-                FreshnessPolicy::BoundedRecords(n) => sample.lag_records <= n,
-                FreshnessPolicy::BoundedNanos(bound) => {
+                FreshnessPolicy::BoundedRecords(n) => logs.iter().map(&lag_of).sum::<u64>() <= n,
+                FreshnessPolicy::BoundedNanos(bound) => logs.iter().all(|log| {
                     // The queue alone cannot prove the bound: the applier
                     // drains records in batches before applying them, and the
                     // age of those in-flight records is unknown.  The queue
@@ -758,15 +935,16 @@ impl Session {
                     // so an in-flight old record can only make the check
                     // fail, not pass.
                     let (pending, age) = log.queue_snapshot();
-                    let lag = log
-                        .last_appended_lsn()
-                        .saturating_sub(log.last_applied_lsn());
+                    let lag = lag_of(log);
                     match age {
                         Some(age) => pending as u64 >= lag && age.as_nanos() as u64 <= bound,
                         None => lag == 0,
                     }
-                }
-                FreshnessPolicy::Strict => log.last_applied_lsn() >= strict_target,
+                }),
+                FreshnessPolicy::Strict => logs
+                    .iter()
+                    .zip(&strict_targets)
+                    .all(|(log, &target)| log.last_applied_lsn() >= target),
             }
         };
 
@@ -774,12 +952,12 @@ impl Session {
         let started = Instant::now();
         let deadline = started + timeout;
         loop {
-            let sample = self.freshness_now();
-            if satisfied(&sample) {
-                return Ok(sample);
+            if satisfied() {
+                return Ok(self.freshness_now());
             }
             let now = Instant::now();
             if now >= deadline {
+                let sample = self.freshness_now();
                 return Err(EngineError::FreshnessTimeout {
                     policy: policy.describe(),
                     lag_records: sample.lag_records,
@@ -791,23 +969,50 @@ impl Session {
             // replication itself instead of parking on a watermark no thread
             // will ever advance.
             if self.db.has_background_applier() {
-                // Park until the applied watermark reaches the LSN that
+                // Park until an applied watermark reaches the LSN that
                 // satisfies the bound (re-sampled each iteration: writers may
                 // keep appending).  Record- and LSN-based bounds only change
-                // when the watermark moves, so they can sleep until the
+                // when a watermark moves, so they can sleep until the
                 // deadline; time-based bounds also change with wall time and
                 // re-check every millisecond.
-                let (target, wait) = match policy {
-                    FreshnessPolicy::BoundedNanos(_) => (
-                        log.last_applied_lsn() + 1,
-                        Duration::from_millis(1).min(deadline - now),
-                    ),
-                    FreshnessPolicy::BoundedRecords(n) => {
-                        (log.last_appended_lsn().saturating_sub(n), deadline - now)
+                let budget = deadline - now;
+                match policy {
+                    FreshnessPolicy::BoundedNanos(_) => {
+                        let log = logs
+                            .iter()
+                            .max_by_key(|l| lag_of(l))
+                            .expect("at least one shard");
+                        log.wait_for_applied(
+                            log.last_applied_lsn() + 1,
+                            Duration::from_millis(1).min(budget),
+                        );
                     }
-                    _ => (strict_target, deadline - now),
-                };
-                log.wait_for_applied(target, wait);
+                    FreshnessPolicy::BoundedRecords(n) => {
+                        // The other shards' lag eats into the laggiest
+                        // shard's allowance: the total stays within the
+                        // bound only once this shard's lag shrinks to
+                        // whatever the rest leaves over.
+                        let log = logs
+                            .iter()
+                            .max_by_key(|l| lag_of(l))
+                            .expect("at least one shard");
+                        let others: u64 = logs.iter().map(&lag_of).sum::<u64>() - lag_of(log);
+                        let allowance = n.saturating_sub(others);
+                        log.wait_for_applied(
+                            log.last_appended_lsn().saturating_sub(allowance),
+                            budget,
+                        );
+                    }
+                    _ => {
+                        if let Some((i, log)) = logs
+                            .iter()
+                            .enumerate()
+                            .find(|(i, l)| l.last_applied_lsn() < strict_targets[*i])
+                        {
+                            log.wait_for_applied(strict_targets[i], budget);
+                        }
+                    }
+                }
             } else {
                 self.db.replicate_step()?;
             }
@@ -833,9 +1038,12 @@ impl Session {
     }
 
     fn lock(&self, handle: &mut TxnHandle, table: &str, key: &Key) -> EngineResult<()> {
+        // Each shard has its own lock table; the key locks on the shard that
+        // owns it, so unrelated shards never contend on a shared lock map.
+        let shard = self.db.shard_for(table, key);
         self.db
             .txn_manager()
-            .lock_for_write(&mut handle.txn, table, key)?;
+            .lock_for_write_on(shard, &mut handle.txn, table, key)?;
         Ok(())
     }
 

@@ -109,35 +109,48 @@ fn transactional_count(db: &Arc<HybridDatabase>, ids: impl Iterator<Item = i64>)
 fn kill_after_commit_loses_nothing() {
     // The acceptance-criteria round trip: N commits across both stores, crash
     // without shutdown, reopen, observe all N through transactional reads AND
-    // a Strict-freshness analytical query.
+    // a Strict-freshness analytical query.  Runs once per shard count: the
+    // single-shard engine (the seed layout, one plain `wal` stream) and a
+    // sharded one (four `wal-shard<K>` streams, per-shard checkpoint cuts).
     const N: i64 = 40;
-    let dir = temp_dir("kill-after-commit");
-    {
-        let db = HybridDatabase::open(durable_config(&dir, SyncPolicy::group_commit())).unwrap();
-        db.create_table(account_schema()).unwrap();
-        let session = db.session();
-        for i in 0..N {
-            commit_insert(&session, i, 100 * i);
+    for shards in [1usize, 4] {
+        let dir = temp_dir(&format!("kill-after-commit-{shards}"));
+        let config = || durable_config(&dir, SyncPolicy::group_commit()).with_shards(shards);
+        {
+            let db = HybridDatabase::open(config()).unwrap();
+            db.create_table(account_schema()).unwrap();
+            let session = db.session();
+            for i in 0..N {
+                commit_insert(&session, i, 100 * i);
+            }
+            // Both stores hold the data before the crash.
+            assert_eq!(analytical_count(&db), N);
+            db.simulate_crash();
         }
-        // Both stores hold the data before the crash.
-        assert_eq!(analytical_count(&db), N);
-        db.simulate_crash();
+        let db = HybridDatabase::open(config()).unwrap();
+        let report = db.recovery_report().expect("recovery ran");
+        assert_eq!(report.tables_recovered, 1);
+        assert_eq!(
+            transactional_count(&db, 0..N),
+            N,
+            "row store recovered at {shards} shards"
+        );
+        assert_eq!(
+            analytical_count(&db),
+            N,
+            "column store re-seeded at {shards} shards"
+        );
+        // Updates layered over recovered rows keep working.
+        let session = db.session();
+        let mut txn = session.begin(WorkClass::Oltp);
+        session
+            .update(&mut txn, "ACCOUNT", &Key::int(0), account_row(0, 999_999))
+            .unwrap();
+        session.commit(txn).unwrap();
+        drop(session);
+        drop(db);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
-    let db = HybridDatabase::open(durable_config(&dir, SyncPolicy::group_commit())).unwrap();
-    let report = db.recovery_report().expect("recovery ran");
-    assert_eq!(report.tables_recovered, 1);
-    assert_eq!(transactional_count(&db, 0..N), N, "row store recovered");
-    assert_eq!(analytical_count(&db), N, "column store re-seeded");
-    // Updates layered over recovered rows keep working.
-    let session = db.session();
-    let mut txn = session.begin(WorkClass::Oltp);
-    session
-        .update(&mut txn, "ACCOUNT", &Key::int(0), account_row(0, 999_999))
-        .unwrap();
-    session.commit(txn).unwrap();
-    drop(session);
-    drop(db);
-    std::fs::remove_dir_all(&dir).unwrap();
 }
 
 #[test]
@@ -234,10 +247,15 @@ fn torn_tail_is_truncated_and_commits_survive() {
 
 #[test]
 fn mid_log_corruption_surfaces_as_typed_error() {
+    // Pinned to one shard: with the work spread over several small streams,
+    // the flipped "middle" byte of one stream can land in its final record,
+    // which is indistinguishable from a torn tail and legally truncated
+    // instead of reported.
     let dir = temp_dir("corruption");
     let segment;
     {
-        let db = HybridDatabase::open(durable_config(&dir, SyncPolicy::Always)).unwrap();
+        let db =
+            HybridDatabase::open(durable_config(&dir, SyncPolicy::Always).with_shards(1)).unwrap();
         db.create_table(account_schema()).unwrap();
         let session = db.session();
         for i in 0..10 {
@@ -252,7 +270,7 @@ fn mid_log_corruption_surfaces_as_typed_error() {
     bytes[mid] ^= 0xFF;
     std::fs::write(&segment, &bytes).unwrap();
 
-    let err = HybridDatabase::open(durable_config(&dir, SyncPolicy::Always));
+    let err = HybridDatabase::open(durable_config(&dir, SyncPolicy::Always).with_shards(1));
     assert!(
         matches!(
             err,
@@ -294,32 +312,35 @@ fn recovery_from_checkpoint_plus_wal_tail_composes() {
     // Work lands in three strata: before the first checkpoint, between
     // checkpoints, and in the WAL tail after the last one.  Recovery must
     // stitch all three together.
-    let dir = temp_dir("compose");
-    {
-        let db = HybridDatabase::open(durable_config(&dir, SyncPolicy::group_commit())).unwrap();
-        db.create_table(account_schema()).unwrap();
-        let session = db.session();
-        for i in 0..10 {
-            commit_insert(&session, i, i);
+    for shards in [1usize, 4] {
+        let dir = temp_dir(&format!("compose-{shards}"));
+        let config = || durable_config(&dir, SyncPolicy::group_commit()).with_shards(shards);
+        {
+            let db = HybridDatabase::open(config()).unwrap();
+            db.create_table(account_schema()).unwrap();
+            let session = db.session();
+            for i in 0..10 {
+                commit_insert(&session, i, i);
+            }
+            db.checkpoint().unwrap();
+            for i in 10..20 {
+                commit_insert(&session, i, i);
+            }
+            db.checkpoint().unwrap();
+            for i in 20..30 {
+                commit_insert(&session, i, i);
+            }
+            db.simulate_crash();
         }
-        db.checkpoint().unwrap();
-        for i in 10..20 {
-            commit_insert(&session, i, i);
-        }
-        db.checkpoint().unwrap();
-        for i in 20..30 {
-            commit_insert(&session, i, i);
-        }
-        db.simulate_crash();
+        let db = HybridDatabase::open(config()).unwrap();
+        let report = db.recovery_report().unwrap();
+        assert_eq!(report.checkpoint_rows, 20, "two strata from the checkpoint");
+        assert_eq!(report.wal_txns_replayed, 10, "one stratum from the tail");
+        assert_eq!(transactional_count(&db, 0..30), 30);
+        assert_eq!(analytical_count(&db), 30);
+        drop(db);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
-    let db = HybridDatabase::open(durable_config(&dir, SyncPolicy::group_commit())).unwrap();
-    let report = db.recovery_report().unwrap();
-    assert_eq!(report.checkpoint_rows, 20, "two strata from the checkpoint");
-    assert_eq!(report.wal_txns_replayed, 10, "one stratum from the tail");
-    assert_eq!(transactional_count(&db, 0..30), 30);
-    assert_eq!(analytical_count(&db), 30);
-    drop(db);
-    std::fs::remove_dir_all(&dir).unwrap();
 }
 
 #[test]
@@ -358,13 +379,18 @@ fn group_commit_batches_concurrent_committers() {
     // The acceptance criterion's batching bound: >= 2 commits per fsync on
     // average under concurrent committers.
     let dir = temp_dir("group-batch");
-    let db = HybridDatabase::open(durable_config(
-        &dir,
-        SyncPolicy::GroupCommit {
-            max_batch: 8,
-            max_wait_us: 2_000,
-        },
-    ))
+    // Pinned to one shard: the batching bound assumes all committers share
+    // one fsync queue, and sharding deliberately splits that queue per shard.
+    let db = HybridDatabase::open(
+        durable_config(
+            &dir,
+            SyncPolicy::GroupCommit {
+                max_batch: 8,
+                max_wait_us: 2_000,
+            },
+        )
+        .with_shards(1),
+    )
     .unwrap();
     db.create_table(account_schema()).unwrap();
     const THREADS: i64 = 8;
@@ -485,6 +511,116 @@ fn benchmark_workload_survives_crash_recovery() {
         "every acknowledged row survives the crash"
     );
     assert_eq!(db.replication_lag(), 0);
+    drop(db);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn in_doubt_cross_shard_transaction_commits_on_all_shards_or_none() {
+    // The 2PC acceptance case.  A cross-shard transaction forces
+    // Begin+Mutation+Prepare to every touched shard before any shard logs its
+    // Commit marker, so the worst crash leaves the transaction *in doubt*:
+    // prepared everywhere, committed on some-but-not-all shards.  Recovery
+    // must resolve it atomically — any shard's Commit marker proves the
+    // global decision and commits the writes on every shard; no marker
+    // anywhere means presumed abort on every shard.  We craft both crash
+    // states directly in the per-shard WAL streams.
+    use olxpbench::storage::{MutationOp, Wal, WalOp};
+
+    const SHARDS: usize = 4;
+    const SEGMENT: u64 = 8 * 1024 * 1024;
+    let dir = temp_dir("in-doubt-2pc");
+
+    // Baseline: create the table on a sharded durable engine, learn which
+    // shard each key routes to, then crash.
+    let (key_a, key_b, key_c, key_d, shard_a, shard_b, shard_c, shard_d);
+    {
+        let db = HybridDatabase::open(durable_config(&dir, SyncPolicy::Always).with_shards(SHARDS))
+            .unwrap();
+        db.create_table(account_schema()).unwrap();
+        // Pick two disjoint pairs of keys, each pair spanning two shards.
+        let pick_pair = |start: i64| {
+            let first = start;
+            let first_shard = db.shard_for("ACCOUNT", &Key::int(first));
+            let mut second = first + 1;
+            while db.shard_for("ACCOUNT", &Key::int(second)) == first_shard {
+                second += 1;
+            }
+            (
+                first,
+                second,
+                first_shard,
+                db.shard_for("ACCOUNT", &Key::int(second)),
+            )
+        };
+        let (a, b, sa, sb) = pick_pair(1);
+        let (c, d, sc, sd) = pick_pair(1000);
+        (key_a, key_b, shard_a, shard_b) = (a, b, sa, sb);
+        (key_c, key_d, shard_c, shard_d) = (c, d, sc, sd);
+        db.simulate_crash();
+    }
+
+    let wal_op = |key: i64| WalOp {
+        table: "ACCOUNT".to_string(),
+        op: MutationOp::Insert,
+        key: Key::int(key),
+        row: Some(account_row(key, 7)),
+    };
+    let append = |shard: usize, txn_id: u64, key: i64, commit: bool| {
+        let (wal, _replay) = Wal::open_named(
+            &dir,
+            &format!("wal-shard{shard}"),
+            SyncPolicy::Always,
+            SEGMENT,
+        )
+        .unwrap();
+        let commit_ts = 1_000_000 + txn_id;
+        wal.log_mutations(txn_id, &[wal_op(key)], commit_ts)
+            .unwrap();
+        wal.log_prepare(txn_id).unwrap();
+        if commit {
+            wal.log_commit(txn_id, commit_ts).unwrap();
+        }
+        wal.flush_and_fsync().unwrap();
+    };
+
+    // Crash state 1: txn 1 prepared on shards A and B, Commit marker written
+    // only on shard A — the coordinator died between the two marker appends.
+    append(shard_a, 1_000_001, key_a, true);
+    append(shard_b, 1_000_001, key_b, false);
+    // Crash state 2: txn 2 prepared on shards C and D, no Commit marker
+    // anywhere — the coordinator died before deciding.
+    append(shard_c, 1_000_002, key_c, false);
+    append(shard_d, 1_000_002, key_d, false);
+
+    let db =
+        HybridDatabase::open(durable_config(&dir, SyncPolicy::Always).with_shards(SHARDS)).unwrap();
+    let report = db.recovery_report().expect("recovery ran");
+    assert!(
+        report.in_doubt_committed >= 1,
+        "shard B's prepared writes were resolved by shard A's marker, got {report:?}"
+    );
+    // Txn 1: committed on BOTH shards, including the one missing its marker.
+    assert_eq!(
+        transactional_count(&db, [key_a, key_b].into_iter()),
+        2,
+        "a Commit marker on any shard commits the transaction on every shard"
+    );
+    // Txn 2: visible on NO shard — prepared-everywhere without a marker is
+    // presumed aborted.
+    assert_eq!(
+        transactional_count(&db, [key_c, key_d].into_iter()),
+        0,
+        "a prepared transaction with no Commit marker anywhere must not commit"
+    );
+
+    // The resolution is itself durable: crash and reopen once more, and the
+    // outcome is unchanged (replay is idempotent and re-resolves identically).
+    db.simulate_crash();
+    let db =
+        HybridDatabase::open(durable_config(&dir, SyncPolicy::Always).with_shards(SHARDS)).unwrap();
+    assert_eq!(transactional_count(&db, [key_a, key_b].into_iter()), 2);
+    assert_eq!(transactional_count(&db, [key_c, key_d].into_iter()), 0);
     drop(db);
     std::fs::remove_dir_all(&dir).unwrap();
 }

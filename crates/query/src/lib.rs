@@ -36,4 +36,4 @@ pub use error::{QueryError, QueryResult};
 pub use exec::{execute, execute_with, ExecOptions, ExecStats, QueryOutput, ScanMode};
 pub use expr::{col, lit, AggFunc, Expr, ValueAccess};
 pub use plan::{AggSpec, JoinKind, Plan, SortKey};
-pub use source::{ColumnSource, DataSource, RowSource, SourceKind};
+pub use source::{ColumnSource, DataSource, RowSource, ShardedRowSource, SourceKind};

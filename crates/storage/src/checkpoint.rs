@@ -15,7 +15,13 @@
 //! [ crc32(payload): u32 LE ][ payload ]
 //! payload = MAGIC u32 | version u8 | lsn u64 | commit_ts u64
 //!         | ntables u32 | ntables x (schema | nrows u64 | nrows x row)
+//!         | ncuts u32 | ncuts x (shard u32 | cut_lsn u64)        (version 2)
 //! ```
+//!
+//! A sharded engine runs one WAL stream per shard; the version-2 manifest
+//! records every shard's cut so recovery replays each stream only above its
+//! own boundary.  Version-1 manifests still load (their single `lsn` becomes
+//! shard 0's cut).
 //!
 //! The file is written to a temporary name, fsynced, renamed into place and
 //! the directory fsynced, so a crash mid-checkpoint leaves the previous
@@ -34,7 +40,10 @@ use std::io::{Read, Write};
 use std::path::{Path, PathBuf};
 
 const MAGIC: u32 = 0x4F4C_5850; // "OLXP"
-const VERSION: u8 = 1;
+/// Version 2 appends the per-shard WAL cuts after the table snapshots.
+/// Version-1 manifests (single-WAL engines) are still loadable: their one
+/// `lsn` becomes the cut of shard 0.
+const VERSION: u8 = 2;
 
 /// The snapshot of one table.
 #[derive(Debug, Clone, PartialEq)]
@@ -48,19 +57,36 @@ pub struct TableCheckpoint {
 /// A full checkpoint.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CheckpointData {
-    /// Highest WAL LSN whose effects are contained in this snapshot.
-    /// Recovery replays only transactions whose commit LSN is above it.
+    /// Manifest ordering key: the *sum* of every shard's WAL cut (for a
+    /// single-WAL engine, simply that log's LSN).  Monotonically increasing
+    /// across checkpoints, which is all `checkpoint-<lsn>.ckpt` naming and
+    /// newest-wins selection need.  Recovery consults [`Self::shard_cuts`]
+    /// for the per-stream replay boundaries.
     pub lsn: u64,
     /// Commit timestamp the row snapshot was taken at.
     pub commit_ts: Timestamp,
-    /// Per-table snapshots in catalog (creation) order.
+    /// Per-table snapshots in catalog (creation) order, merged across shards.
     pub tables: Vec<TableCheckpoint>,
+    /// `(shard, cut_lsn)` per WAL stream: the highest LSN of shard `K`'s log
+    /// whose effects are contained in this snapshot.  Recovery replays only
+    /// records above each shard's own cut.  Version-1 manifests load as
+    /// `[(0, lsn)]`.
+    pub shard_cuts: Vec<(u32, u64)>,
 }
 
 impl CheckpointData {
     /// Total rows across all tables.
     pub fn total_rows(&self) -> usize {
         self.tables.iter().map(|t| t.rows.len()).sum()
+    }
+
+    /// The WAL cut of shard `shard` (0 when the manifest predates the shard,
+    /// i.e. the shard's whole log must be replayed).
+    pub fn cut_for_shard(&self, shard: u32) -> u64 {
+        self.shard_cuts
+            .iter()
+            .find(|(s, _)| *s == shard)
+            .map_or(0, |(_, lsn)| *lsn)
     }
 }
 
@@ -114,6 +140,12 @@ pub fn write_checkpoint(dir: &Path, data: &CheckpointData) -> StorageResult<Path
         for row in &table.rows {
             put_row(&mut payload, row);
         }
+    }
+    // Version 2: per-shard WAL cuts.
+    payload.extend_from_slice(&(data.shard_cuts.len() as u32).to_le_bytes());
+    for (shard, cut) in &data.shard_cuts {
+        payload.extend_from_slice(&shard.to_le_bytes());
+        payload.extend_from_slice(&cut.to_le_bytes());
     }
     // Reserved trailer for future extensions (kept CRC-covered).
     put_str(&mut payload, "");
@@ -178,7 +210,7 @@ pub fn load_latest_checkpoint(dir: &Path) -> StorageResult<Option<CheckpointData
         return Err(corrupt("bad magic".into()));
     }
     let version = r.u8().map_err(decode)?;
-    if version != VERSION {
+    if version != 1 && version != VERSION {
         return Err(corrupt(format!("unsupported version {version}")));
     }
     let lsn = r.u64().map_err(decode)?;
@@ -194,10 +226,25 @@ pub fn load_latest_checkpoint(dir: &Path) -> StorageResult<Option<CheckpointData
         }
         tables.push(TableCheckpoint { schema, rows });
     }
+    let shard_cuts = if version >= 2 {
+        let ncuts = r.u32().map_err(decode)? as usize;
+        let mut cuts = Vec::with_capacity(ncuts.min(1 << 12));
+        for _ in 0..ncuts {
+            let shard = r.u32().map_err(decode)?;
+            let cut = r.u64().map_err(decode)?;
+            cuts.push((shard, cut));
+        }
+        cuts
+    } else {
+        // A version-1 manifest came from a single-WAL engine: its one LSN is
+        // shard 0's cut.
+        vec![(0, lsn)]
+    };
     Ok(Some(CheckpointData {
         lsn,
         commit_ts,
         tables,
+        shard_cuts,
     }))
 }
 
@@ -225,6 +272,7 @@ mod tests {
             lsn: 42,
             commit_ts: 17,
             tables: vec![TableCheckpoint { schema, rows }],
+            shard_cuts: vec![(0, 30), (1, 12)],
         }
     }
 
@@ -236,6 +284,43 @@ mod tests {
         let loaded = load_latest_checkpoint(&dir).unwrap().unwrap();
         assert_eq!(loaded, data);
         assert_eq!(loaded.total_rows(), 100);
+        assert_eq!(loaded.cut_for_shard(0), 30);
+        assert_eq!(loaded.cut_for_shard(1), 12);
+        assert_eq!(loaded.cut_for_shard(7), 0, "unknown shard replays fully");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn version_one_manifest_loads_with_single_shard_cut() {
+        // Re-encode `sample()` as a version-1 payload (no shard cuts) and
+        // verify the loader maps its LSN to shard 0's cut.
+        use crate::wal::codec::{put_row, put_schema, put_str};
+        let dir = temp_dir("v1-compat");
+        std::fs::create_dir_all(&dir).unwrap();
+        let data = sample();
+        let mut payload = Vec::new();
+        payload.extend_from_slice(&MAGIC.to_le_bytes());
+        payload.push(1u8);
+        payload.extend_from_slice(&data.lsn.to_le_bytes());
+        payload.extend_from_slice(&data.commit_ts.to_le_bytes());
+        payload.extend_from_slice(&(data.tables.len() as u32).to_le_bytes());
+        for table in &data.tables {
+            put_schema(&mut payload, &table.schema);
+            payload.extend_from_slice(&(table.rows.len() as u64).to_le_bytes());
+            for row in &table.rows {
+                put_row(&mut payload, row);
+            }
+        }
+        put_str(&mut payload, "");
+        let path = dir.join(checkpoint_name(data.lsn));
+        let mut bytes = crc32(&payload).to_le_bytes().to_vec();
+        bytes.extend_from_slice(&payload);
+        std::fs::write(&path, &bytes).unwrap();
+
+        let loaded = load_latest_checkpoint(&dir).unwrap().unwrap();
+        assert_eq!(loaded.lsn, data.lsn);
+        assert_eq!(loaded.total_rows(), data.total_rows());
+        assert_eq!(loaded.shard_cuts, vec![(0, data.lsn)]);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -8,8 +8,10 @@
 //!
 //! ## Format
 //!
-//! The log is a sequence of append-only *segment* files (`wal-<seq>.seg`).
-//! Each record is framed as
+//! The log is a sequence of append-only *segment* files
+//! (`<stream>-<seq>.seg`, where the stream name is `wal` for a single log and
+//! `wal-shard<K>` for shard `K`'s stream; several streams may share one
+//! directory).  Each record is framed as
 //!
 //! ```text
 //! [ payload_len: u32 LE ][ crc32(payload): u32 LE ][ payload ]
@@ -153,6 +155,15 @@ pub enum WalRecord {
         /// Commit timestamp of the transaction.
         commit_ts: Timestamp,
     },
+    /// Two-phase-commit prepare marker.  A cross-shard transaction forces
+    /// `Begin` + `Mutation`s + `Prepare` to every touched shard's log before
+    /// any shard logs its `Commit` marker.  Recovery treats a prepared
+    /// transaction as *in doubt*: it commits iff **any** shard's log holds the
+    /// transaction's `Commit` marker, and is presumed aborted otherwise.
+    Prepare {
+        /// Global (engine-scoped) transaction id shared by every shard.
+        txn_id: u64,
+    },
 }
 
 /// A record recovered from the log, tagged with its LSN.
@@ -264,6 +275,9 @@ struct WalCounters {
 /// The write-ahead log.
 pub struct Wal {
     dir: PathBuf,
+    /// Stream name prefix of this log's segment files (`<name>-<seq>.seg`).
+    /// The single-WAL engine uses `"wal"`; shard `K` uses `"wal-shard<K>"`.
+    name: String,
     policy: SyncPolicy,
     segment_bytes: u64,
     inner: Mutex<WalInner>,
@@ -293,11 +307,24 @@ impl Wal {
         policy: SyncPolicy,
         segment_bytes: u64,
     ) -> StorageResult<(Wal, WalReplay)> {
+        Wal::open_named(dir, "wal", policy, segment_bytes)
+    }
+
+    /// Open (or create) a *named* log stream in `dir`.  Multiple streams can
+    /// share one directory as long as their names differ: each lists and
+    /// replays only its own `<name>-<seq>.seg` segments.  The sharded engine
+    /// gives shard `K` the stream name `wal-shard<K>`.
+    pub fn open_named(
+        dir: impl Into<PathBuf>,
+        name: &str,
+        policy: SyncPolicy,
+        segment_bytes: u64,
+    ) -> StorageResult<(Wal, WalReplay)> {
         let dir = dir.into();
         std::fs::create_dir_all(&dir)
             .map_err(|e| StorageError::io("create_dir", dir.display().to_string(), &e))?;
 
-        let mut segment_paths = list_segments(&dir)?;
+        let mut segment_paths = list_segments(&dir, name)?;
         segment_paths.sort_by_key(|(seq, _)| *seq);
 
         let mut replay = WalReplay::default();
@@ -324,16 +351,18 @@ impl Wal {
             let txn_id = match r.record {
                 WalRecord::Begin { txn_id }
                 | WalRecord::Mutation { txn_id, .. }
-                | WalRecord::Commit { txn_id, .. } => txn_id,
+                | WalRecord::Commit { txn_id, .. }
+                | WalRecord::Prepare { txn_id } => txn_id,
                 WalRecord::CreateTable { .. } => 0,
             };
             replay.max_txn_id = replay.max_txn_id.max(txn_id);
         }
 
         let next_seq = segment_paths.last().map_or(1, |(seq, _)| seq + 1);
-        let (file, path) = create_segment(&dir, next_seq)?;
+        let (file, path) = create_segment(&dir, name, next_seq)?;
         let wal = Wal {
             dir,
+            name: name.to_string(),
             policy,
             segment_bytes,
             inner: Mutex::new(WalInner {
@@ -426,6 +455,21 @@ impl Wal {
         }
         self.write_through(&mut inner)?;
         Ok(())
+    }
+
+    /// Append a two-phase-commit `Prepare` marker, returning its LSN.  The
+    /// cross-shard coordinator forces this LSN (and the mutations before it)
+    /// to disk on every touched shard before logging any `Commit` marker, so
+    /// a crash can only ever leave the transaction fully prepared — never
+    /// durably committed on one shard with missing writes on another.
+    pub fn log_prepare(&self, txn_id: u64) -> StorageResult<u64> {
+        let mut inner = self.inner.lock();
+        self.maybe_rotate(&mut inner)?;
+        let lsn = self.append_record(&mut inner, |lsn| {
+            encode_record(lsn, &WalRecord::Prepare { txn_id })
+        })?;
+        self.write_through(&mut inner)?;
+        Ok(lsn)
     }
 
     /// Append the transaction's commit marker, returning its LSN.  The commit
@@ -655,7 +699,7 @@ impl Wal {
             .map_err(|e| StorageError::io("fsync", inner.path.display().to_string(), &e))?;
         self.stats.fsyncs.fetch_add(1, Ordering::Relaxed);
         let seq = inner.seq + 1;
-        let (file, path) = create_segment(&self.dir, seq)?;
+        let (file, path) = create_segment(&self.dir, &self.name, seq)?;
         let old_path = std::mem::replace(&mut inner.path, path);
         inner.closed.push(ClosedSegment {
             path: old_path,
@@ -691,11 +735,16 @@ struct ScannedSegment {
     last_lsn: u64,
 }
 
-fn segment_name(seq: u64) -> String {
-    format!("wal-{seq:016}.seg")
+fn segment_name(stream: &str, seq: u64) -> String {
+    format!("{stream}-{seq:016}.seg")
 }
 
-fn list_segments(dir: &Path) -> StorageResult<Vec<(u64, PathBuf)>> {
+/// List `stream`'s segments in `dir`.  Streams are disjoint by construction:
+/// the sequence number must parse as a bare integer, so `wal`'s listing never
+/// picks up `wal-shard0-…` files (the shard id makes the parse fail) and vice
+/// versa.
+fn list_segments(dir: &Path, stream: &str) -> StorageResult<Vec<(u64, PathBuf)>> {
+    let prefix = format!("{stream}-");
     let entries = std::fs::read_dir(dir)
         .map_err(|e| StorageError::io("read_dir", dir.display().to_string(), &e))?;
     let mut out = Vec::new();
@@ -705,7 +754,7 @@ fn list_segments(dir: &Path) -> StorageResult<Vec<(u64, PathBuf)>> {
         let name = entry.file_name();
         let Some(name) = name.to_str() else { continue };
         if let Some(seq) = name
-            .strip_prefix("wal-")
+            .strip_prefix(&prefix)
             .and_then(|s| s.strip_suffix(".seg"))
             .and_then(|s| s.parse::<u64>().ok())
         {
@@ -715,8 +764,8 @@ fn list_segments(dir: &Path) -> StorageResult<Vec<(u64, PathBuf)>> {
     Ok(out)
 }
 
-fn create_segment(dir: &Path, seq: u64) -> StorageResult<(File, PathBuf)> {
-    let path = dir.join(segment_name(seq));
+fn create_segment(dir: &Path, stream: &str, seq: u64) -> StorageResult<(File, PathBuf)> {
+    let path = dir.join(segment_name(stream, seq));
     let file = OpenOptions::new()
         .create(true)
         .append(true)
@@ -1179,6 +1228,10 @@ fn encode_record(lsn: u64, record: &WalRecord) -> Vec<u8> {
             out.extend_from_slice(&txn_id.to_le_bytes());
             out.extend_from_slice(&commit_ts.to_le_bytes());
         }
+        WalRecord::Prepare { txn_id } => {
+            out.push(5);
+            out.extend_from_slice(&txn_id.to_le_bytes());
+        }
     }
     out
 }
@@ -1220,6 +1273,7 @@ fn decode_record(payload: &[u8]) -> StorageResult<(u64, WalRecord)> {
             txn_id: r.u64()?,
             commit_ts: r.u64()?,
         },
+        5 => WalRecord::Prepare { txn_id: r.u64()? },
         tag => {
             return Err(StorageError::Codec(format!("unknown record kind {tag}")));
         }
@@ -1312,6 +1366,7 @@ mod tests {
                 txn_id: 7,
                 commit_ts: 41,
             },
+            WalRecord::Prepare { txn_id: 7 },
         ];
         for (i, record) in records.iter().enumerate() {
             let payload = encode_record(i as u64 + 1, record);
@@ -1419,7 +1474,7 @@ mod tests {
         drop(wal);
 
         // Now corrupt a byte in the middle of the oldest segment.
-        let mut segments = list_segments(&dir).unwrap();
+        let mut segments = list_segments(&dir, "wal").unwrap();
         segments.sort_by_key(|(seq, _)| *seq);
         let victim = segments.first().unwrap().1.clone();
         let mut bytes = std::fs::read(&victim).unwrap();
@@ -1487,6 +1542,49 @@ mod tests {
         );
         assert!(stats.batch_max >= 2);
         drop(wal);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn named_streams_in_one_directory_are_disjoint() {
+        let dir = temp_dir("named-streams");
+        {
+            let (a, _) = Wal::open_named(&dir, "wal-shard0", SyncPolicy::Always, 1 << 20).unwrap();
+            let (b, _) = Wal::open_named(&dir, "wal-shard1", SyncPolicy::Always, 1 << 20).unwrap();
+            let (plain, _) = Wal::open(&dir, SyncPolicy::Always, 1 << 20).unwrap();
+            log_one_txn(&a, 1, 1);
+            log_one_txn(&a, 2, 2);
+            log_one_txn(&b, 3, 3);
+            log_one_txn(&plain, 4, 4);
+        }
+        // Each stream replays only its own records, with independent LSNs.
+        let (_, ra) = Wal::open_named(&dir, "wal-shard0", SyncPolicy::Always, 1 << 20).unwrap();
+        let (_, rb) = Wal::open_named(&dir, "wal-shard1", SyncPolicy::Always, 1 << 20).unwrap();
+        let (_, rp) = Wal::open(&dir, SyncPolicy::Always, 1 << 20).unwrap();
+        assert_eq!(ra.records.len(), 6, "two txns on shard 0");
+        assert_eq!(rb.records.len(), 3, "one txn on shard 1");
+        assert_eq!(rp.records.len(), 3, "one txn on the plain stream");
+        assert_eq!(rb.records[0].lsn, 1, "streams have independent LSN spaces");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn prepare_without_commit_is_replayed_as_in_doubt_record() {
+        let dir = temp_dir("prepare");
+        {
+            let (wal, _) = Wal::open(&dir, SyncPolicy::Always, 1 << 20).unwrap();
+            let txn = wal.allocate_txn_id();
+            wal.log_mutations(txn, &[op(1)], 9).unwrap();
+            let lsn = wal.log_prepare(txn).unwrap();
+            wal.sync_to(lsn).unwrap();
+        }
+        let (_, replay) = Wal::open(&dir, SyncPolicy::Always, 1 << 20).unwrap();
+        assert_eq!(replay.records.len(), 3);
+        assert!(matches!(
+            replay.records[2].record,
+            WalRecord::Prepare { .. }
+        ));
+        assert_eq!(replay.max_txn_id, 1, "prepare markers carry the txn id");
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

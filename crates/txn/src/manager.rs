@@ -25,11 +25,16 @@ pub struct TxnManagerStats {
 
 /// Coordinates transaction begin/commit/abort, timestamps and locks.
 ///
-/// One manager is shared by every session of an engine node.
+/// One manager is shared by every session of an engine node.  When the engine
+/// hash-partitions its storage into shards, the manager holds one independent
+/// lock table per shard: a transaction only touches the lock tables of the
+/// shards its keys route to, so single-shard transactions never contend on a
+/// shared lock structure.  The timestamp oracle stays global — it is the
+/// single commit-timestamp authority across all shards.
 #[derive(Debug)]
 pub struct TransactionManager {
     oracle: Arc<TimestampOracle>,
-    locks: Arc<LockManager>,
+    locks: Vec<Arc<LockManager>>,
     next_txn_id: AtomicU64,
     begun: AtomicU64,
     committed: AtomicU64,
@@ -37,16 +42,24 @@ pub struct TransactionManager {
 }
 
 impl TransactionManager {
-    /// Create a manager with a default lock-wait timeout.
+    /// Create a manager with a default lock-wait timeout and one lock table.
     pub fn new() -> TransactionManager {
         TransactionManager::with_lock_timeout(Duration::from_millis(500))
     }
 
-    /// Create a manager with an explicit lock-wait timeout.
+    /// Create a manager with an explicit lock-wait timeout and one lock table.
     pub fn with_lock_timeout(timeout: Duration) -> TransactionManager {
+        TransactionManager::with_shards(timeout, 1)
+    }
+
+    /// Create a manager with one independent lock table per storage shard.
+    pub fn with_shards(timeout: Duration, shards: usize) -> TransactionManager {
+        let shards = shards.max(1);
         TransactionManager {
             oracle: Arc::new(TimestampOracle::new()),
-            locks: Arc::new(LockManager::with_timeout(timeout)),
+            locks: (0..shards)
+                .map(|_| Arc::new(LockManager::with_timeout(timeout)))
+                .collect(),
             next_txn_id: AtomicU64::new(1),
             begun: AtomicU64::new(0),
             committed: AtomicU64::new(0),
@@ -59,9 +72,19 @@ impl TransactionManager {
         &self.oracle
     }
 
-    /// The shared lock manager.
+    /// The first shard's lock manager (the only one in unsharded setups).
     pub fn locks(&self) -> &Arc<LockManager> {
-        &self.locks
+        &self.locks[0]
+    }
+
+    /// The lock table owned by storage shard `shard`.
+    pub fn locks_for_shard(&self, shard: usize) -> &Arc<LockManager> {
+        &self.locks[shard]
+    }
+
+    /// Number of per-shard lock tables.
+    pub fn lock_shards(&self) -> usize {
+        self.locks.len()
     }
 
     /// Begin a transaction at the given isolation level.
@@ -83,18 +106,51 @@ impl TransactionManager {
         }
     }
 
-    /// Acquire the exclusive row lock `(table, key)` for `txn`, charging any
-    /// wait time to the transaction.
+    /// Acquire the exclusive row lock `(table, key)` for `txn` in the first
+    /// shard's lock table, charging any wait time to the transaction.
     pub fn lock_for_write(&self, txn: &mut Transaction, table: &str, key: &Key) -> TxnResult<()> {
+        self.lock_for_write_on(0, txn, table, key)
+    }
+
+    /// Acquire the exclusive row lock `(table, key)` for `txn` in the lock
+    /// table of storage shard `shard`, charging any wait time to the
+    /// transaction.  The caller is responsible for routing: the same
+    /// `(table, key)` must always be locked on the same shard.
+    pub fn lock_for_write_on(
+        &self,
+        shard: usize,
+        txn: &mut Transaction,
+        table: &str,
+        key: &Key,
+    ) -> TxnResult<()> {
         if !txn.is_active() {
             return Err(TxnError::InvalidState {
                 operation: "write in",
                 state: txn.state_name(),
             });
         }
-        let waited = self.locks.lock_exclusive(txn.id(), table, key)?;
+        let waited = self.locks[shard].lock_exclusive(txn.id(), table, key)?;
         txn.add_lock_wait(waited);
         Ok(())
+    }
+
+    fn release_everywhere(&self, txn_id: u64) {
+        for locks in &self.locks {
+            locks.release_all(txn_id);
+        }
+    }
+
+    fn summed_lock_stats(&self) -> LockStatsSnapshot {
+        let mut total = LockStatsSnapshot::default();
+        for locks in &self.locks {
+            let s = locks.stats();
+            total.acquisitions += s.acquisitions;
+            total.contended += s.contended;
+            total.wait_die_aborts += s.wait_die_aborts;
+            total.timeouts += s.timeouts;
+            total.wait_nanos += s.wait_nanos;
+        }
+        total
     }
 
     /// Commit `txn`: allocate the commit timestamp, mark the handle committed
@@ -110,7 +166,7 @@ impl TransactionManager {
         }
         let commit_ts = self.oracle.commit_ts();
         txn.mark_committed();
-        self.locks.release_all(txn.id());
+        self.release_everywhere(txn.id());
         self.committed.fetch_add(1, Ordering::Relaxed);
         Ok(commit_ts)
     }
@@ -143,7 +199,7 @@ impl TransactionManager {
             });
         }
         txn.mark_committed();
-        self.locks.release_all(txn.id());
+        self.release_everywhere(txn.id());
         self.committed.fetch_add(1, Ordering::Relaxed);
         Ok(())
     }
@@ -155,7 +211,7 @@ impl TransactionManager {
             txn.mark_aborted();
             self.aborted.fetch_add(1, Ordering::Relaxed);
         }
-        self.locks.release_all(txn.id());
+        self.release_everywhere(txn.id());
     }
 
     /// Counter snapshot.
@@ -164,7 +220,7 @@ impl TransactionManager {
             begun: self.begun.load(Ordering::Relaxed),
             committed: self.committed.load(Ordering::Relaxed),
             aborted: self.aborted.load(Ordering::Relaxed),
-            locks: self.locks.stats(),
+            locks: self.summed_lock_stats(),
         }
     }
 }
@@ -252,6 +308,32 @@ mod tests {
         assert_eq!(mgr.locks().held_by(txn.id()), 0);
         assert_eq!(mgr.stats().committed, 1);
         assert!(mgr.finish_commit(&mut txn).is_err());
+    }
+
+    #[test]
+    fn sharded_lock_tables_are_independent_and_all_released() {
+        let mgr = TransactionManager::with_shards(Duration::from_millis(100), 4);
+        assert_eq!(mgr.lock_shards(), 4);
+        let mut a = mgr.begin(IsolationLevel::RepeatableRead);
+        let mut b = mgr.begin(IsolationLevel::RepeatableRead);
+        mgr.lock_for_write_on(1, &mut a, "ITEM", &Key::int(7))
+            .unwrap();
+        // Same (table, key) on a *different* shard's table does not conflict:
+        // routing guarantees a key only ever locks on its own shard.
+        mgr.lock_for_write_on(2, &mut b, "ITEM", &Key::int(7))
+            .unwrap();
+        mgr.lock_for_write_on(3, &mut a, "ITEM", &Key::int(8))
+            .unwrap();
+        assert_eq!(mgr.locks_for_shard(1).held_by(a.id()), 1);
+        assert_eq!(mgr.locks_for_shard(3).held_by(a.id()), 1);
+        mgr.finish_commit(&mut a).unwrap();
+        for shard in 0..4 {
+            assert_eq!(mgr.locks_for_shard(shard).held_by(a.id()), 0);
+        }
+        mgr.abort(&mut b);
+        assert_eq!(mgr.locks_for_shard(2).held_by(b.id()), 0);
+        let stats = mgr.stats();
+        assert_eq!(stats.locks.acquisitions, 3, "stats sum across shards");
     }
 
     #[test]

@@ -770,8 +770,8 @@ mod tests {
         let ts = db.txn_manager().oracle().read_ts();
         let mut total = 0i64;
         for table in ["SAVINGS", "CHECKING"] {
-            let t = db.row_table(table).unwrap();
-            t.scan(ts, |_, row| total += cents(&row[1]));
+            db.scan_table(table, ts, |_, row| total += cents(&row[1]))
+                .unwrap();
         }
         total
     }

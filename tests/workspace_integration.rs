@@ -122,9 +122,8 @@ fn replication_keeps_columnar_replicas_in_sync_after_a_run() {
     // then verify row counts match between the row store and the replicas.
     db.finish_load().unwrap();
     assert_eq!(db.replication_lag(), 0);
-    let read_ts = db.txn_manager().oracle().read_ts();
     for table in ["ACCOUNT", "SAVINGS", "CHECKING"] {
-        let row_count = db.row_table(table).unwrap().live_row_count(read_ts);
+        let row_count = db.table_live_row_count(table).unwrap();
         let col_count = db.col_table(table).unwrap().live_row_count();
         assert_eq!(row_count, col_count, "replica of {table} diverged");
     }

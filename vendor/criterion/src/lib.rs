@@ -1,0 +1,298 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! Implements the slice of criterion 0.5's API that the workspace benches use:
+//! `criterion_group!` / `criterion_main!`, [`Criterion::benchmark_group`],
+//! [`BenchmarkGroup::bench_function`] with [`Bencher::iter`] and
+//! [`Bencher::iter_batched`], plus the `measurement_time` / `sample_size`
+//! tuning knobs. Instead of criterion's statistical machinery it runs a short
+//! warm-up, then times `sample_size` samples inside the measurement window and
+//! prints the mean wall-clock ns/iter for each benchmark id.
+//!
+//! A positional CLI argument acts as a substring filter on benchmark ids, and
+//! the `--bench` / `--test` flags cargo passes to bench targets are accepted
+//! and ignored, so `cargo bench` and `cargo bench -- rowstore` both work.
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Prevent the compiler from optimising away a benchmarked value.
+pub fn black_box<T>(value: T) -> T {
+    hint::black_box(value)
+}
+
+/// How `iter_batched` amortises setup cost. The stand-in runs one setup per
+/// timed iteration regardless, so the variants only exist for API parity.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+    NumIterations(u64),
+}
+
+/// Top-level harness handle passed to every `criterion_group!` target.
+pub struct Criterion {
+    filter: Option<String>,
+    default_measurement: Duration,
+    default_samples: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            filter: None,
+            default_measurement: Duration::from_millis(500),
+            default_samples: 10,
+        }
+    }
+}
+
+impl Criterion {
+    /// Parse the arguments cargo forwards to a bench target: flags are
+    /// ignored, the first positional argument becomes a substring filter.
+    pub fn configure_from_args(mut self) -> Criterion {
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                // Value-carrying criterion flags: skip the value too.
+                "--save-baseline" | "--baseline" | "--measurement-time" | "--sample-size"
+                | "--warm-up-time" | "--color" => {
+                    let _ = args.next();
+                }
+                a if a.starts_with('-') => {}
+                a => {
+                    if self.filter.is_none() {
+                        self.filter = Some(a.to_string());
+                    }
+                }
+            }
+        }
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            measurement_time: None,
+            sample_size: None,
+        }
+    }
+
+    /// Run a single benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let measurement = self.default_measurement;
+        let samples = self.default_samples;
+        self.run_one(&id, measurement, samples, f);
+        self
+    }
+
+    /// Printed by `criterion_main!` after all groups finish.
+    pub fn final_summary(&self) {}
+
+    fn run_one<F>(&self, id: &str, measurement: Duration, samples: usize, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return;
+            }
+        }
+        // Warm-up pass: one iteration, also used to size the timing loops so
+        // the requested sample count roughly fills the measurement window.
+        let mut bencher = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut bencher);
+        let per_iter = bencher.elapsed.max(Duration::from_nanos(1));
+        let budget = measurement.as_nanos().max(1) / samples.max(1) as u128;
+        let iters = (budget / per_iter.as_nanos().max(1)).clamp(1, 1_000_000) as u64;
+
+        let mut total = Duration::ZERO;
+        let mut total_iters = 0u64;
+        for _ in 0..samples.max(1) {
+            let mut bencher = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut bencher);
+            total += bencher.elapsed;
+            total_iters += iters;
+        }
+        let mean_ns = total.as_nanos() as f64 / total_iters.max(1) as f64;
+        println!(
+            "{id:<56} {:>14} ns/iter  ({total_iters} iters)",
+            fmt_ns(mean_ns)
+        );
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 100.0 {
+        format!("{ns:.0}")
+    } else {
+        format!("{ns:.1}")
+    }
+}
+
+/// A named collection of benchmarks sharing measurement settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    measurement_time: Option<Duration>,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Target wall-clock budget for each benchmark in the group.
+    pub fn measurement_time(&mut self, time: Duration) -> &mut Self {
+        self.measurement_time = Some(time);
+        self
+    }
+
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.sample_size = Some(samples);
+        self
+    }
+
+    /// Run one benchmark; the id is printed as `group/function`.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = format!("{}/{}", self.name, id.into());
+        let measurement = self
+            .measurement_time
+            .unwrap_or(self.criterion.default_measurement);
+        let samples = self.sample_size.unwrap_or(self.criterion.default_samples);
+        self.criterion.run_one(&id, measurement, samples, f);
+        self
+    }
+
+    /// End the group. A no-op in the stand-in; results print as they run.
+    pub fn finish(self) {}
+}
+
+/// Timing handle passed to each benchmark closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `iters` back-to-back calls of `routine`.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Time `routine` against fresh input from `setup`, excluding setup time.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+    }
+}
+
+/// Define a group function that runs each target against a configured
+/// [`Criterion`], mirroring criterion's macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Define `main` for a bench target from one or more `criterion_group!`s.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+            $crate::Criterion::default().configure_from_args().final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn bencher_iter_runs_requested_iterations() {
+        let calls = AtomicU64::new(0);
+        let mut b = Bencher {
+            iters: 25,
+            elapsed: Duration::ZERO,
+        };
+        b.iter(|| calls.fetch_add(1, Ordering::Relaxed));
+        assert_eq!(calls.load(Ordering::Relaxed), 25);
+        assert!(b.elapsed > Duration::ZERO);
+    }
+
+    #[test]
+    fn iter_batched_runs_setup_per_iteration() {
+        let setups = AtomicU64::new(0);
+        let runs = AtomicU64::new(0);
+        let mut b = Bencher {
+            iters: 8,
+            elapsed: Duration::ZERO,
+        };
+        b.iter_batched(
+            || setups.fetch_add(1, Ordering::Relaxed),
+            |_| runs.fetch_add(1, Ordering::Relaxed),
+            BatchSize::SmallInput,
+        );
+        assert_eq!(setups.load(Ordering::Relaxed), 8);
+        assert_eq!(runs.load(Ordering::Relaxed), 8);
+    }
+
+    #[test]
+    fn groups_run_and_respect_filters() {
+        let mut c = Criterion {
+            filter: Some("hit".to_string()),
+            ..Criterion::default()
+        };
+        let hits = AtomicU64::new(0);
+        let misses = AtomicU64::new(0);
+        let mut group = c.benchmark_group("g");
+        group.measurement_time(Duration::from_millis(1));
+        group.sample_size(1);
+        group.bench_function("hit_me", |b| {
+            b.iter(|| hits.fetch_add(1, Ordering::Relaxed))
+        });
+        group.bench_function("skip", |b| {
+            b.iter(|| misses.fetch_add(1, Ordering::Relaxed))
+        });
+        group.finish();
+        assert!(hits.load(Ordering::Relaxed) > 0);
+        assert_eq!(misses.load(Ordering::Relaxed), 0);
+    }
+}
