@@ -4,7 +4,8 @@
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use olxpbench::prelude::*;
 use olxpbench::storage::{
-    BufferPool, ColumnTable, MutationOp, ReplicationLog, Replicator, RowTable,
+    BufferPool, ColumnPredicate, ColumnTable, MutationOp, PredicateOp, PruningMode, ReplicationLog,
+    Replicator, RowTable, ScanPredicate,
 };
 use std::sync::Arc;
 use std::time::Duration;
@@ -150,6 +151,37 @@ fn bench_colstore_and_replication(c: &mut Criterion) {
     group.bench_function("aggregate_column_100k", |b| {
         b.iter(|| big.aggregate_column(2, |_| true))
     });
+    group.finish();
+
+    // Chunk pruning: the same selective equality scan with each pruning mode.
+    // `i_price` is monotone in the row id, so zone maps prune almost every
+    // chunk; the fingerprint filters reach the same verdict from hashed
+    // signatures (their lazily built caches are warmed by the first
+    // iteration).
+    let mut group = c.benchmark_group("colstore_prune");
+    group.measurement_time(Duration::from_millis(800));
+    group.sample_size(10);
+    let predicate = ScanPredicate::new(
+        ColumnPredicate::new(2, PredicateOp::Eq, Value::Decimal(100 + 50_000))
+            .into_iter()
+            .collect(),
+    );
+    for mode in [
+        PruningMode::Off,
+        PruningMode::ZoneMapOnly,
+        PruningMode::FilterOnly,
+        PruningMode::Both,
+    ] {
+        group.bench_function(format!("eq_scan_100k_{}", mode.label()), |b| {
+            b.iter(|| {
+                let mut count = 0usize;
+                big.scan_batches_pruned(Some(&[2]), 1024, Some(&predicate), mode, |batch| {
+                    count += batch.selected_rows().count()
+                });
+                count
+            })
+        });
+    }
     group.finish();
 
     let mut group = c.benchmark_group("replication");

@@ -10,6 +10,7 @@
 
 mod design;
 mod durability;
+mod prefilter;
 mod scaling;
 mod sweeps;
 mod tables;
@@ -147,6 +148,7 @@ pub fn all_experiment_ids() -> Vec<&'static str> {
         "interference",
         "durability",
         "shards",
+        "prefilter",
     ]
 }
 
@@ -169,6 +171,7 @@ pub fn run_experiment(id: &str, opts: ExpOptions) -> Option<String> {
         "interference" => design::interference(opts),
         "durability" => durability::commit_latency_by_sync_policy(opts),
         "shards" => scaling::shard_scaling(opts),
+        "prefilter" => prefilter::selectivity_sweep(opts),
         _ => return None,
     };
     Some(report)

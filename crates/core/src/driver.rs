@@ -49,6 +49,12 @@ pub struct BenchmarkResult {
     pub row_rows_scanned: u64,
     /// Rows scanned from column stores during the run.
     pub col_rows_scanned: u64,
+    /// Column-store chunks whose rows were scanned during the run.
+    pub chunks_scanned: u64,
+    /// Column-store chunks skipped by zone maps during the run.
+    pub chunks_pruned_zonemap: u64,
+    /// Column-store chunks skipped by fingerprint filters during the run.
+    pub chunks_pruned_filter: u64,
     /// Buffer-pool misses during the run.
     pub buffer_misses: u64,
     /// Replication lag (records) at the end of the run.
@@ -274,6 +280,9 @@ impl BenchmarkDriver {
             aborts: delta.aborts,
             row_rows_scanned: delta.row_rows_scanned,
             col_rows_scanned: delta.col_rows_scanned,
+            chunks_scanned: delta.chunks_scanned,
+            chunks_pruned_zonemap: delta.chunks_pruned_zonemap,
+            chunks_pruned_filter: delta.chunks_pruned_filter,
             buffer_misses: delta.buffer_misses,
             replication_lag: db.replication_lag(),
             replication_errors: delta.replication_errors,

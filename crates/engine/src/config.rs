@@ -1,7 +1,7 @@
 //! Engine configuration.
 
 use crate::error::{EngineError, EngineResult};
-use olxp_storage::{CostParams, StorageMedium, SyncPolicy, DEFAULT_BATCH_SIZE};
+use olxp_storage::{CostParams, PruningMode, StorageMedium, SyncPolicy, DEFAULT_BATCH_SIZE};
 use olxp_txn::IsolationLevel;
 use serde::{Deserialize, Serialize};
 
@@ -245,6 +245,14 @@ pub struct EngineConfig {
     /// the `OLXP_TEST_SHARDS` environment variable so the whole test suite can
     /// be re-run against a sharded engine without code changes.
     pub shards: usize,
+    /// Chunk-pruning structures consulted by columnar analytical scans: zone
+    /// maps (min/max per chunk and column), per-chunk fingerprint filters for
+    /// equality predicates, both (the default), or off.  Pruning never changes
+    /// results — it only skips chunks that provably contain no matching live
+    /// rows.  Constructors honour the `OLXP_TEST_PRUNING` environment variable
+    /// (`off`/`zonemap`/`filter`/`both`) so the whole test suite can be re-run
+    /// with pruning disabled without code changes.
+    pub pruning: PruningMode,
 }
 
 /// Default shard count: `OLXP_TEST_SHARDS` if set to a positive integer,
@@ -255,6 +263,15 @@ fn default_shards() -> usize {
         .and_then(|v| v.trim().parse::<usize>().ok())
         .filter(|&n| n >= 1)
         .unwrap_or(1)
+}
+
+/// Default pruning mode: `OLXP_TEST_PRUNING` if set to a recognised mode
+/// name, otherwise [`PruningMode::Both`].
+fn default_pruning() -> PruningMode {
+    std::env::var("OLXP_TEST_PRUNING")
+        .ok()
+        .and_then(|v| PruningMode::parse(&v))
+        .unwrap_or_default()
 }
 
 impl EngineConfig {
@@ -277,6 +294,7 @@ impl EngineConfig {
             freshness_timeout_ms: 2_000,
             durability: DurabilityConfig::disabled(),
             shards: default_shards(),
+            pruning: default_pruning(),
         }
     }
 
@@ -299,6 +317,7 @@ impl EngineConfig {
             freshness_timeout_ms: 2_000,
             durability: DurabilityConfig::disabled(),
             shards: default_shards(),
+            pruning: default_pruning(),
         }
     }
 
@@ -368,6 +387,12 @@ impl EngineConfig {
     /// Override the storage shard count (builder style).
     pub fn with_shards(mut self, shards: usize) -> EngineConfig {
         self.shards = shards;
+        self
+    }
+
+    /// Override the chunk-pruning mode for columnar scans (builder style).
+    pub fn with_pruning(mut self, pruning: PruningMode) -> EngineConfig {
+        self.pruning = pruning;
         self
     }
 

@@ -1033,7 +1033,10 @@ impl HybridDatabase {
     pub fn route_analytical(&self) -> AnalyticalRoute {
         let n = self.olap_route_counter.fetch_add(1, Ordering::Relaxed);
         let percent = self.config.analytical_rowstore_percent;
-        if (n % 100) < percent {
+        // Bresenham-style spread: exactly `percent` of every 100 consecutive
+        // queries hit the row store, interleaved rather than front-loaded so
+        // short runs exercise both paths in the configured proportion.
+        if (n * percent) % 100 < percent {
             AnalyticalRoute::RowStore
         } else {
             AnalyticalRoute::ColumnStore

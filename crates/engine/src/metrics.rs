@@ -110,6 +110,9 @@ pub struct EngineMetrics {
     aborts: AtomicU64,
     row_rows_scanned: AtomicU64,
     col_rows_scanned: AtomicU64,
+    chunks_scanned: AtomicU64,
+    chunks_pruned_zonemap: AtomicU64,
+    chunks_pruned_filter: AtomicU64,
     query_batches: AtomicU64,
     buffer_misses: AtomicU64,
     replication_applied: AtomicU64,
@@ -136,6 +139,14 @@ pub struct MetricsSnapshot {
     pub row_rows_scanned: u64,
     /// Physical rows scanned from column stores.
     pub col_rows_scanned: u64,
+    /// Column-store chunks whose rows were actually scanned.
+    pub chunks_scanned: u64,
+    /// Column-store chunks skipped because their zone maps (min/max + live
+    /// counts) proved no row could match the scan predicate.
+    pub chunks_pruned_zonemap: u64,
+    /// Column-store chunks skipped because a per-chunk fingerprint filter
+    /// ruled out an equality probe that survived the zone maps.
+    pub chunks_pruned_filter: u64,
     /// Column batches streamed through the vectorized query executor.
     pub query_batches: u64,
     /// Buffer-pool page misses.
@@ -186,6 +197,13 @@ impl MetricsSnapshot {
         out.col_rows_scanned = self
             .col_rows_scanned
             .saturating_sub(earlier.col_rows_scanned);
+        out.chunks_scanned = self.chunks_scanned.saturating_sub(earlier.chunks_scanned);
+        out.chunks_pruned_zonemap = self
+            .chunks_pruned_zonemap
+            .saturating_sub(earlier.chunks_pruned_zonemap);
+        out.chunks_pruned_filter = self
+            .chunks_pruned_filter
+            .saturating_sub(earlier.chunks_pruned_filter);
         out.query_batches = self.query_batches.saturating_sub(earlier.query_batches);
         out.buffer_misses = self.buffer_misses.saturating_sub(earlier.buffer_misses);
         out.replication_applied = self
@@ -269,6 +287,22 @@ impl EngineMetrics {
         self.query_batches.fetch_add(batches, Ordering::Relaxed);
     }
 
+    /// Record one query's column-store chunk accounting: chunks whose rows
+    /// were scanned, and chunks skipped by zone maps or fingerprint filters.
+    pub fn add_chunk_pruning(&self, scanned: u64, pruned_zonemap: u64, pruned_filter: u64) {
+        if scanned > 0 {
+            self.chunks_scanned.fetch_add(scanned, Ordering::Relaxed);
+        }
+        if pruned_zonemap > 0 {
+            self.chunks_pruned_zonemap
+                .fetch_add(pruned_zonemap, Ordering::Relaxed);
+        }
+        if pruned_filter > 0 {
+            self.chunks_pruned_filter
+                .fetch_add(pruned_filter, Ordering::Relaxed);
+        }
+    }
+
     /// Record buffer-pool misses.
     pub fn add_buffer_misses(&self, misses: u64) {
         self.buffer_misses.fetch_add(misses, Ordering::Relaxed);
@@ -332,6 +366,9 @@ impl EngineMetrics {
             aborts: self.aborts.load(Ordering::Relaxed),
             row_rows_scanned: self.row_rows_scanned.load(Ordering::Relaxed),
             col_rows_scanned: self.col_rows_scanned.load(Ordering::Relaxed),
+            chunks_scanned: self.chunks_scanned.load(Ordering::Relaxed),
+            chunks_pruned_zonemap: self.chunks_pruned_zonemap.load(Ordering::Relaxed),
+            chunks_pruned_filter: self.chunks_pruned_filter.load(Ordering::Relaxed),
             query_batches: self.query_batches.load(Ordering::Relaxed),
             buffer_misses: self.buffer_misses.load(Ordering::Relaxed),
             replication_applied: self.replication_applied.load(Ordering::Relaxed),

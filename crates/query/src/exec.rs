@@ -14,8 +14,9 @@
 use crate::error::{QueryError, QueryResult};
 use crate::expr::{AggFunc, ValueAccess};
 use crate::plan::{AggSpec, JoinKind, Plan, SortKey};
+use crate::prune::ChunkPruner;
 use crate::source::{DataSource, SourceKind};
-use olxp_storage::{BatchBuilder, ColumnBatch, Row, Value, DEFAULT_BATCH_SIZE};
+use olxp_storage::{BatchBuilder, ColumnBatch, PruningMode, Row, Value, DEFAULT_BATCH_SIZE};
 use std::collections::HashMap;
 
 /// How the executor consumes base-table scans.
@@ -37,6 +38,10 @@ pub struct ExecOptions {
     pub batch_size: usize,
     /// How base-table scans are consumed.
     pub scan_mode: ScanMode,
+    /// Which chunk-pruning structures batched scans may consult.  Sargable
+    /// conjuncts of the scan filter are pushed down as a [`ChunkPruner`];
+    /// sources without pruning structures (the row stores) ignore it.
+    pub pruning: PruningMode,
 }
 
 impl Default for ExecOptions {
@@ -44,6 +49,7 @@ impl Default for ExecOptions {
         ExecOptions {
             batch_size: DEFAULT_BATCH_SIZE,
             scan_mode: ScanMode::Batched,
+            pruning: PruningMode::default(),
         }
     }
 }
@@ -53,21 +59,28 @@ impl ExecOptions {
     pub fn batched(batch_size: usize) -> ExecOptions {
         ExecOptions {
             batch_size: batch_size.max(1),
-            scan_mode: ScanMode::Batched,
+            ..ExecOptions::default()
         }
     }
 
     /// Row-at-a-time scan consumption (operators still run over batches).
+    /// Never prunes: it is the equivalence baseline for the batched path.
     pub fn row_at_a_time() -> ExecOptions {
         ExecOptions {
-            batch_size: DEFAULT_BATCH_SIZE,
             scan_mode: ScanMode::RowAtATime,
+            ..ExecOptions::default()
         }
     }
 
     /// Override the batch size (builder style, clamped to >= 1).
     pub fn with_batch_size(mut self, batch_size: usize) -> ExecOptions {
         self.batch_size = batch_size.max(1);
+        self
+    }
+
+    /// Override the pruning mode (builder style).
+    pub fn with_pruning(mut self, pruning: PruningMode) -> ExecOptions {
+        self.pruning = pruning;
         self
     }
 }
@@ -112,6 +125,12 @@ pub struct ExecStats {
     /// Replication lag as a commit-timestamp delta at the moment the read
     /// started (0 for row-store reads).  Filled in by the engine session.
     pub freshness_lag_ts: u64,
+    /// Column-store chunks whose data was actually read by table scans.
+    pub chunks_scanned: u64,
+    /// Column-store chunks skipped by zone maps (min/max or live count).
+    pub chunks_pruned_zonemap: u64,
+    /// Column-store chunks skipped by fingerprint filters.
+    pub chunks_pruned_filter: u64,
 }
 
 impl ExecStats {
@@ -137,6 +156,9 @@ impl ExecStats {
         self.agg_input_rows += other.agg_input_rows;
         self.sort_rows += other.sort_rows;
         self.output_rows += other.output_rows;
+        self.chunks_scanned += other.chunks_scanned;
+        self.chunks_pruned_zonemap += other.chunks_pruned_zonemap;
+        self.chunks_pruned_filter += other.chunks_pruned_filter;
         // Freshness is a point-in-time observation, not additive work: keep
         // the worst (stalest) observation across merged statements.
         self.freshness_lag_records = self.freshness_lag_records.max(other.freshness_lag_records);
@@ -481,49 +503,69 @@ fn scan_table(
     let mut batches = 0u64;
     let mut materialized = 0u64;
     let examined = match opts.scan_mode {
-        ScanMode::Batched => source.scan_batches(table, opts.batch_size, &mut |batch| {
-            if err.is_some() {
-                return;
-            }
-            batches += 1;
-            match filter {
-                None => {
-                    // Flush first if the bulk append would overflow the
-                    // configured batch size: emitted batches stay <= batch_size.
-                    if !builder.is_empty()
-                        && builder.len() + batch.selected_count() > builder.capacity()
-                    {
-                        out.push(builder.finish());
+        ScanMode::Batched => {
+            // Push the sargable conjuncts of the filter down to the source so
+            // column stores can skip chunks before touching data.  Pruning
+            // only ever removes chunks that cannot contain a matching row;
+            // the full filter still runs on every surviving slot below.
+            let pruner = match filter {
+                Some(f) => ChunkPruner::from_filter(f, opts.pruning),
+                None => ChunkPruner::unfiltered(opts.pruning),
+            };
+            let outcome = source.scan_batches_pruned(
+                table,
+                opts.batch_size,
+                pruner.as_ref(),
+                &mut |batch| {
+                    if err.is_some() {
+                        return;
                     }
-                    builder.extend_from_batch(batch);
-                }
-                Some(f) => {
-                    // Evaluate the predicate per selected slot into a keep
-                    // bitmap, then copy the survivors column-wise.
-                    let mut keep = vec![false; batch.num_rows()];
-                    let mut survivors = 0usize;
-                    for row in batch.selected_rows() {
-                        match f.matches_access(&RowAt::Batch(batch, row)) {
-                            Ok(matched) => {
-                                keep[row] = matched;
-                                survivors += usize::from(matched);
+                    batches += 1;
+                    match filter {
+                        None => {
+                            // Flush first if the bulk append would overflow the
+                            // configured batch size: emitted batches stay <= batch_size.
+                            if !builder.is_empty()
+                                && builder.len() + batch.selected_count() > builder.capacity()
+                            {
+                                out.push(builder.finish());
                             }
-                            Err(e) => {
-                                err = Some(e);
-                                return;
+                            builder.extend_from_batch(batch);
+                        }
+                        Some(f) => {
+                            // Evaluate the predicate per selected slot into a keep
+                            // bitmap, then copy the survivors column-wise.
+                            let mut keep = vec![false; batch.num_rows()];
+                            let mut survivors = 0usize;
+                            for row in batch.selected_rows() {
+                                match f.matches_access(&RowAt::Batch(batch, row)) {
+                                    Ok(matched) => {
+                                        keep[row] = matched;
+                                        survivors += usize::from(matched);
+                                    }
+                                    Err(e) => {
+                                        err = Some(e);
+                                        return;
+                                    }
+                                }
                             }
+                            if !builder.is_empty() && builder.len() + survivors > builder.capacity()
+                            {
+                                out.push(builder.finish());
+                            }
+                            builder.extend_selected(batch, &keep);
                         }
                     }
-                    if !builder.is_empty() && builder.len() + survivors > builder.capacity() {
+                    if builder.is_full() {
                         out.push(builder.finish());
                     }
-                    builder.extend_selected(batch, &keep);
-                }
-            }
-            if builder.is_full() {
-                out.push(builder.finish());
-            }
-        })?,
+                },
+            )?;
+            stats.chunks_scanned += outcome.chunks_scanned;
+            stats.chunks_pruned_zonemap += outcome.chunks_pruned_zonemap;
+            stats.chunks_pruned_filter += outcome.chunks_pruned_filter;
+            outcome.slots_examined
+        }
         ScanMode::RowAtATime => source.scan(table, &mut |row| {
             if err.is_some() {
                 return;
@@ -1114,10 +1156,68 @@ mod tests {
             ExecOptions {
                 batch_size: 0,
                 scan_mode: ScanMode::Batched,
+                pruning: PruningMode::Both,
             },
         )
         .unwrap();
         assert_eq!(out.rows.len(), 4, "zero batch size is clamped, not UB");
+    }
+
+    #[test]
+    fn pruned_column_scan_matches_unpruned_and_skips_chunks() {
+        use crate::source::ColumnSource;
+        use olxp_storage::{ColumnTable, PruningMode};
+        let schema = Arc::new(
+            TableSchema::new(
+                "ORDERS",
+                vec![
+                    ColumnDef::new("o_id", DataType::Int, false),
+                    ColumnDef::new("o_amount", DataType::Decimal, false),
+                ],
+                vec!["o_id"],
+            )
+            .unwrap(),
+        );
+        let table = Arc::new(ColumnTable::with_chunk_size(Arc::clone(&schema), 4));
+        for i in 0..16i64 {
+            table
+                .apply_insert(
+                    &Key::int(i),
+                    &Row::new(vec![Value::Int(i), Value::Decimal(i * 100)]),
+                    5,
+                    i as u64 + 1,
+                )
+                .unwrap();
+        }
+        let mut tables = StdHashMap::new();
+        tables.insert("ORDERS".to_string(), Arc::clone(&table));
+        let source = ColumnSource::new(&tables);
+        let plan = QueryBuilder::scan_where("ORDERS", col(0).eq(lit(9))).build();
+
+        let pruned = execute_with(&plan, &source, ExecOptions::batched(8)).unwrap();
+        let unpruned = execute_with(
+            &plan,
+            &source,
+            ExecOptions::batched(8).with_pruning(PruningMode::Off),
+        )
+        .unwrap();
+        let baseline = execute_with(&plan, &source, ExecOptions::row_at_a_time()).unwrap();
+        assert_eq!(pruned.rows, unpruned.rows, "pruning never changes results");
+        assert_eq!(pruned.rows, baseline.rows);
+        assert_eq!(pruned.rows.len(), 1);
+
+        assert_eq!(pruned.stats.chunks_pruned_zonemap, 3);
+        assert_eq!(pruned.stats.chunks_scanned, 1);
+        assert_eq!(
+            pruned.stats.rows_scanned, 4,
+            "only the surviving chunk is examined"
+        );
+        assert_eq!(unpruned.stats.rows_scanned, 16);
+        assert_eq!(
+            unpruned.stats.chunks_scanned, 4,
+            "chunk accounting stays on when pruning is off"
+        );
+        assert_eq!(unpruned.stats.chunks_pruned_zonemap, 0);
     }
 
     #[test]

@@ -29,6 +29,7 @@ pub mod error;
 pub mod exec;
 pub mod expr;
 pub mod plan;
+pub mod prune;
 pub mod source;
 
 pub use builder::QueryBuilder;
@@ -36,4 +37,5 @@ pub use error::{QueryError, QueryResult};
 pub use exec::{execute, execute_with, ExecOptions, ExecStats, QueryOutput, ScanMode};
 pub use expr::{col, lit, AggFunc, Expr, ValueAccess};
 pub use plan::{AggSpec, JoinKind, Plan, SortKey};
+pub use prune::{extract_sargable, ChunkPruner};
 pub use source::{ColumnSource, DataSource, RowSource, ShardedRowSource, SourceKind};

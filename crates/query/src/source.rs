@@ -8,7 +8,10 @@
 //! queries).
 
 use crate::error::{QueryError, QueryResult};
-use olxp_storage::{ColumnBatch, ColumnTable, Key, Row, RowTable, TableSchema, Timestamp};
+use crate::prune::ChunkPruner;
+use olxp_storage::{
+    ColumnBatch, ColumnTable, Key, PruningMode, Row, RowTable, ScanOutcome, TableSchema, Timestamp,
+};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -52,6 +55,26 @@ pub trait DataSource {
         batch_size: usize,
         f: &mut dyn FnMut(&ColumnBatch<'_>),
     ) -> QueryResult<usize>;
+
+    /// Vectorized scan with an optional chunk pruner pushed down from the
+    /// executor.  Sources with pruning structures (the column store) skip
+    /// chunks that provably or probably cannot satisfy the pruner's
+    /// predicate; the default implementation ignores the pruner and scans
+    /// everything (the row stores have no chunk summaries), reporting the
+    /// examined slots with zeroed chunk counters.
+    fn scan_batches_pruned(
+        &self,
+        table: &str,
+        batch_size: usize,
+        _pruner: Option<&ChunkPruner>,
+        f: &mut dyn FnMut(&ColumnBatch<'_>),
+    ) -> QueryResult<ScanOutcome> {
+        let slots_examined = self.scan_batches(table, batch_size, f)?;
+        Ok(ScanOutcome {
+            slots_examined,
+            ..ScanOutcome::default()
+        })
+    }
 
     /// Look up rows by an index (or primary-key) prefix.  Returns the matching
     /// rows and the number of physical entries examined.
@@ -265,6 +288,23 @@ impl DataSource for ColumnSource<'_> {
     ) -> QueryResult<usize> {
         let t = self.table(table)?;
         Ok(t.scan_batches(None, batch_size, |batch| f(batch)))
+    }
+
+    fn scan_batches_pruned(
+        &self,
+        table: &str,
+        batch_size: usize,
+        pruner: Option<&ChunkPruner>,
+        f: &mut dyn FnMut(&ColumnBatch<'_>),
+    ) -> QueryResult<ScanOutcome> {
+        let t = self.table(table)?;
+        // Without a pruner the scan still runs through the chunked path so
+        // chunk counters stay populated, but nothing is skipped.
+        let (predicate, mode) = match pruner {
+            Some(p) => (Some(p.predicate()), p.mode()),
+            None => (None, PruningMode::Off),
+        };
+        Ok(t.scan_batches_pruned(None, batch_size, predicate, mode, |batch| f(batch)))
     }
 
     fn index_lookup(

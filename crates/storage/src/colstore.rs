@@ -6,14 +6,26 @@
 //! the *latest committed* image of each row as of the replication watermark; it
 //! is populated exclusively through the asynchronous replication log (see
 //! [`crate::replication`]), never written directly by transactions.
+//!
+//! Slots are grouped into fixed-size **chunks** (see
+//! [`crate::zonemap::DEFAULT_CHUNK_SIZE`]) carrying two pruning structures the
+//! scan path consults before touching column data: per-column **zone maps**
+//! ([`ChunkZone`]: min/max + null and live counts, appends tighten, updates
+//! widen, deletes keep their contributions) and a lazily built per-chunk
+//! **fingerprint filter** ([`FingerprintFilter`]) over the live `(column,
+//! value)` pairs of sealed chunks, used for equality predicates.  Both are
+//! conservative supersets of the chunk's contents, so pruning can skip
+//! non-matching chunks but never loses a matching row.
 
 use crate::batch::{ColumnBatch, DEFAULT_BATCH_SIZE};
 use crate::error::{StorageError, StorageResult};
+use crate::filter::{fingerprint_hash, FingerprintFilter};
 use crate::key::Key;
 use crate::row::Row;
 use crate::schema::TableSchema;
+use crate::zonemap::{ChunkZone, PruningMode, ScanOutcome, ScanPredicate, DEFAULT_CHUNK_SIZE};
 use crate::Timestamp;
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -23,18 +35,27 @@ use std::sync::Arc;
 /// Physical and logical scan work are tracked separately: `slots_examined`
 /// counts every row slot a scan walked over (including deleted slots, the
 /// quantity that drives the cost model), while `rows_scanned` counts only the
-/// *live* rows actually handed to the consumer.
+/// *live* rows actually handed to the consumer.  Slots inside pruned chunks
+/// are neither examined nor scanned; the chunk counters record how much work
+/// pruning skipped.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct ColumnTableStats {
     /// Number of scans performed (scans of an empty table are no-ops and are
     /// not counted).
     pub scans: u64,
-    /// Total row slots examined by scans, including deleted slots.
+    /// Total row slots examined by scans, including deleted slots but
+    /// excluding slots inside pruned chunks.
     pub slots_examined: u64,
     /// Live rows produced by scans (excludes deleted slots).
     pub rows_scanned: u64,
     /// Number of replication mutations applied.
     pub mutations_applied: u64,
+    /// Chunks whose column data was touched by scans.
+    pub chunks_scanned: u64,
+    /// Chunks skipped because a zone map (or empty live count) excluded them.
+    pub chunks_pruned_zonemap: u64,
+    /// Chunks skipped because a fingerprint filter excluded an equality probe.
+    pub chunks_pruned_filter: u64,
 }
 
 #[derive(Debug, Default)]
@@ -43,6 +64,9 @@ struct Counters {
     slots_examined: AtomicU64,
     rows_scanned: AtomicU64,
     mutations_applied: AtomicU64,
+    chunks_scanned: AtomicU64,
+    chunks_pruned_zonemap: AtomicU64,
+    chunks_pruned_filter: AtomicU64,
 }
 
 struct ColumnData {
@@ -52,6 +76,8 @@ struct ColumnData {
     deleted: Vec<bool>,
     /// Primary key -> slot position of the live row.
     pk_slots: HashMap<Key, usize>,
+    /// Per-chunk zone maps, one entry per started chunk.
+    zones: Vec<ChunkZone>,
     /// Commit timestamp of the newest applied mutation (freshness watermark).
     applied_ts: Timestamp,
     /// Log sequence number of the newest applied mutation.
@@ -61,23 +87,39 @@ struct ColumnData {
 /// A table stored in columnar format, maintained by log replication.
 pub struct ColumnTable {
     schema: Arc<TableSchema>,
+    chunk_size: usize,
     data: RwLock<ColumnData>,
+    /// Lazily built per-chunk fingerprint filters.  Entries are populated by
+    /// scans (which hold the data read lock, so no writer can race the build)
+    /// and cleared by in-place mutations (which hold the data write lock, so
+    /// no stale filter can survive a mutation).  Deletes do not clear: a
+    /// filter over a superset of the live values stays correct.
+    filters: Mutex<Vec<Option<Arc<FingerprintFilter>>>>,
     counters: Counters,
 }
 
 impl ColumnTable {
     /// Create an empty column table for the schema.
     pub fn new(schema: Arc<TableSchema>) -> ColumnTable {
+        ColumnTable::with_chunk_size(schema, DEFAULT_CHUNK_SIZE)
+    }
+
+    /// Create an empty column table with an explicit pruning chunk size
+    /// (tests use small chunks to exercise pruning on small tables).
+    pub fn with_chunk_size(schema: Arc<TableSchema>, chunk_size: usize) -> ColumnTable {
         let columns = schema.columns().iter().map(|_| Vec::new()).collect();
         ColumnTable {
             schema,
+            chunk_size: chunk_size.max(1),
             data: RwLock::new(ColumnData {
                 columns,
                 deleted: Vec::new(),
                 pk_slots: HashMap::new(),
+                zones: Vec::new(),
                 applied_ts: 0,
                 applied_lsn: 0,
             }),
+            filters: Mutex::new(Vec::new()),
             counters: Counters::default(),
         }
     }
@@ -85,6 +127,11 @@ impl ColumnTable {
     /// The table schema.
     pub fn schema(&self) -> &Arc<TableSchema> {
         &self.schema
+    }
+
+    /// Slots per pruning chunk.
+    pub fn chunk_size(&self) -> usize {
+        self.chunk_size
     }
 
     /// Number of live (non-deleted) rows.
@@ -114,6 +161,35 @@ impl ColumnTable {
             slots_examined: self.counters.slots_examined.load(Ordering::Relaxed),
             rows_scanned: self.counters.rows_scanned.load(Ordering::Relaxed),
             mutations_applied: self.counters.mutations_applied.load(Ordering::Relaxed),
+            chunks_scanned: self.counters.chunks_scanned.load(Ordering::Relaxed),
+            chunks_pruned_zonemap: self.counters.chunks_pruned_zonemap.load(Ordering::Relaxed),
+            chunks_pruned_filter: self.counters.chunks_pruned_filter.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The zone map for `slot`'s chunk, growing the zone vector as the slot
+    /// space grows.
+    fn zone_for_slot(
+        zones: &mut Vec<ChunkZone>,
+        columns: usize,
+        chunk_size: usize,
+        slot: usize,
+    ) -> &mut ChunkZone {
+        let chunk = slot / chunk_size;
+        while zones.len() <= chunk {
+            zones.push(ChunkZone::new(columns));
+        }
+        &mut zones[chunk]
+    }
+
+    /// Drop the cached fingerprint filter of `slot`'s chunk after an in-place
+    /// overwrite.  Callers hold the data write lock, so no concurrent scan
+    /// can re-cache a stale filter.
+    fn invalidate_filter(&self, slot: usize) {
+        let chunk = slot / self.chunk_size;
+        let mut cache = self.filters.lock();
+        if let Some(entry) = cache.get_mut(chunk) {
+            *entry = None;
         }
     }
 
@@ -126,13 +202,22 @@ impl ColumnTable {
         lsn: u64,
     ) -> StorageResult<()> {
         self.schema.validate_row(row)?;
+        let columns = self.schema.column_count();
         let mut data = self.data.write();
         if let Some(&slot) = data.pk_slots.get(pk) {
             // Idempotent re-apply (e.g. replay after restart): overwrite.
             for (col_idx, value) in row.values().iter().enumerate() {
                 data.columns[col_idx][slot] = value.clone();
             }
-            data.deleted[slot] = false;
+            let was_deleted = std::mem::replace(&mut data.deleted[slot], false);
+            let zone = Self::zone_for_slot(&mut data.zones, columns, self.chunk_size, slot);
+            for (col_idx, value) in row.values().iter().enumerate() {
+                zone.zones[col_idx].include(value);
+            }
+            if was_deleted {
+                zone.live_count += 1;
+            }
+            self.invalidate_filter(slot);
         } else {
             for (col_idx, value) in row.values().iter().enumerate() {
                 data.columns[col_idx].push(value.clone());
@@ -140,6 +225,11 @@ impl ColumnTable {
             data.deleted.push(false);
             let slot = data.deleted.len() - 1;
             data.pk_slots.insert(pk.clone(), slot);
+            let zone = Self::zone_for_slot(&mut data.zones, columns, self.chunk_size, slot);
+            for (col_idx, value) in row.values().iter().enumerate() {
+                zone.zones[col_idx].include(value);
+            }
+            zone.live_count += 1;
         }
         data.applied_ts = data.applied_ts.max(commit_ts);
         data.applied_lsn = data.applied_lsn.max(lsn);
@@ -150,6 +240,11 @@ impl ColumnTable {
     }
 
     /// Apply an update arriving from the replication log.
+    ///
+    /// The chunk's zone map *widens* to include the new values; the old
+    /// values' contribution is never removed, keeping the zone a conservative
+    /// superset.  The chunk's fingerprint filter is invalidated (the new
+    /// values must never produce a false negative).
     pub fn apply_update(
         &self,
         pk: &Key,
@@ -158,6 +253,7 @@ impl ColumnTable {
         lsn: u64,
     ) -> StorageResult<()> {
         self.schema.validate_row(row)?;
+        let columns = self.schema.column_count();
         let mut data = self.data.write();
         let slot = *data
             .pk_slots
@@ -169,6 +265,33 @@ impl ColumnTable {
         for (col_idx, value) in row.values().iter().enumerate() {
             data.columns[col_idx][slot] = value.clone();
         }
+        let zone = Self::zone_for_slot(&mut data.zones, columns, self.chunk_size, slot);
+        for (col_idx, value) in row.values().iter().enumerate() {
+            zone.zones[col_idx].include(value);
+        }
+        data.applied_ts = data.applied_ts.max(commit_ts);
+        data.applied_lsn = data.applied_lsn.max(lsn);
+        self.invalidate_filter(slot);
+        self.counters
+            .mutations_applied
+            .fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Apply a delete arriving from the replication log.
+    ///
+    /// Deletes only decrement the chunk's live count; the zone map and the
+    /// fingerprint filter keep the deleted values' contributions (a superset
+    /// stays a superset).  A chunk whose live count reaches zero is pruned
+    /// outright by the scan path.
+    pub fn apply_delete(&self, pk: &Key, commit_ts: Timestamp, lsn: u64) -> StorageResult<()> {
+        let columns = self.schema.column_count();
+        let mut data = self.data.write();
+        if let Some(slot) = data.pk_slots.remove(pk) {
+            data.deleted[slot] = true;
+            let zone = Self::zone_for_slot(&mut data.zones, columns, self.chunk_size, slot);
+            zone.live_count = zone.live_count.saturating_sub(1);
+        }
         data.applied_ts = data.applied_ts.max(commit_ts);
         data.applied_lsn = data.applied_lsn.max(lsn);
         self.counters
@@ -177,18 +300,82 @@ impl ColumnTable {
         Ok(())
     }
 
-    /// Apply a delete arriving from the replication log.
-    pub fn apply_delete(&self, pk: &Key, commit_ts: Timestamp, lsn: u64) -> StorageResult<()> {
-        let mut data = self.data.write();
-        if let Some(slot) = data.pk_slots.remove(pk) {
-            data.deleted[slot] = true;
+    /// The cached fingerprint filter for `chunk`, building it on first use
+    /// from the chunk's live values.  Callers hold the data read lock, which
+    /// keeps writers (and therefore invalidation) out while the filter is
+    /// built and cached.  Returns `None` when construction fails (the chunk
+    /// simply gets no filter pruning).
+    fn chunk_filter(&self, data: &ColumnData, chunk: usize) -> Option<Arc<FingerprintFilter>> {
+        let mut cache = self.filters.lock();
+        if cache.len() <= chunk {
+            cache.resize(chunk + 1, None);
         }
-        data.applied_ts = data.applied_ts.max(commit_ts);
-        data.applied_lsn = data.applied_lsn.max(lsn);
-        self.counters
-            .mutations_applied
-            .fetch_add(1, Ordering::Relaxed);
-        Ok(())
+        if let Some(filter) = &cache[chunk] {
+            return Some(Arc::clone(filter));
+        }
+        let start = chunk * self.chunk_size;
+        let end = ((chunk + 1) * self.chunk_size).min(data.deleted.len());
+        let mut keys = Vec::with_capacity((end - start) * data.columns.len());
+        for slot in start..end {
+            if data.deleted[slot] {
+                continue;
+            }
+            for (col_idx, column) in data.columns.iter().enumerate() {
+                if let Some(key) = fingerprint_hash(col_idx, &column[slot]) {
+                    keys.push(key);
+                }
+            }
+        }
+        let filter = FingerprintFilter::build(&keys).map(Arc::new)?;
+        cache[chunk] = Some(Arc::clone(&filter));
+        Some(filter)
+    }
+
+    /// Decide whether one chunk can be skipped, charging the outcome counters.
+    fn chunk_survives(
+        &self,
+        data: &ColumnData,
+        chunk: usize,
+        slots: usize,
+        predicate: Option<&ScanPredicate>,
+        mode: PruningMode,
+        outcome: &mut ScanOutcome,
+    ) -> bool {
+        if mode != PruningMode::Off {
+            let zone = &data.zones[chunk];
+            if mode.uses_zonemaps() {
+                let excluded = match predicate {
+                    Some(p) => !zone.may_match(p),
+                    None => zone.live_count == 0,
+                };
+                if excluded {
+                    outcome.chunks_pruned_zonemap += 1;
+                    return false;
+                }
+            }
+            if mode.uses_filters() {
+                // Filters only exist for sealed (fully populated) chunks:
+                // a growing tail chunk would invalidate on every append.
+                let sealed = (chunk + 1) * self.chunk_size <= slots;
+                let probes: Vec<u64> = predicate
+                    .map(|p| {
+                        p.equality_predicates()
+                            .filter_map(|eq| fingerprint_hash(eq.column, &eq.value))
+                            .collect()
+                    })
+                    .unwrap_or_default();
+                if sealed && !probes.is_empty() {
+                    if let Some(filter) = self.chunk_filter(data, chunk) {
+                        if probes.iter().any(|&key| !filter.contains(key)) {
+                            outcome.chunks_pruned_filter += 1;
+                            return false;
+                        }
+                    }
+                }
+            }
+        }
+        outcome.chunks_scanned += 1;
+        true
     }
 
     /// Vectorized scan: hand out one [`ColumnBatch`] per chunk of up to
@@ -200,19 +387,43 @@ impl ColumnTable {
     /// `projection` selects and orders the columns each batch exposes; `None`
     /// exposes every column in schema order.  Returns the number of slots
     /// examined.  Scanning an empty table is a no-op and touches no counters.
-    pub fn scan_batches<F>(
+    pub fn scan_batches<F>(&self, projection: Option<&[usize]>, batch_size: usize, f: F) -> usize
+    where
+        F: FnMut(&ColumnBatch<'_>),
+    {
+        self.scan_batches_pruned(projection, batch_size, None, PruningMode::Off, f)
+            .slots_examined
+    }
+
+    /// Vectorized scan with chunk pruning.
+    ///
+    /// Like [`ColumnTable::scan_batches`], but before touching column data
+    /// each chunk is tested against `predicate` (an AND-conjunction of
+    /// sargable predicates that is *necessary* for a row to match the query):
+    /// zone maps exclude chunks whose value ranges cannot satisfy a conjunct,
+    /// and fingerprint filters exclude sealed chunks that (probably) do not
+    /// contain an equality probe.  Chunks of surviving runs are handed out in
+    /// `batch_size` windows exactly like the unpruned scan; slots inside
+    /// pruned chunks are neither examined nor scanned.  `mode` selects which
+    /// structures are consulted; [`PruningMode::Off`] (or `predicate =
+    /// None` in zone-map modes, which still skips fully deleted chunks)
+    /// reproduces the unpruned scan.
+    pub fn scan_batches_pruned<F>(
         &self,
         projection: Option<&[usize]>,
         batch_size: usize,
+        predicate: Option<&ScanPredicate>,
+        mode: PruningMode,
         mut f: F,
-    ) -> usize
+    ) -> ScanOutcome
     where
         F: FnMut(&ColumnBatch<'_>),
     {
         let data = self.data.read();
         let slots = data.deleted.len();
+        let mut outcome = ScanOutcome::default();
         if slots == 0 {
-            return 0;
+            return outcome;
         }
         let batch_size = batch_size.max(1);
         let all: Vec<usize>;
@@ -223,35 +434,64 @@ impl ColumnTable {
                 &all
             }
         };
+
+        let num_chunks = slots.div_ceil(self.chunk_size);
+        let survivors: Vec<bool> = (0..num_chunks)
+            .map(|chunk| self.chunk_survives(&data, chunk, slots, predicate, mode, &mut outcome))
+            .collect();
+
         let mut live_rows = 0u64;
-        let mut start = 0usize;
-        while start < slots {
-            let end = (start + batch_size).min(slots);
-            let columns: Vec<&[crate::Value]> = projection
-                .iter()
-                .map(|&col| &data.columns[col][start..end])
-                .collect();
-            let deleted = &data.deleted[start..end];
-            let batch = if deleted.iter().any(|&d| d) {
-                let selection: Vec<bool> = deleted.iter().map(|&d| !d).collect();
-                let mut batch = ColumnBatch::borrowed_sized(columns, None, end - start);
-                batch.set_selection(selection);
-                batch
-            } else {
-                ColumnBatch::borrowed_sized(columns, None, end - start)
-            };
-            live_rows += batch.selected_count() as u64;
-            f(&batch);
-            start = end;
+        let mut chunk = 0usize;
+        while chunk < num_chunks {
+            if !survivors[chunk] {
+                chunk += 1;
+                continue;
+            }
+            let run_first = chunk;
+            while chunk < num_chunks && survivors[chunk] {
+                chunk += 1;
+            }
+            let run_start = run_first * self.chunk_size;
+            let run_end = (chunk * self.chunk_size).min(slots);
+            outcome.slots_examined += run_end - run_start;
+            let mut start = run_start;
+            while start < run_end {
+                let end = (start + batch_size).min(run_end);
+                let columns: Vec<&[crate::Value]> = projection
+                    .iter()
+                    .map(|&col| &data.columns[col][start..end])
+                    .collect();
+                let deleted = &data.deleted[start..end];
+                let batch = if deleted.iter().any(|&d| d) {
+                    let selection: Vec<bool> = deleted.iter().map(|&d| !d).collect();
+                    let mut batch = ColumnBatch::borrowed_sized(columns, None, end - start);
+                    batch.set_selection(selection);
+                    batch
+                } else {
+                    ColumnBatch::borrowed_sized(columns, None, end - start)
+                };
+                live_rows += batch.selected_count() as u64;
+                f(&batch);
+                start = end;
+            }
         }
         self.counters.scans.fetch_add(1, Ordering::Relaxed);
         self.counters
             .slots_examined
-            .fetch_add(slots as u64, Ordering::Relaxed);
+            .fetch_add(outcome.slots_examined as u64, Ordering::Relaxed);
         self.counters
             .rows_scanned
             .fetch_add(live_rows, Ordering::Relaxed);
-        slots
+        self.counters
+            .chunks_scanned
+            .fetch_add(outcome.chunks_scanned, Ordering::Relaxed);
+        self.counters
+            .chunks_pruned_zonemap
+            .fetch_add(outcome.chunks_pruned_zonemap, Ordering::Relaxed);
+        self.counters
+            .chunks_pruned_filter
+            .fetch_add(outcome.chunks_pruned_filter, Ordering::Relaxed);
+        outcome
     }
 
     /// Scan live rows, materialising only the projected columns.
@@ -330,9 +570,14 @@ mod tests {
     use super::*;
     use crate::schema::{ColumnDef, DataType};
     use crate::value::Value;
+    use crate::zonemap::{ColumnPredicate, PredicateOp};
 
     fn table() -> ColumnTable {
-        let schema = TableSchema::new(
+        ColumnTable::new(Arc::new(schema()))
+    }
+
+    fn schema() -> TableSchema {
+        TableSchema::new(
             "ORDERS",
             vec![
                 ColumnDef::new("o_id", DataType::Int, false),
@@ -341,8 +586,11 @@ mod tests {
             ],
             vec!["o_id"],
         )
-        .unwrap();
-        ColumnTable::new(Arc::new(schema))
+        .unwrap()
+    }
+
+    fn small_chunk_table() -> ColumnTable {
+        ColumnTable::with_chunk_size(Arc::new(schema()), 4)
     }
 
     fn order(id: i64, amount: i64, status: &str) -> Row {
@@ -351,6 +599,45 @@ mod tests {
             Value::Decimal(amount),
             Value::Str(status.into()),
         ])
+    }
+
+    fn eq(column: usize, value: Value) -> ScanPredicate {
+        ScanPredicate::new(vec![
+            ColumnPredicate::new(column, PredicateOp::Eq, value).unwrap()
+        ])
+    }
+
+    /// Matching row ids: the pruner only yields a *superset* of matching
+    /// chunks, so the predicate is re-applied per row exactly like the query
+    /// executor's residual filter would.
+    fn collect_ids(
+        t: &ColumnTable,
+        predicate: Option<&ScanPredicate>,
+        mode: PruningMode,
+    ) -> Vec<i64> {
+        let mut ids = Vec::new();
+        t.scan_batches_pruned(None, 3, predicate, mode, |batch| {
+            for row in batch.selected_rows() {
+                let keep = predicate.map_or(true, |p| {
+                    p.predicates.iter().all(|cp| {
+                        let v = &batch.column(cp.column)[row];
+                        !v.is_null()
+                            && match cp.op {
+                                PredicateOp::Eq => v == &cp.value,
+                                PredicateOp::Lt => v < &cp.value,
+                                PredicateOp::Le => v <= &cp.value,
+                                PredicateOp::Gt => v > &cp.value,
+                                PredicateOp::Ge => v >= &cp.value,
+                            }
+                    })
+                });
+                if keep {
+                    ids.push(batch.column(0)[row].as_int().unwrap());
+                }
+            }
+        });
+        ids.sort_unstable();
+        ids
     }
 
     #[test]
@@ -435,6 +722,7 @@ mod tests {
         assert_eq!(s.scans, 1);
         assert_eq!(s.slots_examined, 1);
         assert_eq!(s.rows_scanned, 1);
+        assert_eq!(s.chunks_scanned, 1);
     }
 
     #[test]
@@ -446,6 +734,7 @@ mod tests {
         assert_eq!(s.scans, 0, "scanning an empty table is a no-op");
         assert_eq!(s.slots_examined, 0);
         assert_eq!(s.rows_scanned, 0);
+        assert_eq!(s.chunks_scanned, 0);
     }
 
     #[test]
@@ -509,5 +798,233 @@ mod tests {
         assert_eq!(s.scans, 1);
         assert_eq!(s.slots_examined, 10);
         assert_eq!(s.rows_scanned, 9);
+    }
+
+    // -- chunk pruning ------------------------------------------------------
+
+    #[test]
+    fn zone_maps_prune_nonmatching_chunks() {
+        // 12 append-ordered rows with chunk size 4: chunk ranges are
+        // [0..4), [4..8), [8..12) on o_id.
+        let t = small_chunk_table();
+        for i in 0..12i64 {
+            t.apply_insert(&Key::int(i), &order(i, i * 100, "new"), 5, i as u64 + 1)
+                .unwrap();
+        }
+        let pred = eq(0, Value::Int(9));
+        let mut rows = Vec::new();
+        let outcome = t.scan_batches_pruned(None, 64, Some(&pred), PruningMode::Both, |batch| {
+            for row in batch.selected_rows() {
+                rows.push(batch.column(0)[row].clone());
+            }
+        });
+        assert_eq!(outcome.chunks_pruned_zonemap, 2);
+        assert_eq!(outcome.chunks_scanned, 1);
+        assert_eq!(
+            outcome.slots_examined, 4,
+            "only the surviving chunk is walked"
+        );
+        assert!(rows.contains(&Value::Int(9)));
+
+        // Range predicate: o_id >= 8 keeps only the last chunk.
+        let range = ScanPredicate::new(vec![ColumnPredicate::new(
+            0,
+            PredicateOp::Ge,
+            Value::Int(8),
+        )
+        .unwrap()]);
+        let outcome =
+            t.scan_batches_pruned(None, 64, Some(&range), PruningMode::ZoneMapOnly, |_| {});
+        assert_eq!(outcome.chunks_pruned_zonemap, 2);
+        assert_eq!(outcome.slots_examined, 4);
+    }
+
+    #[test]
+    fn pruned_slots_are_neither_examined_nor_scanned() {
+        // Satellite regression: pinned counters for a pruned scan.
+        let t = small_chunk_table();
+        for i in 0..12i64 {
+            t.apply_insert(&Key::int(i), &order(i, i * 100, "new"), 5, i as u64 + 1)
+                .unwrap();
+        }
+        t.apply_delete(&Key::int(5), 6, 20).unwrap();
+        let pred = eq(0, Value::Int(6));
+        let mut seen = 0usize;
+        let outcome = t.scan_batches_pruned(None, 64, Some(&pred), PruningMode::Both, |batch| {
+            seen += batch.selected_count();
+        });
+        assert_eq!(outcome.slots_examined, 4, "pruned slots are not examined");
+        assert_eq!(seen, 3, "deleted slot in the surviving chunk is deselected");
+        let s = t.stats();
+        assert_eq!(s.scans, 1);
+        assert_eq!(s.slots_examined, 4);
+        assert_eq!(s.rows_scanned, 3, "pruned slots are not scanned either");
+        assert_eq!(s.chunks_scanned, 1);
+        assert_eq!(s.chunks_pruned_zonemap, 2);
+        assert_eq!(s.chunks_pruned_filter, 0);
+    }
+
+    #[test]
+    fn updates_widen_zones_conservatively() {
+        let t = small_chunk_table();
+        for i in 0..8i64 {
+            t.apply_insert(&Key::int(i), &order(i, i * 100, "new"), 5, i as u64 + 1)
+                .unwrap();
+        }
+        // Move row 1's amount far outside its chunk's original [0, 300]
+        // amount range.
+        t.apply_update(&Key::int(1), &order(1, 99_000, "paid"), 6, 9)
+            .unwrap();
+        // The widened zone must admit the new value...
+        assert_eq!(
+            collect_ids(&t, Some(&eq(1, Value::Decimal(99_000))), PruningMode::Both),
+            vec![1]
+        );
+        // ...and conservatively still admit the overwritten old value: the
+        // chunk is scanned (zone kept the old contribution) but the full
+        // filter downstream finds nothing.
+        let pred = eq(1, Value::Decimal(100));
+        let outcome =
+            t.scan_batches_pruned(None, 64, Some(&pred), PruningMode::ZoneMapOnly, |_| {});
+        assert_eq!(
+            outcome.chunks_pruned_zonemap, 1,
+            "second chunk still prunes"
+        );
+        assert_eq!(outcome.chunks_scanned, 1, "widened chunk still scans");
+    }
+
+    #[test]
+    fn fully_deleted_chunks_prune_even_without_predicate() {
+        let t = small_chunk_table();
+        for i in 0..8i64 {
+            t.apply_insert(&Key::int(i), &order(i, i, "new"), 5, i as u64 + 1)
+                .unwrap();
+        }
+        for i in 0..4i64 {
+            t.apply_delete(&Key::int(i), 6, 10 + i as u64).unwrap();
+        }
+        let outcome = t.scan_batches_pruned(None, 64, None, PruningMode::Both, |_| {});
+        assert_eq!(outcome.chunks_pruned_zonemap, 1, "dead chunk skipped");
+        assert_eq!(outcome.slots_examined, 4);
+        // The unpruned scan still walks the dead slots.
+        assert_eq!(t.scan_batches(None, 64, |_| {}), 8);
+    }
+
+    #[test]
+    fn fingerprint_filter_prunes_sealed_chunks_zone_maps_cannot() {
+        // Amounts interleave across chunks so both chunks' zones span the
+        // whole range, but each value lives in exactly one chunk.
+        let t = small_chunk_table();
+        let amounts = [10i64, 30, 50, 70, 20, 40, 60, 80];
+        for (i, amount) in amounts.iter().enumerate() {
+            t.apply_insert(
+                &Key::int(i as i64),
+                &order(i as i64, *amount, "new"),
+                5,
+                i as u64 + 1,
+            )
+            .unwrap();
+        }
+        let pred = eq(1, Value::Decimal(40));
+        let outcome =
+            t.scan_batches_pruned(None, 64, Some(&pred), PruningMode::ZoneMapOnly, |_| {});
+        assert_eq!(outcome.chunks_scanned, 2, "overlapping zones cannot prune");
+
+        let outcome = t.scan_batches_pruned(None, 64, Some(&pred), PruningMode::Both, |_| {});
+        assert_eq!(outcome.chunks_pruned_filter, 1, "filter excludes chunk 0");
+        assert_eq!(outcome.chunks_scanned, 1);
+        assert_eq!(
+            collect_ids(&t, Some(&pred), PruningMode::Both),
+            collect_ids(&t, Some(&pred), PruningMode::Off),
+            "pruned and unpruned scans agree"
+        );
+    }
+
+    #[test]
+    fn unsealed_tail_chunk_gets_no_filter() {
+        let t = small_chunk_table();
+        for i in 0..6i64 {
+            t.apply_insert(
+                &Key::int(i),
+                &order(i, (i % 2) * 10, "new"),
+                5,
+                i as u64 + 1,
+            )
+            .unwrap();
+        }
+        // Probe a value absent everywhere: chunk 0 is sealed (filter prunes),
+        // the 2-slot tail is not sealed, so it has no filter and scans.
+        let pred = eq(1, Value::Decimal(7));
+        let outcome = t.scan_batches_pruned(None, 64, Some(&pred), PruningMode::FilterOnly, |_| {});
+        assert_eq!(outcome.chunks_pruned_filter, 1);
+        assert_eq!(outcome.chunks_scanned, 1);
+        assert_eq!(outcome.slots_examined, 2);
+    }
+
+    #[test]
+    fn filter_invalidated_by_update_never_loses_rows() {
+        let t = small_chunk_table();
+        for i in 0..8i64 {
+            t.apply_insert(&Key::int(i), &order(i, i * 10, "new"), 5, i as u64 + 1)
+                .unwrap();
+        }
+        let probe = eq(1, Value::Decimal(555));
+        // First scan builds the filters; 555 is nowhere.
+        assert_eq!(
+            collect_ids(&t, Some(&probe), PruningMode::FilterOnly),
+            Vec::<i64>::new()
+        );
+        // Update writes 555 into a sealed chunk; the stale filter must go.
+        t.apply_update(&Key::int(2), &order(2, 555, "paid"), 6, 9)
+            .unwrap();
+        assert_eq!(
+            collect_ids(&t, Some(&probe), PruningMode::FilterOnly),
+            vec![2]
+        );
+        // Same for the idempotent-insert overwrite path.
+        t.apply_insert(&Key::int(3), &order(3, 777, "new"), 7, 10)
+            .unwrap();
+        assert_eq!(
+            collect_ids(&t, Some(&eq(1, Value::Decimal(777))), PruningMode::Both),
+            vec![3]
+        );
+    }
+
+    #[test]
+    fn all_pruning_modes_agree_on_results() {
+        let t = small_chunk_table();
+        for i in 0..20i64 {
+            t.apply_insert(
+                &Key::int(i),
+                &order(i, (i * 37) % 11 * 100, "new"),
+                5,
+                i as u64 + 1,
+            )
+            .unwrap();
+        }
+        t.apply_delete(&Key::int(7), 6, 30).unwrap();
+        t.apply_update(&Key::int(3), &order(3, 4_200, "paid"), 7, 31)
+            .unwrap();
+        for pred in [
+            eq(1, Value::Decimal(300)),
+            eq(1, Value::Decimal(4_200)),
+            ScanPredicate::new(vec![
+                ColumnPredicate::new(0, PredicateOp::Ge, Value::Int(5)).unwrap(),
+                ColumnPredicate::new(0, PredicateOp::Lt, Value::Int(15)).unwrap(),
+            ]),
+        ] {
+            let baseline = collect_ids(&t, Some(&pred), PruningMode::Off);
+            for mode in [
+                PruningMode::ZoneMapOnly,
+                PruningMode::FilterOnly,
+                PruningMode::Both,
+            ] {
+                assert_eq!(
+                    collect_ids(&t, Some(&pred), mode),
+                    baseline,
+                    "mode {mode:?}"
+                );
+            }
+        }
     }
 }

@@ -1,0 +1,271 @@
+//! Per-chunk fingerprint filters for equality pruning.
+//!
+//! A [`FingerprintFilter`] is an xor-filter–family probabilistic set (the
+//! BinaryFuse8 lineage: three hash locations, one 8-bit fingerprint per
+//! slot, peeling-based construction) over the hashed `(column, value)` pairs
+//! of one sealed column-store chunk.  Space is ~1.23 bytes per key (~9.8
+//! bits/key); lookups read three fingerprints and xor them.  False positives
+//! happen at roughly the 8-bit fingerprint collision rate (~0.4%); false
+//! negatives never happen for any key the filter was built from, which is
+//! the property pruning correctness rests on.
+//!
+//! Keys are produced by [`fingerprint_hash`], which canonicalises values the
+//! same way [`Value`]'s equality does: all numeric variants hash through
+//! their `f64` representation, so `Decimal(200)`, `Int(2)` and `Float(2.0)`
+//! — which compare equal — produce the same key.  (For integers beyond
+//! 2^53 the `f64` round-trip is lossy; distinct values may share a key,
+//! which only ever creates extra false positives.)
+
+use crate::value::Value;
+
+/// Maximum seed retries before giving up on construction.  Peeling succeeds
+/// with high probability at 1.23x space; repeated failure is practically
+/// impossible for sane inputs, but callers must tolerate `None` (no filter
+/// simply means no filter pruning for that chunk).
+const MAX_BUILD_ATTEMPTS: u32 = 64;
+
+/// An immutable xor-style fingerprint filter over a set of 64-bit keys.
+#[derive(Debug, Clone)]
+pub struct FingerprintFilter {
+    seed: u64,
+    block_length: u32,
+    fingerprints: Vec<u8>,
+}
+
+impl FingerprintFilter {
+    /// Build a filter containing every key in `keys`.  Duplicates are fine.
+    /// Returns `None` only if peeling fails for every seed attempt.
+    pub fn build(keys: &[u64]) -> Option<FingerprintFilter> {
+        let mut unique: Vec<u64> = keys.to_vec();
+        unique.sort_unstable();
+        unique.dedup();
+
+        // Three equal blocks; 1.23x space plus slack for tiny sets.
+        let n = unique.len();
+        let block_length = ((n as f64 * 1.23 / 3.0).ceil() as u32 + 8).max(1);
+        let capacity = (block_length as usize) * 3;
+
+        let mut seed = 0x9e37_79b9_7f4a_7c15u64;
+        for _ in 0..MAX_BUILD_ATTEMPTS {
+            seed = splitmix64(seed);
+            if let Some(fingerprints) = try_build(&unique, seed, block_length, capacity) {
+                return Some(FingerprintFilter {
+                    seed,
+                    block_length,
+                    fingerprints,
+                });
+            }
+        }
+        None
+    }
+
+    /// Whether `key` may be in the set.  `false` is definitive.
+    pub fn contains(&self, key: u64) -> bool {
+        let h = splitmix64(key ^ self.seed);
+        let [i0, i1, i2] = slots(h, self.block_length);
+        let f = fingerprint(h);
+        f == self.fingerprints[i0] ^ self.fingerprints[i1] ^ self.fingerprints[i2]
+    }
+
+    /// Size of the fingerprint array in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.fingerprints.len()
+    }
+}
+
+/// Canonical 64-bit key for a `(column, value)` pair, or `None` for NULL
+/// (equality with NULL matches nothing, so NULLs are never filter keys).
+///
+/// Equality-consistent with [`Value`]'s `Eq`: values that compare equal
+/// (including cross-variant numerics) hash identically.
+pub fn fingerprint_hash(column: usize, value: &Value) -> Option<u64> {
+    let (tag, payload): (u64, u64) = match value {
+        Value::Null => return None,
+        Value::Bool(b) => (1, u64::from(*b)),
+        Value::Int(_) | Value::Decimal(_) | Value::Float(_) | Value::Timestamp(_) => {
+            // All numerics compare via f64 total order; total_cmp-equal
+            // values have identical bit patterns, so bits are canonical.
+            (2, value.as_f64().expect("numeric value").to_bits())
+        }
+        Value::Str(s) => (3, fnv1a(s.as_bytes())),
+    };
+    let mut h = splitmix64(column as u64 ^ 0x517c_c1b7_2722_0a95);
+    h = splitmix64(h ^ tag);
+    h = splitmix64(h ^ payload);
+    Some(h)
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// 8-bit fingerprint of a mixed hash.
+fn fingerprint(h: u64) -> u8 {
+    (h ^ (h >> 32) ^ (h >> 48)) as u8
+}
+
+/// Multiply-shift reduction of a 32-bit lane onto `[0, n)`.
+fn reduce(lane: u32, n: u32) -> usize {
+    ((u64::from(lane) * u64::from(n)) >> 32) as usize
+}
+
+/// The three slot indices of a mixed hash, one per block.
+fn slots(h: u64, block_length: u32) -> [usize; 3] {
+    let bl = block_length as usize;
+    [
+        reduce((h >> 32) as u32, block_length),
+        bl + reduce((h >> 16) as u32, block_length),
+        2 * bl + reduce(h as u32, block_length),
+    ]
+}
+
+/// One peeling attempt: returns the fingerprint array on success, `None`
+/// when the 3-uniform hypergraph for this seed is not peelable.
+fn try_build(keys: &[u64], seed: u64, block_length: u32, capacity: usize) -> Option<Vec<u8>> {
+    // Per-slot degree plus xor of the incident mixed hashes: a slot with
+    // degree one recovers its sole key directly from the xor aggregate.
+    let mut degree = vec![0u32; capacity];
+    let mut xor_hash = vec![0u64; capacity];
+    for &key in keys {
+        let h = splitmix64(key ^ seed);
+        for idx in slots(h, block_length) {
+            degree[idx] += 1;
+            xor_hash[idx] ^= h;
+        }
+    }
+
+    let mut queue: Vec<usize> = (0..capacity).filter(|&i| degree[i] == 1).collect();
+    let mut order: Vec<(u64, usize)> = Vec::with_capacity(keys.len());
+    while let Some(idx) = queue.pop() {
+        if degree[idx] != 1 {
+            continue;
+        }
+        let h = xor_hash[idx];
+        order.push((h, idx));
+        for other in slots(h, block_length) {
+            degree[other] -= 1;
+            xor_hash[other] ^= h;
+            if degree[other] == 1 {
+                queue.push(other);
+            }
+        }
+    }
+    if order.len() != keys.len() {
+        return None;
+    }
+
+    // Assign fingerprints in reverse peeling order: when a key is assigned,
+    // its two other slots already hold their final values (or stay zero).
+    let mut fingerprints = vec![0u8; capacity];
+    for &(h, idx) in order.iter().rev() {
+        let [i0, i1, i2] = slots(h, block_length);
+        let others = fingerprints[i0] ^ fingerprints[i1] ^ fingerprints[i2] ^ fingerprints[idx];
+        fingerprints[idx] = fingerprint(h) ^ others;
+    }
+    Some(fingerprints)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mixed_key(i: u64) -> u64 {
+        splitmix64(i.wrapping_mul(0x2545_f491_4f6c_dd1d))
+    }
+
+    #[test]
+    fn no_false_negatives() {
+        let keys: Vec<u64> = (0..2000).map(mixed_key).collect();
+        let filter = FingerprintFilter::build(&keys).expect("build succeeds");
+        for &k in &keys {
+            assert!(filter.contains(k));
+        }
+    }
+
+    #[test]
+    fn false_positive_rate_is_low() {
+        let keys: Vec<u64> = (0..4000).map(mixed_key).collect();
+        let filter = FingerprintFilter::build(&keys).expect("build succeeds");
+        let probes = 100_000u64;
+        let fps = (0..probes)
+            .map(|i| mixed_key(1_000_000 + i))
+            .filter(|&k| filter.contains(k))
+            .count();
+        // 8-bit fingerprints give ~1/256 ≈ 0.39%; allow generous slack.
+        assert!(
+            (fps as f64) / (probes as f64) < 0.02,
+            "false positive rate too high: {fps}/{probes}"
+        );
+    }
+
+    #[test]
+    fn space_is_about_ten_bits_per_key() {
+        let keys: Vec<u64> = (0..10_000).map(mixed_key).collect();
+        let filter = FingerprintFilter::build(&keys).expect("build succeeds");
+        let bits_per_key = (filter.size_bytes() * 8) as f64 / keys.len() as f64;
+        assert!(
+            bits_per_key < 11.0,
+            "filter too large: {bits_per_key} bits/key"
+        );
+    }
+
+    #[test]
+    fn duplicates_and_tiny_sets_build() {
+        let filter = FingerprintFilter::build(&[7, 7, 7, 42]).expect("build succeeds");
+        assert!(filter.contains(7));
+        assert!(filter.contains(42));
+
+        let empty = FingerprintFilter::build(&[]).expect("empty build succeeds");
+        let misses = (0..1000)
+            .map(mixed_key)
+            .filter(|&k| empty.contains(k))
+            .count();
+        assert!(misses <= 20, "empty filter matched {misses} probes");
+    }
+
+    #[test]
+    fn hash_is_equality_consistent_across_numeric_variants() {
+        // Decimal stores cents: Decimal(200) == Int(2) == Float(2.0).
+        let a = fingerprint_hash(3, &Value::Decimal(200));
+        let b = fingerprint_hash(3, &Value::Int(2));
+        let c = fingerprint_hash(3, &Value::Float(2.0));
+        assert_eq!(a, b);
+        assert_eq!(b, c);
+        assert_ne!(a, fingerprint_hash(3, &Value::Int(3)));
+        // Same value in a different column is a different key.
+        assert_ne!(a, fingerprint_hash(4, &Value::Int(2)));
+    }
+
+    #[test]
+    fn nulls_have_no_key() {
+        assert_eq!(fingerprint_hash(0, &Value::Null), None);
+    }
+
+    #[test]
+    fn strings_and_bools_hash_by_content() {
+        assert_eq!(
+            fingerprint_hash(0, &Value::str("abc")),
+            fingerprint_hash(0, &Value::str("abc"))
+        );
+        assert_ne!(
+            fingerprint_hash(0, &Value::str("abc")),
+            fingerprint_hash(0, &Value::str("abd"))
+        );
+        assert_ne!(
+            fingerprint_hash(0, &Value::Bool(true)),
+            fingerprint_hash(0, &Value::Bool(false))
+        );
+    }
+}

@@ -41,6 +41,7 @@ pub mod checkpoint;
 pub mod colstore;
 pub mod cost;
 pub mod error;
+pub mod filter;
 pub mod key;
 pub mod replication;
 pub mod row;
@@ -48,6 +49,7 @@ pub mod rowstore;
 pub mod schema;
 pub mod value;
 pub mod wal;
+pub mod zonemap;
 
 #[cfg(test)]
 pub(crate) mod test_util;
@@ -59,6 +61,7 @@ pub use checkpoint::{CheckpointData, TableCheckpoint};
 pub use colstore::{ColumnTable, ColumnTableStats};
 pub use cost::{CostParams, StorageMedium};
 pub use error::{StorageError, StorageResult};
+pub use filter::{fingerprint_hash, FingerprintFilter};
 pub use key::Key;
 pub use replication::{LogRecord, MutationOp, ReplicationLog, Replicator};
 pub use row::Row;
@@ -66,6 +69,10 @@ pub use rowstore::{RowTable, RowTableStats, ScanDirection};
 pub use schema::{ColumnDef, DataType, IndexDef, TableSchema};
 pub use value::Value;
 pub use wal::{SyncPolicy, Wal, WalOp, WalRecord, WalReplay, WalStatsSnapshot};
+pub use zonemap::{
+    ChunkZone, ColumnPredicate, ColumnZone, PredicateOp, PruningMode, ScanOutcome, ScanPredicate,
+    DEFAULT_CHUNK_SIZE as DEFAULT_PRUNE_CHUNK_SIZE,
+};
 
 /// Transaction timestamp type used throughout the stack.
 ///

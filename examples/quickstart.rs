@@ -55,4 +55,8 @@ fn main() {
         "commits={} aborts={} lock-overhead={:.4} replication-lag={} records",
         result.commits, result.aborts, result.lock_overhead, result.replication_lag
     );
+    println!(
+        "columnar chunks: scanned={} pruned-by-zonemap={} pruned-by-filter={}",
+        result.chunks_scanned, result.chunks_pruned_zonemap, result.chunks_pruned_filter
+    );
 }

@@ -63,6 +63,72 @@ pub trait Strategy {
 
     /// Draw one value.
     fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Map sampled values through `f`.
+    fn prop_map<T, F: Fn(Self::Value) -> T>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { strategy: self, f }
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    strategy: S,
+    f: F,
+}
+
+impl<S: Strategy, T, F: Fn(S::Value) -> T> Strategy for Map<S, F> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        (self.f)(self.strategy.sample(rng))
+    }
+}
+
+/// Boxed sampling closure making up one arm of a [`Union`].
+pub type UnionArm<T> = Box<dyn Fn(&mut TestRng) -> T>;
+
+/// See [`prop_oneof!`]: picks one of several strategies (all producing the
+/// same value type) uniformly at random per sample.
+pub struct Union<T> {
+    arms: Vec<UnionArm<T>>,
+}
+
+impl<T> Union<T> {
+    #[doc(hidden)]
+    pub fn new(arms: Vec<UnionArm<T>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        let i = rng.0.gen_range(0..self.arms.len());
+        (self.arms[i])(rng)
+    }
+}
+
+/// Sample from one of several strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::Union::new(::std::vec![
+            $({
+                let __s = $strategy;
+                ::std::boxed::Box::new(
+                    move |__rng: &mut $crate::test_runner::TestRng| {
+                        $crate::Strategy::sample(&__s, __rng)
+                    },
+                )
+                    as ::std::boxed::Box<
+                        dyn Fn(&mut $crate::test_runner::TestRng) -> _,
+                    >
+            }),+
+        ])
+    };
 }
 
 macro_rules! int_strategies {
@@ -276,8 +342,8 @@ pub mod prelude {
     pub use crate::collection;
     pub use crate::test_runner::TestRng;
     pub use crate::{
-        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Just, ProptestConfig,
-        Strategy,
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest, Just,
+        ProptestConfig, Strategy, Union,
     };
 }
 
