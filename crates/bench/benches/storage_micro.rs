@@ -184,6 +184,55 @@ fn bench_colstore_and_replication(c: &mut Criterion) {
     }
     group.finish();
 
+    // Encoded vs. plain execution of the same scans. Both tables hold the
+    // same 100k rows; one is fully compacted into dictionary/RLE-encoded main
+    // chunks, the other keeps everything in the plain delta tier. The
+    // encoded equality scan matches dictionary codes and skips decoding for
+    // windows with no survivors.
+    let mut group = c.benchmark_group("colstore_encoded");
+    group.measurement_time(Duration::from_millis(800));
+    group.sample_size(10);
+    let encoded = ColumnTable::new(item_schema());
+    for i in 0..100_000i64 {
+        encoded
+            .apply_insert(&Key::int(i), &item(i), 1, i as u64 + 1)
+            .unwrap();
+    }
+    encoded.compact();
+    let name_eq = ScanPredicate::new(
+        ColumnPredicate::new(1, PredicateOp::Eq, Value::Str("item-7".into()))
+            .into_iter()
+            .collect(),
+    );
+    for (label, table) in [("plain", &big), ("encoded", &encoded)] {
+        group.bench_function(format!("name_eq_scan_100k_{label}"), |b| {
+            b.iter(|| {
+                let mut count = 0usize;
+                table.scan_batches_pruned(
+                    Some(&[1]),
+                    1024,
+                    Some(&name_eq),
+                    PruningMode::Off,
+                    |batch| count += batch.selected_rows().count(),
+                );
+                count
+            })
+        });
+        group.bench_function(format!("full_scan_sum_100k_{label}"), |b| {
+            b.iter(|| {
+                let mut sum = 0f64;
+                table.scan_batches(Some(&[2]), 1024, |batch| {
+                    let prices = batch.column(0);
+                    for row in batch.selected_rows() {
+                        sum += prices[row].as_f64().unwrap_or(0.0);
+                    }
+                });
+                sum
+            })
+        });
+    }
+    group.finish();
+
     let mut group = c.benchmark_group("replication");
     group.measurement_time(Duration::from_millis(600));
     group.sample_size(20);

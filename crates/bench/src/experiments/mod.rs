@@ -8,6 +8,7 @@
 //! its qualitative shape (who wins, direction and rough magnitude of the
 //! effects) is expected to match.
 
+mod compression;
 mod design;
 mod durability;
 mod prefilter;
@@ -149,6 +150,7 @@ pub fn all_experiment_ids() -> Vec<&'static str> {
         "durability",
         "shards",
         "prefilter",
+        "compression",
     ]
 }
 
@@ -172,6 +174,7 @@ pub fn run_experiment(id: &str, opts: ExpOptions) -> Option<String> {
         "durability" => durability::commit_latency_by_sync_policy(opts),
         "shards" => scaling::shard_scaling(opts),
         "prefilter" => prefilter::selectivity_sweep(opts),
+        "compression" => compression::compression(opts),
         _ => return None,
     };
     Some(report)

@@ -55,6 +55,17 @@ pub struct BenchmarkResult {
     pub chunks_pruned_zonemap: u64,
     /// Column-store chunks skipped by fingerprint filters during the run.
     pub chunks_pruned_filter: u64,
+    /// Live rows in surviving compressed main-tier chunks deselected by
+    /// predicate evaluation on encoded columns during the run.
+    pub rows_pruned_encoded: u64,
+    /// Delta chunks sealed into the compressed main tier during the run.
+    pub chunks_compacted: u64,
+    /// Bytes resident across the columnar replicas at the end of the run
+    /// (encoded main chunks plus plain delta tails).
+    pub col_bytes_resident: u64,
+    /// Columnar compression ratio at the end of the run: bytes the same data
+    /// would occupy unencoded per resident byte (1.0 when uncompressed).
+    pub col_compression_ratio: f64,
     /// Buffer-pool misses during the run.
     pub buffer_misses: u64,
     /// Replication lag (records) at the end of the run.
@@ -283,6 +294,11 @@ impl BenchmarkDriver {
             chunks_scanned: delta.chunks_scanned,
             chunks_pruned_zonemap: delta.chunks_pruned_zonemap,
             chunks_pruned_filter: delta.chunks_pruned_filter,
+            rows_pruned_encoded: delta.rows_pruned_encoded,
+            chunks_compacted: delta.chunks_compacted,
+            // Footprint is a gauge: report the run-end state, not a delta.
+            col_bytes_resident: metrics_after.col_bytes_resident,
+            col_compression_ratio: metrics_after.col_compression_ratio(),
             buffer_misses: delta.buffer_misses,
             replication_lag: db.replication_lag(),
             replication_errors: delta.replication_errors,

@@ -253,6 +253,21 @@ pub struct EngineConfig {
     /// (`off`/`zonemap`/`filter`/`both`) so the whole test suite can be re-run
     /// with pruning disabled without code changes.
     pub pruning: PruningMode,
+    /// Run a dedicated background compactor thread that seals full delta
+    /// chunks of the columnar replicas into the compressed, immutable main
+    /// tier (dictionary / run-length encoded per column, with tight zone maps
+    /// and fingerprint filters rebuilt during the rewrite).  Compaction never
+    /// changes results — global slot indices are stable and scans read both
+    /// tiers — so disabling it only keeps every chunk in the plain delta
+    /// format.  Constructors honour the `OLXP_TEST_COMPRESSION` environment
+    /// variable (`off`/`0`/`false`/`none` disables) so the whole test suite
+    /// can be re-run without compression without code changes.
+    pub compression: bool,
+    /// How long the background compactor parks (microseconds) between sweeps
+    /// when no table has a full delta chunk to seal.  Replication appliers
+    /// nudge it after applying mutations; this bounds staleness when writes
+    /// arrive while it is parked and the worst-case shutdown latency.
+    pub compactor_idle_wait_us: u64,
 }
 
 /// Default shard count: `OLXP_TEST_SHARDS` if set to a positive integer,
@@ -272,6 +287,19 @@ fn default_pruning() -> PruningMode {
         .ok()
         .and_then(|v| PruningMode::parse(&v))
         .unwrap_or_default()
+}
+
+/// Default compression switch: on unless `OLXP_TEST_COMPRESSION` is set to
+/// `off`, `0`, `false` or `none`.
+fn default_compression() -> bool {
+    !std::env::var("OLXP_TEST_COMPRESSION")
+        .map(|v| {
+            matches!(
+                v.trim().to_ascii_lowercase().as_str(),
+                "off" | "0" | "false" | "none"
+            )
+        })
+        .unwrap_or(false)
 }
 
 impl EngineConfig {
@@ -295,6 +323,8 @@ impl EngineConfig {
             durability: DurabilityConfig::disabled(),
             shards: default_shards(),
             pruning: default_pruning(),
+            compression: default_compression(),
+            compactor_idle_wait_us: 10_000,
         }
     }
 
@@ -318,6 +348,8 @@ impl EngineConfig {
             durability: DurabilityConfig::disabled(),
             shards: default_shards(),
             pruning: default_pruning(),
+            compression: default_compression(),
+            compactor_idle_wait_us: 10_000,
         }
     }
 
@@ -396,6 +428,13 @@ impl EngineConfig {
         self
     }
 
+    /// Enable or disable delta/main compression and the background compactor
+    /// (builder style).
+    pub fn with_compression(mut self, enabled: bool) -> EngineConfig {
+        self.compression = enabled;
+        self
+    }
+
     /// Storage medium implied by the architecture.
     pub fn medium(&self) -> StorageMedium {
         match self.architecture {
@@ -454,6 +493,11 @@ impl EngineConfig {
         if self.freshness.is_bounded() && self.freshness_timeout_ms == 0 {
             return Err(EngineError::Config(
                 "freshness_timeout_ms must be >= 1 under a bounded freshness policy".into(),
+            ));
+        }
+        if self.compactor_idle_wait_us == 0 {
+            return Err(EngineError::Config(
+                "compactor_idle_wait_us must be >= 1".into(),
             ));
         }
         if self.shards == 0 {
@@ -589,6 +633,21 @@ mod tests {
         let disabled = EngineConfig::dual_engine()
             .with_durability(DurabilityConfig::disabled().with_segment_bytes(16));
         assert!(disabled.validate().is_ok());
+    }
+
+    #[test]
+    fn compression_defaults_and_validation() {
+        // Defaults follow OLXP_TEST_COMPRESSION, which the CI matrix sets;
+        // the builder always wins over the environment.
+        let cfg = EngineConfig::dual_engine().with_compression(true);
+        assert!(cfg.compression);
+        assert!(cfg.validate().is_ok());
+        let off = EngineConfig::dual_engine().with_compression(false);
+        assert!(!off.compression);
+        assert!(off.validate().is_ok());
+        let mut bad = EngineConfig::dual_engine();
+        bad.compactor_idle_wait_us = 0;
+        assert!(bad.validate().is_err());
     }
 
     #[test]

@@ -18,11 +18,12 @@ use crate::session::Session;
 use olxp_storage::checkpoint::{load_latest_checkpoint, write_checkpoint};
 use olxp_storage::wal::{ReplayedRecord, WalReplay};
 use olxp_storage::{
-    Catalog, CheckpointData, ColumnTable, Key, MutationOp, ReplicationLog, Replicator, Row,
-    RowTable, StorageError, TableCheckpoint, TableSchema, Timestamp, Wal, WalOp, WalRecord,
+    Catalog, CheckpointData, ColumnTable, Key, MemoryFootprint, MutationOp, ReplicationLog,
+    Replicator, Row, RowTable, StorageError, TableCheckpoint, TableSchema, Timestamp, Wal, WalOp,
+    WalRecord,
 };
 use olxp_txn::TransactionManager;
-use parking_lot::{Mutex, RwLock, RwLockReadGuard};
+use parking_lot::{Condvar, Mutex, RwLock, RwLockReadGuard};
 use std::collections::hash_map::DefaultHasher;
 use std::collections::{HashMap, HashSet};
 use std::hash::{Hash, Hasher};
@@ -44,6 +45,50 @@ pub enum AnalyticalRoute {
 struct BackgroundApplier {
     shutdown: Arc<AtomicBool>,
     handle: Option<std::thread::JoinHandle<()>>,
+}
+
+/// The dedicated delta-compactor thread and its shutdown plumbing.
+struct BackgroundCompactor {
+    shutdown: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+/// Wake-up signal between the writers that grow delta tails (the replication
+/// appliers and opportunistic catch-up) and the background compactor.
+///
+/// A plain `Mutex<bool>` + condvar rather than a queue: the compactor sweeps
+/// every table anyway, so all a notification needs to convey is "something
+/// was applied since your last sweep".  The flag absorbs notifications that
+/// arrive while the compactor is mid-sweep, so work is never missed, and the
+/// timed wait bounds staleness if a notification is ever lost.
+struct CompactionSignal {
+    pending: Mutex<bool>,
+    condvar: Condvar,
+}
+
+impl CompactionSignal {
+    fn new() -> CompactionSignal {
+        CompactionSignal {
+            pending: Mutex::new(false),
+            condvar: Condvar::new(),
+        }
+    }
+
+    /// Record that delta tails may have grown and wake the compactor.
+    fn notify(&self) {
+        *self.pending.lock() = true;
+        self.condvar.notify_one();
+    }
+
+    /// Park until notified (or `timeout`), consuming the pending flag.
+    fn wait(&self, timeout: Duration) {
+        let mut pending = self.pending.lock();
+        if !*pending {
+            self.condvar
+                .wait_until(&mut pending, std::time::Instant::now() + timeout);
+        }
+        *pending = false;
+    }
 }
 
 /// The shard owning `(table, key)` among `shard_count` hash partitions.
@@ -140,11 +185,19 @@ pub struct RecoveryReport {
 /// "background process" behind TiDB's asynchronous log replication.  Each
 /// thread parks when its log is empty, wakes on append, and is joined when
 /// the last reference to the database is dropped.
+/// Shared columnar replica map (see `HybridDatabase::col_tables` for why the
+/// container itself is reference-counted).
+type SharedColumnTables = Arc<RwLock<Arc<HashMap<String, Arc<ColumnTable>>>>>;
+
 pub struct HybridDatabase {
     config: EngineConfig,
     catalog: Catalog,
     shards: Vec<Shard>,
-    col_tables: RwLock<Arc<HashMap<String, Arc<ColumnTable>>>>,
+    /// Shared columnar replicas.  The outer `Arc` lets the background
+    /// compactor hold the *container* without holding the database (no
+    /// `Arc` cycle), so tables installed after the thread starts are still
+    /// picked up on its next sweep.
+    col_tables: SharedColumnTables,
     txn_mgr: TransactionManager,
     cluster: Cluster,
     metrics: Arc<EngineMetrics>,
@@ -163,6 +216,11 @@ pub struct HybridDatabase {
     checkpointing: AtomicBool,
     checkpoints_taken: AtomicU64,
     checkpoint_failures: AtomicU64,
+    /// Wakes the background compactor when replication grows a delta tail.
+    compaction: Arc<CompactionSignal>,
+    /// The background delta-compactor thread (when
+    /// [`EngineConfig::compression`] is on).
+    compactor: Mutex<Option<BackgroundCompactor>>,
 }
 
 impl HybridDatabase {
@@ -236,7 +294,7 @@ impl HybridDatabase {
             config,
             catalog: Catalog::new(),
             shards,
-            col_tables: RwLock::new(Arc::new(HashMap::new())),
+            col_tables: Arc::new(RwLock::new(Arc::new(HashMap::new()))),
             txn_mgr,
             cluster,
             metrics,
@@ -248,6 +306,8 @@ impl HybridDatabase {
             checkpointing: AtomicBool::new(false),
             checkpoints_taken: AtomicU64::new(0),
             checkpoint_failures: AtomicU64::new(0),
+            compaction: Arc::new(CompactionSignal::new()),
+            compactor: Mutex::new(None),
         });
         if db.is_durable() {
             let report = db.recover(checkpoint, replays)?;
@@ -262,8 +322,17 @@ impl HybridDatabase {
                     Arc::clone(&db.metrics),
                     db.config.replication_batch,
                     Duration::from_micros(db.config.applier_idle_wait_us),
+                    Arc::clone(&db.compaction),
                 ));
             }
+        }
+        if db.config.compression {
+            *db.compactor.lock() = Some(spawn_compactor(
+                Arc::clone(&db.col_tables),
+                Arc::clone(&db.compaction),
+                Arc::clone(&db.metrics),
+                Duration::from_micros(db.config.compactor_idle_wait_us),
+            ));
         }
         Ok(db)
     }
@@ -309,7 +378,19 @@ impl HybridDatabase {
         let mut snapshot = self.metrics.snapshot();
         snapshot.wal = self.wal_metrics();
         snapshot.shards = self.shards.len() as u64;
+        let footprint = self.columnar_footprint();
+        snapshot.col_bytes_resident = footprint.bytes_resident as u64;
+        snapshot.col_bytes_plain = footprint.bytes_plain as u64;
         snapshot
+    }
+
+    /// Aggregate resident-memory footprint of every columnar replica.
+    pub fn columnar_footprint(&self) -> MemoryFootprint {
+        let mut footprint = MemoryFootprint::default();
+        for table in self.col_tables.read().values() {
+            footprint.merge(&table.memory_footprint());
+        }
+        footprint
     }
 
     /// Durability counters (all-zero for in-memory engines).  Counters are
@@ -655,6 +736,7 @@ impl HybridDatabase {
         }
         if total > 0 {
             self.metrics.add_replication_applied(total as u64);
+            self.compaction.notify();
         }
         Ok(total)
     }
@@ -678,6 +760,41 @@ impl HybridDatabase {
                 let _ = handle.join();
             }
         }
+    }
+
+    /// True while the background delta-compactor thread is running.
+    pub fn has_background_compactor(&self) -> bool {
+        self.compactor.lock().is_some()
+    }
+
+    /// Stop the background delta-compactor thread and wait for it to exit.
+    /// Delta chunks stop migrating to the compressed main tier (explicit
+    /// [`Self::compact_columnar`] calls still work).  Idempotent; also
+    /// invoked on drop.
+    pub fn shutdown_compactor(&self) {
+        let Some(mut compactor) = self.compactor.lock().take() else {
+            return;
+        };
+        compactor.shutdown.store(true, Ordering::Release);
+        self.compaction.notify();
+        if let Some(handle) = compactor.handle.take() {
+            let _ = handle.join();
+        }
+    }
+
+    /// Synchronously seal every full delta chunk of every columnar replica
+    /// into the compressed main tier — the same migration the background
+    /// compactor performs continuously.  Returns the number of chunks sealed.
+    /// Used by benchmarks that want a settled store before measuring and by
+    /// engines running with the compactor disabled.
+    pub fn compact_columnar(&self) -> u64 {
+        let tables: Vec<Arc<ColumnTable>> = self.col_tables.read().values().cloned().collect();
+        let mut sealed = 0u64;
+        for table in tables {
+            sealed += table.compact() as u64;
+        }
+        self.metrics.add_chunks_compacted(sealed);
+        sealed
     }
 
     /// Records appended to the replication logs but not yet applied, summed
@@ -804,6 +921,7 @@ impl HybridDatabase {
     /// already on disk and survives a subsequent [`HybridDatabase::open`].
     pub fn simulate_crash(&self) {
         self.shutdown_applier();
+        self.shutdown_compactor();
         for shard in &self.shards {
             if let Some(wal) = &shard.wal {
                 wal.mark_crashed();
@@ -1146,6 +1264,7 @@ impl HybridDatabase {
 impl Drop for HybridDatabase {
     fn drop(&mut self) {
         self.shutdown_applier();
+        self.shutdown_compactor();
     }
 }
 
@@ -1163,6 +1282,7 @@ fn spawn_applier(
     metrics: Arc<EngineMetrics>,
     batch: usize,
     idle_wait: Duration,
+    compaction: Arc<CompactionSignal>,
 ) -> BackgroundApplier {
     let shutdown = Arc::new(AtomicBool::new(false));
     let stop = Arc::clone(&shutdown);
@@ -1184,6 +1304,9 @@ fn spawn_applier(
                     }
                     Ok(applied) => {
                         metrics.add_replication_applied(applied as u64);
+                        // Applied mutations grow delta tails: give the
+                        // compactor a chance to seal any chunk they filled.
+                        compaction.notify();
                         backoff = initial_backoff;
                     }
                     Err(_) => {
@@ -1196,6 +1319,50 @@ fn spawn_applier(
         })
         .expect("spawning the replication applier thread succeeds");
     BackgroundApplier {
+        shutdown,
+        handle: Some(handle),
+    }
+}
+
+/// Spawn the database's delta-compactor thread.
+///
+/// Each sweep snapshots the current table map (so tables installed later are
+/// picked up) and seals every full delta chunk into the compressed main tier.
+/// A sweep that sealed nothing parks on the [`CompactionSignal`] until the
+/// replication appliers apply more mutations (or the idle timeout elapses —
+/// the self-poll fallback that bounds staleness when writes bypass the
+/// appliers, e.g. opportunistic catch-up with the background applier off).
+fn spawn_compactor(
+    col_tables: SharedColumnTables,
+    signal: Arc<CompactionSignal>,
+    metrics: Arc<EngineMetrics>,
+    idle_wait: Duration,
+) -> BackgroundCompactor {
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let stop = Arc::clone(&shutdown);
+    let handle = std::thread::Builder::new()
+        .name("olxp-delta-compactor".to_string())
+        .spawn(move || {
+            while !stop.load(Ordering::Acquire) {
+                let tables: Vec<Arc<ColumnTable>> = col_tables.read().values().cloned().collect();
+                let mut sealed = 0u64;
+                for table in tables {
+                    if stop.load(Ordering::Acquire) {
+                        break;
+                    }
+                    // `compact` takes the table's write lock once per chunk,
+                    // so readers and the applier interleave with the rewrite.
+                    let chunks = table.compact() as u64;
+                    metrics.add_chunks_compacted(chunks);
+                    sealed += chunks;
+                }
+                if sealed == 0 {
+                    signal.wait(idle_wait);
+                }
+            }
+        })
+        .expect("spawning the delta compactor thread succeeds");
+    BackgroundCompactor {
         shutdown,
         handle: Some(handle),
     }
@@ -1342,6 +1509,71 @@ mod tests {
         db.shutdown_applier(); // idempotent
                                // Dropping the database after an explicit shutdown must not hang.
         drop(db);
+    }
+
+    #[test]
+    fn compactor_shuts_down_cleanly_and_idempotently() {
+        let db = HybridDatabase::new(EngineConfig::dual_engine().with_compression(true)).unwrap();
+        assert!(db.has_background_compactor());
+        db.shutdown_compactor();
+        assert!(!db.has_background_compactor());
+        db.shutdown_compactor(); // idempotent
+        drop(db);
+
+        let off = HybridDatabase::new(EngineConfig::dual_engine().with_compression(false)).unwrap();
+        assert!(!off.has_background_compactor());
+    }
+
+    #[test]
+    fn background_compactor_seals_replicated_chunks() {
+        // Small time budget: load enough rows to fill several default-size
+        // chunks and wait for the compactor to migrate them to main.
+        let db = HybridDatabase::new(EngineConfig::dual_engine().with_compression(true)).unwrap();
+        db.create_table(item_schema()).unwrap();
+        let rows = 3 * olxp_storage::DEFAULT_PRUNE_CHUNK_SIZE as i64;
+        for i in 0..rows {
+            db.load_row(
+                "ITEM",
+                Row::new(vec![Value::Int(i), Value::Decimal(i % 16)]),
+            )
+            .unwrap();
+        }
+        let table = db.col_table("ITEM").unwrap();
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        // Poll the metric (charged after the seal) so every assertion below
+        // observes a settled state.
+        while db.metrics_snapshot().chunks_compacted < 3 {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "compactor failed to seal full chunks (sealed {})",
+                table.main_chunk_count()
+            );
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert!(table.main_chunk_count() >= 3);
+        assert_eq!(table.live_row_count(), rows as usize);
+        let snapshot = db.metrics_snapshot();
+        assert!(
+            snapshot.col_bytes_resident < snapshot.col_bytes_plain,
+            "encoded main chunks shrink the resident footprint"
+        );
+        assert!(snapshot.col_compression_ratio() > 1.0);
+    }
+
+    #[test]
+    fn explicit_compaction_works_with_the_compactor_disabled() {
+        let db = HybridDatabase::new(EngineConfig::dual_engine().with_compression(false)).unwrap();
+        db.create_table(item_schema()).unwrap();
+        let rows = 2 * olxp_storage::DEFAULT_PRUNE_CHUNK_SIZE as i64;
+        for i in 0..rows {
+            db.load_row("ITEM", Row::new(vec![Value::Int(i), Value::Decimal(i % 4)]))
+                .unwrap();
+        }
+        db.finish_load().unwrap();
+        assert_eq!(db.col_table("ITEM").unwrap().main_chunk_count(), 0);
+        assert_eq!(db.compact_columnar(), 2);
+        assert_eq!(db.col_table("ITEM").unwrap().main_chunk_count(), 2);
+        assert_eq!(db.metrics_snapshot().chunks_compacted, 2);
     }
 
     #[test]

@@ -113,6 +113,8 @@ pub struct EngineMetrics {
     chunks_scanned: AtomicU64,
     chunks_pruned_zonemap: AtomicU64,
     chunks_pruned_filter: AtomicU64,
+    rows_pruned_encoded: AtomicU64,
+    chunks_compacted: AtomicU64,
     query_batches: AtomicU64,
     buffer_misses: AtomicU64,
     replication_applied: AtomicU64,
@@ -147,6 +149,12 @@ pub struct MetricsSnapshot {
     /// Column-store chunks skipped because a per-chunk fingerprint filter
     /// ruled out an equality probe that survived the zone maps.
     pub chunks_pruned_filter: u64,
+    /// Live rows in surviving compressed main-tier chunks that predicate
+    /// evaluation on the encoded columns deselected before decoding.
+    pub rows_pruned_encoded: u64,
+    /// Delta chunks the background compactor sealed into the compressed main
+    /// tier.
+    pub chunks_compacted: u64,
     /// Column batches streamed through the vectorized query executor.
     pub query_batches: u64,
     /// Buffer-pool page misses.
@@ -167,6 +175,13 @@ pub struct MetricsSnapshot {
     /// Number of hash-partitioned storage shards the engine runs with
     /// (filled in by [`crate::HybridDatabase::metrics_snapshot`]).
     pub shards: u64,
+    /// Bytes currently resident across every columnar replica: encoded main
+    /// chunks plus the plain delta tails.  A gauge filled in by
+    /// [`crate::HybridDatabase::metrics_snapshot`], not a counter.
+    pub col_bytes_resident: u64,
+    /// Bytes the same columnar data would occupy with every tier unencoded
+    /// (gauge, filled like [`MetricsSnapshot::col_bytes_resident`]).
+    pub col_bytes_plain: u64,
 }
 
 impl MetricsSnapshot {
@@ -178,6 +193,15 @@ impl MetricsSnapshot {
     /// Total queue wait across all classes.
     pub fn total_queue_wait_nanos(&self) -> u64 {
         self.queue_wait_nanos.iter().sum()
+    }
+
+    /// Columnar compression ratio: plain bytes per resident byte (1.0 when
+    /// nothing is stored or nothing is compressed).
+    pub fn col_compression_ratio(&self) -> f64 {
+        if self.col_bytes_resident == 0 {
+            return 1.0;
+        }
+        self.col_bytes_plain as f64 / self.col_bytes_resident as f64
     }
 
     /// Difference between two snapshots (`self - earlier`), element-wise.
@@ -204,6 +228,12 @@ impl MetricsSnapshot {
         out.chunks_pruned_filter = self
             .chunks_pruned_filter
             .saturating_sub(earlier.chunks_pruned_filter);
+        out.rows_pruned_encoded = self
+            .rows_pruned_encoded
+            .saturating_sub(earlier.rows_pruned_encoded);
+        out.chunks_compacted = self
+            .chunks_compacted
+            .saturating_sub(earlier.chunks_compacted);
         out.query_batches = self.query_batches.saturating_sub(earlier.query_batches);
         out.buffer_misses = self.buffer_misses.saturating_sub(earlier.buffer_misses);
         out.replication_applied = self
@@ -219,8 +249,11 @@ impl MetricsSnapshot {
             .distributed_commits
             .saturating_sub(earlier.distributed_commits);
         // WAL counters subtract; the percentiles and LSN watermarks are
-        // lifetime values, so the newer snapshot's are carried over.
+        // lifetime values, so the newer snapshot's are carried over, as are
+        // the resident-bytes gauges (a delta of gauges is meaningless).
         out.shards = self.shards;
+        out.col_bytes_resident = self.col_bytes_resident;
+        out.col_bytes_plain = self.col_bytes_plain;
         out.wal = self.wal;
         out.wal.appends = self.wal.appends.saturating_sub(earlier.wal.appends);
         out.wal.fsyncs = self.wal.fsyncs.saturating_sub(earlier.wal.fsyncs);
@@ -288,8 +321,15 @@ impl EngineMetrics {
     }
 
     /// Record one query's column-store chunk accounting: chunks whose rows
-    /// were scanned, and chunks skipped by zone maps or fingerprint filters.
-    pub fn add_chunk_pruning(&self, scanned: u64, pruned_zonemap: u64, pruned_filter: u64) {
+    /// were scanned, chunks skipped by zone maps or fingerprint filters, and
+    /// rows deselected by predicate evaluation on encoded main-tier columns.
+    pub fn add_chunk_pruning(
+        &self,
+        scanned: u64,
+        pruned_zonemap: u64,
+        pruned_filter: u64,
+        rows_pruned_encoded: u64,
+    ) {
         if scanned > 0 {
             self.chunks_scanned.fetch_add(scanned, Ordering::Relaxed);
         }
@@ -300,6 +340,17 @@ impl EngineMetrics {
         if pruned_filter > 0 {
             self.chunks_pruned_filter
                 .fetch_add(pruned_filter, Ordering::Relaxed);
+        }
+        if rows_pruned_encoded > 0 {
+            self.rows_pruned_encoded
+                .fetch_add(rows_pruned_encoded, Ordering::Relaxed);
+        }
+    }
+
+    /// Record delta chunks sealed into the compressed main tier.
+    pub fn add_chunks_compacted(&self, chunks: u64) {
+        if chunks > 0 {
+            self.chunks_compacted.fetch_add(chunks, Ordering::Relaxed);
         }
     }
 
@@ -369,16 +420,21 @@ impl EngineMetrics {
             chunks_scanned: self.chunks_scanned.load(Ordering::Relaxed),
             chunks_pruned_zonemap: self.chunks_pruned_zonemap.load(Ordering::Relaxed),
             chunks_pruned_filter: self.chunks_pruned_filter.load(Ordering::Relaxed),
+            rows_pruned_encoded: self.rows_pruned_encoded.load(Ordering::Relaxed),
+            chunks_compacted: self.chunks_compacted.load(Ordering::Relaxed),
             query_batches: self.query_batches.load(Ordering::Relaxed),
             buffer_misses: self.buffer_misses.load(Ordering::Relaxed),
             replication_applied: self.replication_applied.load(Ordering::Relaxed),
             replication_errors: self.replication_errors.load(Ordering::Relaxed),
             distributed_commits: self.distributed_commits.load(Ordering::Relaxed),
             freshness_observations: self.freshness_observations.load(Ordering::Relaxed),
-            // The WAL and shard layout live on the database, not here;
-            // `HybridDatabase::metrics_snapshot` fills these in.
+            // The WAL, shard layout and columnar footprint live on the
+            // database, not here; `HybridDatabase::metrics_snapshot` fills
+            // these in.
             wal: WalMetrics::default(),
             shards: 0,
+            col_bytes_resident: 0,
+            col_bytes_plain: 0,
         }
     }
 }

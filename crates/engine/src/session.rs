@@ -1036,6 +1036,7 @@ impl Session {
             stats.chunks_scanned,
             stats.chunks_pruned_zonemap,
             stats.chunks_pruned_filter,
+            stats.rows_pruned_encoded,
         );
     }
 

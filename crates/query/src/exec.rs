@@ -131,6 +131,10 @@ pub struct ExecStats {
     pub chunks_pruned_zonemap: u64,
     /// Column-store chunks skipped by fingerprint filters.
     pub chunks_pruned_filter: u64,
+    /// Live rows in surviving compressed main-tier chunks deselected by
+    /// predicate evaluation on the encoded columns (dictionary-code
+    /// comparison, RLE run skipping) before any value was decoded.
+    pub rows_pruned_encoded: u64,
 }
 
 impl ExecStats {
@@ -159,6 +163,7 @@ impl ExecStats {
         self.chunks_scanned += other.chunks_scanned;
         self.chunks_pruned_zonemap += other.chunks_pruned_zonemap;
         self.chunks_pruned_filter += other.chunks_pruned_filter;
+        self.rows_pruned_encoded += other.rows_pruned_encoded;
         // Freshness is a point-in-time observation, not additive work: keep
         // the worst (stalest) observation across merged statements.
         self.freshness_lag_records = self.freshness_lag_records.max(other.freshness_lag_records);
@@ -564,6 +569,7 @@ fn scan_table(
             stats.chunks_scanned += outcome.chunks_scanned;
             stats.chunks_pruned_zonemap += outcome.chunks_pruned_zonemap;
             stats.chunks_pruned_filter += outcome.chunks_pruned_filter;
+            stats.rows_pruned_encoded += outcome.rows_pruned_encoded;
             outcome.slots_examined
         }
         ScanMode::RowAtATime => source.scan(table, &mut |row| {

@@ -299,7 +299,13 @@ impl DataSource for ColumnSource<'_> {
     ) -> QueryResult<ScanOutcome> {
         let t = self.table(table)?;
         // Without a pruner the scan still runs through the chunked path so
-        // chunk counters stay populated, but nothing is skipped.
+        // chunk counters stay populated, but nothing is skipped.  With one,
+        // the pruner's predicate both skips chunks (zone maps, fingerprint
+        // filters) and, inside surviving compressed main-tier chunks, runs
+        // directly on the encoded columns so non-matching rows never decode
+        // (reported as `rows_pruned_encoded`).  Both are sound because the
+        // predicate is a necessary condition and the executor re-applies its
+        // full residual filter to every row either way.
         let (predicate, mode) = match pruner {
             Some(p) => (Some(p.predicate()), p.mode()),
             None => (None, PruningMode::Off),

@@ -8,16 +8,32 @@
 //! [`crate::replication`]), never written directly by transactions.
 //!
 //! Slots are grouped into fixed-size **chunks** (see
-//! [`crate::zonemap::DEFAULT_CHUNK_SIZE`]) carrying two pruning structures the
-//! scan path consults before touching column data: per-column **zone maps**
-//! ([`ChunkZone`]: min/max + null and live counts, appends tighten, updates
-//! widen, deletes keep their contributions) and a lazily built per-chunk
-//! **fingerprint filter** ([`FingerprintFilter`]) over the live `(column,
-//! value)` pairs of sealed chunks, used for equality predicates.  Both are
-//! conservative supersets of the chunk's contents, so pruning can skip
-//! non-matching chunks but never loses a matching row.
+//! [`crate::zonemap::DEFAULT_CHUNK_SIZE`]) and kept in two tiers (see
+//! [`crate::delta`]): a mutable **delta** tail of plain column vectors that
+//! absorbs replicated writes, and an immutable **main** prefix of sealed
+//! [`MainChunk`]s whose columns are compressed ([`crate::encode`]).  Global
+//! slot indices are stable across compaction: sealing the oldest full delta
+//! chunk moves its data, never its position.  Writes that would mutate a main
+//! slot in place (updates, idempotent insert replays) instead delete the main
+//! version and re-insert into delta, so main chunks never change after
+//! sealing.
+//!
+//! Two pruning structures are consulted before touching column data:
+//! per-column **zone maps** ([`ChunkZone`]: min/max + null and live counts;
+//! in delta, appends tighten, updates widen, deletes keep their
+//! contributions) and a per-chunk **fingerprint filter**
+//! ([`FingerprintFilter`]) over the live `(column, value)` pairs of sealed
+//! chunks, used for equality predicates (built lazily for sealed delta
+//! chunks, pinned at seal time for main chunks).  Both are conservative
+//! supersets of the chunk's contents, so pruning can skip non-matching chunks
+//! but never loses a matching row; compaction rebuilds both *tight* from the
+//! surviving data.  Inside surviving main chunks, sargable predicates
+//! additionally run on the encoded columns themselves, so only rows that can
+//! still match are ever decoded.
 
 use crate::batch::{ColumnBatch, DEFAULT_BATCH_SIZE};
+use crate::delta::{seal_chunk, MainChunk};
+use crate::encode::{plain_slice_bytes, Encoding};
 use crate::error::{StorageError, StorageResult};
 use crate::filter::{fingerprint_hash, FingerprintFilter};
 use crate::key::Key;
@@ -46,7 +62,8 @@ pub struct ColumnTableStats {
     /// Total row slots examined by scans, including deleted slots but
     /// excluding slots inside pruned chunks.
     pub slots_examined: u64,
-    /// Live rows produced by scans (excludes deleted slots).
+    /// Live rows produced by scans (excludes deleted slots and rows
+    /// deselected by encoded-predicate evaluation).
     pub rows_scanned: u64,
     /// Number of replication mutations applied.
     pub mutations_applied: u64,
@@ -56,6 +73,8 @@ pub struct ColumnTableStats {
     pub chunks_pruned_zonemap: u64,
     /// Chunks skipped because a fingerprint filter excluded an equality probe.
     pub chunks_pruned_filter: u64,
+    /// Delta chunks sealed into the compressed main tier.
+    pub chunks_compacted: u64,
 }
 
 #[derive(Debug, Default)]
@@ -67,16 +86,52 @@ struct Counters {
     chunks_scanned: AtomicU64,
     chunks_pruned_zonemap: AtomicU64,
     chunks_pruned_filter: AtomicU64,
+    chunks_compacted: AtomicU64,
+}
+
+/// Approximate resident memory of one [`ColumnTable`], split by tier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MemoryFootprint {
+    /// Bytes actually resident: encoded main chunks plus the plain delta tail.
+    pub bytes_resident: usize,
+    /// Bytes the same slots would occupy with every tier unencoded.
+    pub bytes_plain: usize,
+    /// Sealed main-tier chunks.
+    pub main_chunks: usize,
+    /// Slots still in the mutable delta tail.
+    pub delta_slots: usize,
+}
+
+impl MemoryFootprint {
+    /// Plain bytes per resident byte (1.0 when nothing is stored or nothing
+    /// is compressed).
+    pub fn compression_ratio(&self) -> f64 {
+        if self.bytes_resident == 0 {
+            return 1.0;
+        }
+        self.bytes_plain as f64 / self.bytes_resident as f64
+    }
+
+    /// Accumulate another footprint (used to aggregate across tables).
+    pub fn merge(&mut self, other: &MemoryFootprint) {
+        self.bytes_resident += other.bytes_resident;
+        self.bytes_plain += other.bytes_plain;
+        self.main_chunks += other.main_chunks;
+        self.delta_slots += other.delta_slots;
+    }
 }
 
 struct ColumnData {
-    /// One vector per column, all the same length.
+    /// Immutable compressed chunks: a chunk-aligned prefix of the slot space.
+    main: Vec<MainChunk>,
+    /// Delta tier: one vector per column holding the slots past the main
+    /// prefix (delta-local index = global slot - main slot count).
     columns: Vec<Vec<crate::Value>>,
-    /// Deletion markers, same length as each column.
+    /// Deletion markers for *every* slot, main and delta (global indexing).
     deleted: Vec<bool>,
-    /// Primary key -> slot position of the live row.
+    /// Primary key -> global slot position of the live row.
     pk_slots: HashMap<Key, usize>,
-    /// Per-chunk zone maps, one entry per started chunk.
+    /// Per-chunk zone maps, one entry per started chunk (global indexing).
     zones: Vec<ChunkZone>,
     /// Commit timestamp of the newest applied mutation (freshness watermark).
     applied_ts: Timestamp,
@@ -84,16 +139,24 @@ struct ColumnData {
     applied_lsn: u64,
 }
 
+impl ColumnData {
+    /// Slots covered by the sealed main tier.
+    fn main_slots(&self, chunk_size: usize) -> usize {
+        self.main.len() * chunk_size
+    }
+}
+
 /// A table stored in columnar format, maintained by log replication.
 pub struct ColumnTable {
     schema: Arc<TableSchema>,
     chunk_size: usize,
     data: RwLock<ColumnData>,
-    /// Lazily built per-chunk fingerprint filters.  Entries are populated by
-    /// scans (which hold the data read lock, so no writer can race the build)
-    /// and cleared by in-place mutations (which hold the data write lock, so
-    /// no stale filter can survive a mutation).  Deletes do not clear: a
-    /// filter over a superset of the live values stays correct.
+    /// Lazily built per-chunk fingerprint filters for sealed *delta* chunks
+    /// (main chunks carry their own, built at seal time).  Entries are
+    /// populated by scans (which hold the data read lock, so no writer can
+    /// race the build) and cleared by in-place mutations (which hold the data
+    /// write lock, so no stale filter can survive a mutation).  Deletes do
+    /// not clear: a filter over a superset of the live values stays correct.
     filters: Mutex<Vec<Option<Arc<FingerprintFilter>>>>,
     counters: Counters,
 }
@@ -112,6 +175,7 @@ impl ColumnTable {
             schema,
             chunk_size: chunk_size.max(1),
             data: RwLock::new(ColumnData {
+                main: Vec::new(),
                 columns,
                 deleted: Vec::new(),
                 pk_slots: HashMap::new(),
@@ -144,6 +208,17 @@ impl ColumnTable {
         self.data.read().deleted.len()
     }
 
+    /// Number of sealed main-tier chunks.
+    pub fn main_chunk_count(&self) -> usize {
+        self.data.read().main.len()
+    }
+
+    /// Number of slots still in the mutable delta tail.
+    pub fn delta_slot_count(&self) -> usize {
+        let data = self.data.read();
+        data.deleted.len() - data.main_slots(self.chunk_size)
+    }
+
     /// Commit timestamp of the newest applied mutation.
     pub fn applied_ts(&self) -> Timestamp {
         self.data.read().applied_ts
@@ -164,7 +239,44 @@ impl ColumnTable {
             chunks_scanned: self.counters.chunks_scanned.load(Ordering::Relaxed),
             chunks_pruned_zonemap: self.counters.chunks_pruned_zonemap.load(Ordering::Relaxed),
             chunks_pruned_filter: self.counters.chunks_pruned_filter.load(Ordering::Relaxed),
+            chunks_compacted: self.counters.chunks_compacted.load(Ordering::Relaxed),
         }
+    }
+
+    /// Approximate resident memory, split by tier.  Main-chunk sizes were
+    /// cached at seal time; the delta tail is measured on demand.
+    pub fn memory_footprint(&self) -> MemoryFootprint {
+        let data = self.data.read();
+        let delta_bytes: usize = data.columns.iter().map(|c| plain_slice_bytes(c)).sum();
+        let mut footprint = MemoryFootprint {
+            bytes_resident: delta_bytes,
+            bytes_plain: delta_bytes,
+            main_chunks: data.main.len(),
+            delta_slots: data.deleted.len() - data.main_slots(self.chunk_size),
+        };
+        for chunk in &data.main {
+            footprint.bytes_resident += chunk.encoded_bytes;
+            footprint.bytes_plain += chunk.plain_bytes;
+        }
+        footprint
+    }
+
+    /// Per-column tally of how many sealed main chunks use each encoding,
+    /// in `[plain, dictionary, rle]` order (reporting / tests).
+    pub fn main_encoding_census(&self) -> Vec<[usize; 3]> {
+        let data = self.data.read();
+        let mut census = vec![[0usize; 3]; self.schema.columns().len()];
+        for chunk in &data.main {
+            for (col, encoded) in chunk.columns.iter().enumerate() {
+                let slot = match encoded.encoding() {
+                    Encoding::Plain => 0,
+                    Encoding::Dictionary => 1,
+                    Encoding::Rle => 2,
+                };
+                census[col][slot] += 1;
+            }
+        }
+        census
     }
 
     /// The zone map for `slot`'s chunk, growing the zone vector as the slot
@@ -193,6 +305,34 @@ impl ColumnTable {
         }
     }
 
+    /// Append one row to the delta tail.  Caller updates `applied_ts` / LSN
+    /// and the mutation counter.
+    fn append_row(&self, data: &mut ColumnData, pk: &Key, row: &Row) {
+        let columns = self.schema.column_count();
+        for (col_idx, value) in row.values().iter().enumerate() {
+            data.columns[col_idx].push(value.clone());
+        }
+        data.deleted.push(false);
+        let slot = data.deleted.len() - 1;
+        data.pk_slots.insert(pk.clone(), slot);
+        let zone = Self::zone_for_slot(&mut data.zones, columns, self.chunk_size, slot);
+        for (col_idx, value) in row.values().iter().enumerate() {
+            zone.zones[col_idx].include(value);
+        }
+        zone.live_count += 1;
+    }
+
+    /// Retire the live version at `slot` (which lives in the immutable main
+    /// tier) and append `row` as its replacement in delta.  Main chunks are
+    /// never rewritten: their zone map keeps its (tight) bounds and only
+    /// loses live count, and their filter stays a valid superset.
+    fn supersede_main_row(&self, data: &mut ColumnData, pk: &Key, row: &Row, slot: usize) {
+        data.deleted[slot] = true;
+        let chunk = slot / self.chunk_size;
+        data.zones[chunk].live_count = data.zones[chunk].live_count.saturating_sub(1);
+        self.append_row(data, pk, row);
+    }
+
     /// Apply an insert arriving from the replication log.
     pub fn apply_insert(
         &self,
@@ -204,32 +344,30 @@ impl ColumnTable {
         self.schema.validate_row(row)?;
         let columns = self.schema.column_count();
         let mut data = self.data.write();
+        let main_slots = data.main_slots(self.chunk_size);
         if let Some(&slot) = data.pk_slots.get(pk) {
-            // Idempotent re-apply (e.g. replay after restart): overwrite.
-            for (col_idx, value) in row.values().iter().enumerate() {
-                data.columns[col_idx][slot] = value.clone();
+            if slot < main_slots {
+                // Idempotent re-apply against a sealed slot: delete +
+                // re-insert, since main chunks are immutable.
+                self.supersede_main_row(&mut data, pk, row, slot);
+            } else {
+                // Idempotent re-apply (e.g. replay after restart): overwrite.
+                let delta_slot = slot - main_slots;
+                for (col_idx, value) in row.values().iter().enumerate() {
+                    data.columns[col_idx][delta_slot] = value.clone();
+                }
+                let was_deleted = std::mem::replace(&mut data.deleted[slot], false);
+                let zone = Self::zone_for_slot(&mut data.zones, columns, self.chunk_size, slot);
+                for (col_idx, value) in row.values().iter().enumerate() {
+                    zone.zones[col_idx].include(value);
+                }
+                if was_deleted {
+                    zone.live_count += 1;
+                }
+                self.invalidate_filter(slot);
             }
-            let was_deleted = std::mem::replace(&mut data.deleted[slot], false);
-            let zone = Self::zone_for_slot(&mut data.zones, columns, self.chunk_size, slot);
-            for (col_idx, value) in row.values().iter().enumerate() {
-                zone.zones[col_idx].include(value);
-            }
-            if was_deleted {
-                zone.live_count += 1;
-            }
-            self.invalidate_filter(slot);
         } else {
-            for (col_idx, value) in row.values().iter().enumerate() {
-                data.columns[col_idx].push(value.clone());
-            }
-            data.deleted.push(false);
-            let slot = data.deleted.len() - 1;
-            data.pk_slots.insert(pk.clone(), slot);
-            let zone = Self::zone_for_slot(&mut data.zones, columns, self.chunk_size, slot);
-            for (col_idx, value) in row.values().iter().enumerate() {
-                zone.zones[col_idx].include(value);
-            }
-            zone.live_count += 1;
+            self.append_row(&mut data, pk, row);
         }
         data.applied_ts = data.applied_ts.max(commit_ts);
         data.applied_lsn = data.applied_lsn.max(lsn);
@@ -241,10 +379,12 @@ impl ColumnTable {
 
     /// Apply an update arriving from the replication log.
     ///
-    /// The chunk's zone map *widens* to include the new values; the old
-    /// values' contribution is never removed, keeping the zone a conservative
-    /// superset.  The chunk's fingerprint filter is invalidated (the new
-    /// values must never produce a false negative).
+    /// For a row still in delta, the chunk's zone map *widens* to include the
+    /// new values (the old values' contribution is never removed, keeping
+    /// the zone a conservative superset) and the chunk's fingerprint filter
+    /// is invalidated.  For a row in the immutable main tier, the update
+    /// becomes delete + re-insert into delta, leaving the sealed chunk — and
+    /// its tight pruning metadata — untouched.
     pub fn apply_update(
         &self,
         pk: &Key,
@@ -255,6 +395,7 @@ impl ColumnTable {
         self.schema.validate_row(row)?;
         let columns = self.schema.column_count();
         let mut data = self.data.write();
+        let main_slots = data.main_slots(self.chunk_size);
         let slot = *data
             .pk_slots
             .get(pk)
@@ -262,16 +403,21 @@ impl ColumnTable {
                 table: self.schema.name().to_string(),
                 key: pk.to_string(),
             })?;
-        for (col_idx, value) in row.values().iter().enumerate() {
-            data.columns[col_idx][slot] = value.clone();
-        }
-        let zone = Self::zone_for_slot(&mut data.zones, columns, self.chunk_size, slot);
-        for (col_idx, value) in row.values().iter().enumerate() {
-            zone.zones[col_idx].include(value);
+        if slot < main_slots {
+            self.supersede_main_row(&mut data, pk, row, slot);
+        } else {
+            let delta_slot = slot - main_slots;
+            for (col_idx, value) in row.values().iter().enumerate() {
+                data.columns[col_idx][delta_slot] = value.clone();
+            }
+            let zone = Self::zone_for_slot(&mut data.zones, columns, self.chunk_size, slot);
+            for (col_idx, value) in row.values().iter().enumerate() {
+                zone.zones[col_idx].include(value);
+            }
+            self.invalidate_filter(slot);
         }
         data.applied_ts = data.applied_ts.max(commit_ts);
         data.applied_lsn = data.applied_lsn.max(lsn);
-        self.invalidate_filter(slot);
         self.counters
             .mutations_applied
             .fetch_add(1, Ordering::Relaxed);
@@ -283,7 +429,7 @@ impl ColumnTable {
     /// Deletes only decrement the chunk's live count; the zone map and the
     /// fingerprint filter keep the deleted values' contributions (a superset
     /// stays a superset).  A chunk whose live count reaches zero is pruned
-    /// outright by the scan path.
+    /// outright by the scan path.  Works identically for both tiers.
     pub fn apply_delete(&self, pk: &Key, commit_ts: Timestamp, lsn: u64) -> StorageResult<()> {
         let columns = self.schema.column_count();
         let mut data = self.data.write();
@@ -300,12 +446,66 @@ impl ColumnTable {
         Ok(())
     }
 
-    /// The cached fingerprint filter for `chunk`, building it on first use
-    /// from the chunk's live values.  Callers hold the data read lock, which
-    /// keeps writers (and therefore invalidation) out while the filter is
-    /// built and cached.  Returns `None` when construction fails (the chunk
-    /// simply gets no filter pruning).
+    /// Seal the oldest full delta chunk into the compressed main tier.
+    ///
+    /// Returns `false` when the delta tail holds less than one full chunk
+    /// (partial tail chunks are never sealed — they are still growing).  The
+    /// rewrite re-encodes every column, rebuilds the chunk's zone map and
+    /// fingerprint filter tight from the surviving live rows, and drops
+    /// deleted payloads; global slot indices are unchanged, so readers see
+    /// the exact same rows before and after.
+    pub fn compact_chunk(&self) -> bool {
+        let mut data = self.data.write();
+        let main_slots = data.main_slots(self.chunk_size);
+        if data.deleted.len() - main_slots < self.chunk_size {
+            return false;
+        }
+        let chunk = data.main.len();
+        let (sealed, zone) = {
+            let column_slices: Vec<&[crate::Value]> =
+                data.columns.iter().map(|c| &c[..self.chunk_size]).collect();
+            seal_chunk(
+                &column_slices,
+                &data.deleted[main_slots..main_slots + self.chunk_size],
+            )
+        };
+        data.main.push(sealed);
+        data.zones[chunk] = zone;
+        for column in data.columns.iter_mut() {
+            column.drain(..self.chunk_size);
+        }
+        // The sealed chunk carries its own filter now; drop any lazily built
+        // delta-era one so it cannot shadow the rebuilt (tighter) version.
+        let mut cache = self.filters.lock();
+        if let Some(entry) = cache.get_mut(chunk) {
+            *entry = None;
+        }
+        self.counters
+            .chunks_compacted
+            .fetch_add(1, Ordering::Relaxed);
+        true
+    }
+
+    /// Seal every full delta chunk, one write-lock acquisition per chunk so
+    /// readers interleave.  Returns the number of chunks sealed.
+    pub fn compact(&self) -> usize {
+        let mut sealed = 0;
+        while self.compact_chunk() {
+            sealed += 1;
+        }
+        sealed
+    }
+
+    /// The fingerprint filter for `chunk`: main chunks return the filter
+    /// pinned at seal time; sealed delta chunks build one lazily from their
+    /// live values.  Callers hold the data read lock, which keeps writers
+    /// (and therefore invalidation) out while a lazy filter is built and
+    /// cached.  Returns `None` when construction fails (the chunk simply
+    /// gets no filter pruning).
     fn chunk_filter(&self, data: &ColumnData, chunk: usize) -> Option<Arc<FingerprintFilter>> {
+        if let Some(main) = data.main.get(chunk) {
+            return main.filter.clone();
+        }
         let mut cache = self.filters.lock();
         if cache.len() <= chunk {
             cache.resize(chunk + 1, None);
@@ -313,6 +513,7 @@ impl ColumnTable {
         if let Some(filter) = &cache[chunk] {
             return Some(Arc::clone(filter));
         }
+        let main_slots = data.main_slots(self.chunk_size);
         let start = chunk * self.chunk_size;
         let end = ((chunk + 1) * self.chunk_size).min(data.deleted.len());
         let mut keys = Vec::with_capacity((end - start) * data.columns.len());
@@ -321,7 +522,7 @@ impl ColumnTable {
                 continue;
             }
             for (col_idx, column) in data.columns.iter().enumerate() {
-                if let Some(key) = fingerprint_hash(col_idx, &column[slot]) {
+                if let Some(key) = fingerprint_hash(col_idx, &column[slot - main_slots]) {
                     keys.push(key);
                 }
             }
@@ -381,12 +582,13 @@ impl ColumnTable {
     /// Vectorized scan: hand out one [`ColumnBatch`] per chunk of up to
     /// `batch_size` row slots.
     ///
-    /// The batches borrow the column vectors directly (zero copy); deleted
-    /// slots are deselected through the batch's selection bitmap rather than
-    /// skipped, so the batch layout matches the physical slot layout.
-    /// `projection` selects and orders the columns each batch exposes; `None`
-    /// exposes every column in schema order.  Returns the number of slots
-    /// examined.  Scanning an empty table is a no-op and touches no counters.
+    /// Delta-tier batches borrow the column vectors directly (zero copy);
+    /// main-tier batches own freshly decoded values.  Deleted slots are
+    /// deselected through the batch's selection bitmap rather than skipped,
+    /// so the batch layout matches the physical slot layout.  `projection`
+    /// selects and orders the columns each batch exposes; `None` exposes
+    /// every column in schema order.  Returns the number of slots examined.
+    /// Scanning an empty table is a no-op and touches no counters.
     pub fn scan_batches<F>(&self, projection: Option<&[usize]>, batch_size: usize, f: F) -> usize
     where
         F: FnMut(&ColumnBatch<'_>),
@@ -395,19 +597,26 @@ impl ColumnTable {
             .slots_examined
     }
 
-    /// Vectorized scan with chunk pruning.
+    /// Vectorized scan with chunk pruning and encoded predicate execution.
     ///
     /// Like [`ColumnTable::scan_batches`], but before touching column data
     /// each chunk is tested against `predicate` (an AND-conjunction of
     /// sargable predicates that is *necessary* for a row to match the query):
     /// zone maps exclude chunks whose value ranges cannot satisfy a conjunct,
     /// and fingerprint filters exclude sealed chunks that (probably) do not
-    /// contain an equality probe.  Chunks of surviving runs are handed out in
-    /// `batch_size` windows exactly like the unpruned scan; slots inside
-    /// pruned chunks are neither examined nor scanned.  `mode` selects which
-    /// structures are consulted; [`PruningMode::Off`] (or `predicate =
-    /// None` in zone-map modes, which still skips fully deleted chunks)
-    /// reproduces the unpruned scan.
+    /// contain an equality probe.  Slots inside pruned chunks are neither
+    /// examined nor scanned.  `mode` selects which structures are consulted;
+    /// [`PruningMode::Off`] (or `predicate = None` in zone-map modes, which
+    /// still skips fully deleted chunks) reproduces the unpruned scan.
+    ///
+    /// Surviving *delta* chunks are handed out run-coalesced in `batch_size`
+    /// windows of zero-copy borrowed slices, exactly as before compaction.
+    /// Surviving *main* chunks evaluate the predicate's conjuncts directly on
+    /// their encoded columns (dictionary-code comparison, RLE run skipping),
+    /// then decode only the still-selected positions into owned batches;
+    /// windows in which no row survives are skipped without decoding at all.
+    /// Every deselection is sound because the predicate is a *necessary*
+    /// condition — consumers re-apply their full residual filter either way.
     pub fn scan_batches_pruned<F>(
         &self,
         projection: Option<&[usize]>,
@@ -441,7 +650,46 @@ impl ColumnTable {
             .collect();
 
         let mut live_rows = 0u64;
-        let mut chunk = 0usize;
+
+        // Main tier: per-chunk encoded filtering + selective decode.
+        for (chunk, main) in data.main.iter().enumerate() {
+            if !survivors[chunk] {
+                continue;
+            }
+            let base = chunk * self.chunk_size;
+            outcome.slots_examined += self.chunk_size;
+            let mut start = 0usize;
+            while start < self.chunk_size {
+                let end = (start + batch_size).min(self.chunk_size);
+                let window = &data.deleted[base + start..base + end];
+                let mut selection: Vec<bool> = window.iter().map(|&d| !d).collect();
+                let live_before = selection.iter().filter(|&&s| s).count();
+                if let Some(p) = predicate {
+                    for cp in &p.predicates {
+                        if let Some(column) = main.columns.get(cp.column) {
+                            column.filter_range(cp.op, &cp.value, start, &mut selection);
+                        }
+                    }
+                }
+                let kept = selection.iter().filter(|&&s| s).count();
+                outcome.rows_pruned_encoded += (live_before - kept) as u64;
+                if kept > 0 {
+                    let columns: Vec<Vec<crate::Value>> = projection
+                        .iter()
+                        .map(|&col| main.columns[col].decode_range(start, &selection))
+                        .collect();
+                    let mut batch = ColumnBatch::owned_sized(columns, end - start);
+                    batch.set_selection(selection);
+                    live_rows += kept as u64;
+                    f(&batch);
+                }
+                start = end;
+            }
+        }
+
+        // Delta tier: run-coalesced zero-copy windows, as before compaction.
+        let main_slots = data.main_slots(self.chunk_size);
+        let mut chunk = data.main.len();
         while chunk < num_chunks {
             if !survivors[chunk] {
                 chunk += 1;
@@ -459,7 +707,7 @@ impl ColumnTable {
                 let end = (start + batch_size).min(run_end);
                 let columns: Vec<&[crate::Value]> = projection
                     .iter()
-                    .map(|&col| &data.columns[col][start..end])
+                    .map(|&col| &data.columns[col][start - main_slots..end - main_slots])
                     .collect();
                 let deleted = &data.deleted[start..end];
                 let batch = if deleted.iter().any(|&d| d) {
@@ -561,6 +809,7 @@ impl std::fmt::Debug for ColumnTable {
         f.debug_struct("ColumnTable")
             .field("table", &self.schema.name())
             .field("live_rows", &self.live_row_count())
+            .field("main_chunks", &self.main_chunk_count())
             .finish()
     }
 }
@@ -1026,5 +1275,212 @@ mod tests {
                 );
             }
         }
+    }
+
+    // -- delta/main compaction ----------------------------------------------
+
+    #[test]
+    fn compaction_preserves_slots_rows_and_results() {
+        let t = small_chunk_table();
+        for i in 0..10i64 {
+            t.apply_insert(&Key::int(i), &order(i, i * 100, "new"), 5, i as u64 + 1)
+                .unwrap();
+        }
+        t.apply_delete(&Key::int(2), 6, 20).unwrap();
+        t.apply_update(&Key::int(5), &order(5, 9_999, "paid"), 7, 21)
+            .unwrap();
+        let before = collect_ids(&t, None, PruningMode::Off);
+
+        // 10 slots, chunk size 4: two full chunks seal, the 2-slot tail stays.
+        assert_eq!(t.compact(), 2);
+        assert_eq!(t.main_chunk_count(), 2);
+        assert_eq!(t.delta_slot_count(), 2);
+        assert_eq!(t.slot_count(), 10, "global slot space is unchanged");
+        assert_eq!(t.live_row_count(), 9);
+        assert_eq!(t.stats().chunks_compacted, 2);
+
+        assert_eq!(collect_ids(&t, None, PruningMode::Off), before);
+        for pred in [
+            eq(0, Value::Int(5)),
+            eq(1, Value::Decimal(9_999)),
+            ScanPredicate::new(vec![ColumnPredicate::new(
+                0,
+                PredicateOp::Ge,
+                Value::Int(3),
+            )
+            .unwrap()]),
+        ] {
+            for mode in [PruningMode::Off, PruningMode::Both] {
+                assert_eq!(
+                    collect_ids(&t, Some(&pred), mode),
+                    collect_ids(&t, Some(&pred), PruningMode::Off),
+                    "mode {mode:?}"
+                );
+            }
+        }
+        // Re-compacting with only a partial tail is a no-op.
+        assert_eq!(t.compact(), 0);
+    }
+
+    #[test]
+    fn compaction_rebuilds_tight_zones_and_filters() {
+        // Satellite regression: pre-compaction pruning metadata has drifted
+        // (deletes left stale contributions); the rewrite must shed them.
+        let t = small_chunk_table();
+        for i in 0..4i64 {
+            t.apply_insert(&Key::int(i), &order(i, i * 100, "new"), 5, i as u64 + 1)
+                .unwrap();
+        }
+        for i in 4..8i64 {
+            t.apply_insert(&Key::int(i), &order(i, 10_000 + i, "new"), 5, i as u64 + 1)
+                .unwrap();
+        }
+        // Warm the lazy filter cache while amount 300 is still live, then
+        // kill the chunk-0 maximum.  Deletes never invalidate (a superset
+        // stays correct), so both structures are now stale supersets.
+        let pred = eq(1, Value::Decimal(300));
+        t.scan_batches_pruned(None, 64, Some(&pred), PruningMode::Both, |_| {});
+        t.apply_delete(&Key::int(3), 6, 20).unwrap();
+
+        // Before compaction the widened superset admits the dead value: the
+        // zone still covers 300 and the cached filter still hashes it.
+        let outcome = t.scan_batches_pruned(None, 64, Some(&pred), PruningMode::Both, |_| {});
+        assert_eq!(outcome.chunks_scanned, 1, "stale metadata cannot prune");
+
+        assert_eq!(t.compact(), 2);
+
+        // After the rewrite both structures are tight: zone max is 200, the
+        // filter no longer contains 300, so the probe prunes everything.
+        let outcome =
+            t.scan_batches_pruned(None, 64, Some(&pred), PruningMode::ZoneMapOnly, |_| {});
+        assert_eq!(outcome.chunks_pruned_zonemap, 2, "tight zones prune");
+        assert_eq!(outcome.chunks_scanned, 0);
+        let outcome = t.scan_batches_pruned(None, 64, Some(&pred), PruningMode::FilterOnly, |_| {});
+        assert_eq!(outcome.chunks_pruned_filter, 2, "rebuilt filters prune");
+        // The surviving chunk-0 rows are still fully readable.
+        assert_eq!(
+            collect_ids(&t, Some(&eq(1, Value::Decimal(200))), PruningMode::Both),
+            vec![2]
+        );
+    }
+
+    #[test]
+    fn updates_to_main_rows_become_delete_plus_reinsert() {
+        let t = small_chunk_table();
+        for i in 0..8i64 {
+            t.apply_insert(&Key::int(i), &order(i, i * 100, "new"), 5, i as u64 + 1)
+                .unwrap();
+        }
+        assert_eq!(t.compact(), 2);
+        t.apply_update(&Key::int(1), &order(1, 7_777, "paid"), 6, 9)
+            .unwrap();
+        assert_eq!(t.live_row_count(), 8, "logical row count is unchanged");
+        assert_eq!(t.slot_count(), 9, "the new version appends to delta");
+        assert_eq!(t.main_chunk_count(), 2, "main chunks are never rewritten");
+        assert_eq!(
+            collect_ids(&t, Some(&eq(1, Value::Decimal(7_777))), PruningMode::Both),
+            vec![1]
+        );
+        assert_eq!(
+            collect_ids(&t, Some(&eq(1, Value::Decimal(100))), PruningMode::Both),
+            Vec::<i64>::new(),
+            "the superseded main version is invisible"
+        );
+        // The idempotent-insert overwrite path takes the same route.
+        t.apply_insert(&Key::int(2), &order(2, 8_888, "new"), 7, 10)
+            .unwrap();
+        assert_eq!(t.live_row_count(), 8);
+        assert_eq!(
+            collect_ids(&t, Some(&eq(1, Value::Decimal(8_888))), PruningMode::Both),
+            vec![2]
+        );
+        // Deleting a main-resident row works unchanged.
+        t.apply_delete(&Key::int(0), 8, 11).unwrap();
+        assert_eq!(t.live_row_count(), 7);
+        assert_eq!(
+            collect_ids(&t, None, PruningMode::Off),
+            vec![1, 2, 3, 4, 5, 6, 7]
+        );
+    }
+
+    #[test]
+    fn encoded_predicates_deselect_before_decode() {
+        // Low-cardinality status strings dictionary-encode; the equality
+        // probe then runs on codes and rows of other statuses never decode.
+        let t = small_chunk_table();
+        for i in 0..8i64 {
+            let status = if i % 4 == 0 { "paid" } else { "new" };
+            t.apply_insert(&Key::int(i), &order(i, i, status), 5, i as u64 + 1)
+                .unwrap();
+        }
+        assert_eq!(t.compact(), 2);
+        let pred = eq(2, Value::Str("paid".into()));
+        let mut seen = 0usize;
+        let outcome = t.scan_batches_pruned(None, 64, Some(&pred), PruningMode::Off, |batch| {
+            seen += batch.selected_count();
+        });
+        assert_eq!(seen, 2, "only matching rows stay selected");
+        assert_eq!(
+            outcome.rows_pruned_encoded, 6,
+            "non-matching rows skipped decode"
+        );
+        assert_eq!(collect_ids(&t, Some(&pred), PruningMode::Off), vec![0, 4]);
+    }
+
+    #[test]
+    fn compaction_shrinks_resident_bytes() {
+        let t = ColumnTable::with_chunk_size(Arc::new(schema()), 64);
+        for i in 0..256i64 {
+            // Low-cardinality status + clustered amounts: both compress.
+            let status = format!("status-{}", i % 3);
+            t.apply_insert(&Key::int(i), &order(i, i / 64, &status), 5, i as u64 + 1)
+                .unwrap();
+        }
+        let before = t.memory_footprint();
+        assert_eq!(before.main_chunks, 0);
+        assert_eq!(before.bytes_resident, before.bytes_plain);
+        assert_eq!(t.compact(), 4);
+        let after = t.memory_footprint();
+        assert_eq!(after.main_chunks, 4);
+        assert_eq!(after.delta_slots, 0);
+        assert!(
+            after.bytes_resident < before.bytes_resident / 2,
+            "encoded main is less than half the plain footprint \
+             ({} vs {})",
+            after.bytes_resident,
+            before.bytes_resident
+        );
+        assert!(after.compression_ratio() > 2.0);
+        assert_eq!(
+            after.bytes_plain, before.bytes_plain,
+            "plain size is layout-stable"
+        );
+    }
+
+    #[test]
+    fn mid_compaction_interleaving_never_loses_rows() {
+        // Compact one chunk at a time, scanning between steps: every mix of
+        // main and delta must return the same rows.
+        let t = small_chunk_table();
+        for i in 0..16i64 {
+            t.apply_insert(
+                &Key::int(i),
+                &order(i, (i * 31) % 5 * 100, "new"),
+                5,
+                i as u64 + 1,
+            )
+            .unwrap();
+        }
+        t.apply_delete(&Key::int(6), 6, 30).unwrap();
+        let baseline = collect_ids(&t, None, PruningMode::Off);
+        let pred = eq(1, Value::Decimal(300));
+        let pred_baseline = collect_ids(&t, Some(&pred), PruningMode::Off);
+        while t.compact_chunk() {
+            assert_eq!(collect_ids(&t, None, PruningMode::Off), baseline);
+            for mode in [PruningMode::Off, PruningMode::Both] {
+                assert_eq!(collect_ids(&t, Some(&pred), mode), pred_baseline);
+            }
+        }
+        assert_eq!(t.main_chunk_count(), 4);
     }
 }

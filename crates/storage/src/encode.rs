@@ -1,0 +1,465 @@
+//! Column encodings for sealed main-tier chunks.
+//!
+//! When the compactor migrates a delta chunk into the immutable main tier
+//! (see [`crate::delta`]), every column is re-encoded by a lightweight stats
+//! pass: one walk over the chunk counts distinct values and adjacent runs,
+//! estimates the resident size of each applicable encoding, and keeps the
+//! smallest.
+//!
+//! * **Dictionary** — distinct values stored once in a *sorted* dictionary,
+//!   rows as `u32` codes.  Because the dictionary is sorted by [`Value`]'s
+//!   total order, codes are order-preserving: equality predicates compare a
+//!   single probe code and range predicates compare a code interval, so
+//!   sargable filters run on the codes without decoding a single value.
+//! * **Run-length** — `(value, run_length)` pairs for sorted or clustered
+//!   data.  Predicates evaluate once per run and accept or reject whole
+//!   spans of the selection bitmap.
+//! * **Plain** — the fallback when neither encoding would shrink the column.
+//!
+//! Encoded predicate evaluation ([`EncodedColumn::filter_range`]) follows
+//! residual-filter semantics: NULLs never match any comparison, and the probe
+//! literal is never NULL (see [`crate::zonemap::ColumnPredicate`]).  Decoding
+//! ([`EncodedColumn::decode_range`]) materializes only positions that survived
+//! filtering; everything else becomes a cheap [`Value::Null`] placeholder the
+//! batch's selection bitmap already hides.
+
+use crate::value::Value;
+use crate::zonemap::PredicateOp;
+use std::collections::BTreeMap;
+
+/// Which physical encoding a sealed column uses (reporting / tests).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Encoding {
+    /// Uncompressed values.
+    Plain,
+    /// Sorted (order-preserving) dictionary + u32 codes.
+    Dictionary,
+    /// Run-length `(value, length)` pairs.
+    Rle,
+}
+
+impl Encoding {
+    /// Display label used in reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Encoding::Plain => "plain",
+            Encoding::Dictionary => "dict",
+            Encoding::Rle => "rle",
+        }
+    }
+}
+
+/// Heap bytes owned by one value (the inline enum is counted separately).
+fn heap_bytes(value: &Value) -> usize {
+    match value {
+        Value::Str(s) => s.len(),
+        _ => 0,
+    }
+}
+
+/// Approximate resident bytes of a plain `Vec<Value>` holding these values
+/// (inline enum size plus owned heap payloads).  Also used by the column
+/// store to account for the uncompressed delta tier.
+pub fn plain_slice_bytes(values: &[Value]) -> usize {
+    std::mem::size_of_val(values) + values.iter().map(heap_bytes).sum::<usize>()
+}
+
+/// One immutable, compressed column of a sealed main chunk.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EncodedColumn {
+    /// Uncompressed values (the encoding of last resort).
+    Plain(Vec<Value>),
+    /// `dict` is sorted ascending by [`Value`]'s total order and deduplicated,
+    /// so codes preserve the value order; `codes[i]` indexes `dict`.
+    Dictionary {
+        /// Distinct values, sorted ascending.
+        dict: Vec<Value>,
+        /// One dictionary code per row slot.
+        codes: Vec<u32>,
+    },
+    /// Maximal runs of equal values; run lengths sum to the chunk length.
+    Rle(Vec<(Value, u32)>),
+}
+
+impl EncodedColumn {
+    /// Encode one sealed column: a stats pass sizes every applicable encoding
+    /// and the smallest representation wins (ties go to plain).
+    pub fn encode(values: &[Value]) -> EncodedColumn {
+        let value_size = std::mem::size_of::<Value>();
+        let mut distinct: BTreeMap<&Value, u32> = BTreeMap::new();
+        let mut runs = 0usize;
+        let mut run_heap = 0usize;
+        for (i, v) in values.iter().enumerate() {
+            distinct.entry(v).or_default();
+            if i == 0 || values[i - 1] != *v {
+                runs += 1;
+                run_heap += heap_bytes(v);
+            }
+        }
+        let plain = plain_slice_bytes(values);
+        let dict_cost = distinct.len() * value_size
+            + distinct.keys().map(|v| heap_bytes(v)).sum::<usize>()
+            + values.len() * std::mem::size_of::<u32>();
+        let rle_cost = runs * (value_size + std::mem::size_of::<u32>()) + run_heap;
+
+        if rle_cost < plain && rle_cost <= dict_cost {
+            let mut out: Vec<(Value, u32)> = Vec::with_capacity(runs);
+            for v in values {
+                match out.last_mut() {
+                    Some((last, n)) if last == v => *n += 1,
+                    _ => out.push((v.clone(), 1)),
+                }
+            }
+            return EncodedColumn::Rle(out);
+        }
+        if dict_cost < plain && u32::try_from(distinct.len()).is_ok() {
+            for (code, slot) in distinct.values_mut().enumerate() {
+                *slot = code as u32;
+            }
+            let codes = values.iter().map(|v| distinct[v]).collect();
+            let dict = distinct.keys().map(|&v| v.clone()).collect();
+            return EncodedColumn::Dictionary { dict, codes };
+        }
+        EncodedColumn::Plain(values.to_vec())
+    }
+
+    /// The encoding in use.
+    pub fn encoding(&self) -> Encoding {
+        match self {
+            EncodedColumn::Plain(_) => Encoding::Plain,
+            EncodedColumn::Dictionary { .. } => Encoding::Dictionary,
+            EncodedColumn::Rle(_) => Encoding::Rle,
+        }
+    }
+
+    /// Number of row slots the column covers.
+    pub fn len(&self) -> usize {
+        match self {
+            EncodedColumn::Plain(values) => values.len(),
+            EncodedColumn::Dictionary { codes, .. } => codes.len(),
+            EncodedColumn::Rle(runs) => runs.iter().map(|&(_, n)| n as usize).sum(),
+        }
+    }
+
+    /// True when the column covers no slots.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Approximate resident bytes of the encoded representation.
+    pub fn encoded_bytes(&self) -> usize {
+        let value_size = std::mem::size_of::<Value>();
+        match self {
+            EncodedColumn::Plain(values) => plain_slice_bytes(values),
+            EncodedColumn::Dictionary { dict, codes } => {
+                dict.len() * value_size
+                    + dict.iter().map(heap_bytes).sum::<usize>()
+                    + codes.len() * std::mem::size_of::<u32>()
+            }
+            EncodedColumn::Rle(runs) => {
+                runs.len() * (value_size + std::mem::size_of::<u32>())
+                    + runs.iter().map(|(v, _)| heap_bytes(v)).sum::<usize>()
+            }
+        }
+    }
+
+    /// Approximate resident bytes the same column would occupy unencoded.
+    pub fn plain_bytes(&self) -> usize {
+        let value_size = std::mem::size_of::<Value>();
+        match self {
+            EncodedColumn::Plain(values) => plain_slice_bytes(values),
+            EncodedColumn::Dictionary { dict, codes } => {
+                codes.len() * value_size
+                    + codes
+                        .iter()
+                        .map(|&c| heap_bytes(&dict[c as usize]))
+                        .sum::<usize>()
+            }
+            EncodedColumn::Rle(runs) => runs
+                .iter()
+                .map(|(v, n)| *n as usize * (value_size + heap_bytes(v)))
+                .sum(),
+        }
+    }
+
+    /// Narrow `selection` (covering slots `[lo, lo + selection.len())` of the
+    /// chunk) to the rows that can satisfy `<op> probe`, *without decoding*:
+    /// dictionary columns compare codes against the probe's code interval,
+    /// RLE columns evaluate once per run and reject whole spans, plain
+    /// columns compare values directly.  NULL slots never match.
+    pub fn filter_range(&self, op: PredicateOp, probe: &Value, lo: usize, selection: &mut [bool]) {
+        match self {
+            EncodedColumn::Plain(values) => {
+                for (keep, v) in selection.iter_mut().zip(&values[lo..]) {
+                    *keep = *keep && value_matches(v, op, probe);
+                }
+            }
+            EncodedColumn::Dictionary { dict, codes } => {
+                let (min_code, max_code) = match code_interval(dict, op, probe) {
+                    Some(interval) => interval,
+                    None => {
+                        selection.fill(false);
+                        return;
+                    }
+                };
+                for (keep, &code) in selection.iter_mut().zip(&codes[lo..]) {
+                    *keep = *keep && min_code <= code && code <= max_code;
+                }
+            }
+            EncodedColumn::Rle(runs) => {
+                let hi = lo + selection.len();
+                let mut pos = 0usize;
+                for (v, n) in runs {
+                    let run_end = pos + *n as usize;
+                    if run_end > lo && pos < hi && !value_matches(v, op, probe) {
+                        let from = pos.max(lo) - lo;
+                        let to = run_end.min(hi) - lo;
+                        selection[from..to].fill(false);
+                    }
+                    pos = run_end;
+                    if pos >= hi {
+                        break;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Materialize slots `[lo, lo + selection.len())`, cloning only positions
+    /// still selected; deselected slots become [`Value::Null`] placeholders
+    /// (the selection bitmap keeps them invisible downstream).
+    pub fn decode_range(&self, lo: usize, selection: &[bool]) -> Vec<Value> {
+        let mut out = Vec::with_capacity(selection.len());
+        match self {
+            EncodedColumn::Plain(values) => {
+                for (&keep, v) in selection.iter().zip(&values[lo..]) {
+                    out.push(if keep { v.clone() } else { Value::Null });
+                }
+            }
+            EncodedColumn::Dictionary { dict, codes } => {
+                for (&keep, &code) in selection.iter().zip(&codes[lo..]) {
+                    out.push(if keep {
+                        dict[code as usize].clone()
+                    } else {
+                        Value::Null
+                    });
+                }
+            }
+            EncodedColumn::Rle(runs) => {
+                let hi = lo + selection.len();
+                let mut pos = 0usize;
+                for (v, n) in runs {
+                    let run_end = pos + *n as usize;
+                    if run_end > lo && pos < hi {
+                        for slot in pos.max(lo)..run_end.min(hi) {
+                            out.push(if selection[slot - lo] {
+                                v.clone()
+                            } else {
+                                Value::Null
+                            });
+                        }
+                    }
+                    pos = run_end;
+                    if pos >= hi {
+                        break;
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Residual comparison semantics: NULL matches nothing, everything else uses
+/// [`Value`]'s total order (mixed numeric variants compare by value).
+fn value_matches(v: &Value, op: PredicateOp, probe: &Value) -> bool {
+    !v.is_null()
+        && match op {
+            PredicateOp::Eq => v == probe,
+            PredicateOp::Lt => v < probe,
+            PredicateOp::Le => v <= probe,
+            PredicateOp::Gt => v > probe,
+            PredicateOp::Ge => v >= probe,
+        }
+}
+
+/// The inclusive code interval of sorted-dictionary entries satisfying
+/// `<op> probe`, or `None` when no entry can match.  The NULL entry, when
+/// present, sorts first (Value's total order puts NULL below everything) and
+/// is excluded by starting the interval after it.
+fn code_interval(dict: &[Value], op: PredicateOp, probe: &Value) -> Option<(u32, u32)> {
+    let first = dict.iter().take_while(|v| v.is_null()).count();
+    let below = |v: &Value| v < probe;
+    let at_or_below = |v: &Value| v <= probe;
+    let (lo, hi) = match op {
+        PredicateOp::Eq => {
+            let code = dict[first..].binary_search(probe).ok()? + first;
+            (code, code + 1)
+        }
+        PredicateOp::Lt => (first, dict.partition_point(below)),
+        PredicateOp::Le => (first, dict.partition_point(at_or_below)),
+        PredicateOp::Gt => (dict.partition_point(at_or_below).max(first), dict.len()),
+        PredicateOp::Ge => (dict.partition_point(below).max(first), dict.len()),
+    };
+    if lo >= hi {
+        return None;
+    }
+    Some((lo as u32, (hi - 1) as u32))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ints(values: &[i64]) -> Vec<Value> {
+        values.iter().map(|&v| Value::Int(v)).collect()
+    }
+
+    fn decode_all(col: &EncodedColumn) -> Vec<Value> {
+        col.decode_range(0, &vec![true; col.len()])
+    }
+
+    #[test]
+    fn low_cardinality_column_picks_dictionary() {
+        let values: Vec<Value> = (0..256)
+            .map(|i| Value::Str(format!("status-{}", i % 4)))
+            .collect();
+        let col = EncodedColumn::encode(&values);
+        assert_eq!(col.encoding(), Encoding::Dictionary);
+        assert_eq!(col.len(), 256);
+        assert!(col.encoded_bytes() < col.plain_bytes() / 3);
+        assert_eq!(decode_all(&col), values);
+    }
+
+    #[test]
+    fn sorted_runs_pick_rle() {
+        let values: Vec<Value> = (0..256).map(|i| Value::Int(i / 64)).collect();
+        let col = EncodedColumn::encode(&values);
+        assert_eq!(col.encoding(), Encoding::Rle);
+        assert!(col.encoded_bytes() < col.plain_bytes() / 10);
+        assert_eq!(decode_all(&col), values);
+    }
+
+    #[test]
+    fn high_cardinality_unclustered_column_stays_plain() {
+        let values = ints(&(0..64).map(|i| i * 37 % 64).collect::<Vec<_>>());
+        let col = EncodedColumn::encode(&values);
+        assert_eq!(col.encoding(), Encoding::Plain);
+        assert_eq!(col.encoded_bytes(), col.plain_bytes());
+        assert_eq!(decode_all(&col), values);
+    }
+
+    #[test]
+    fn dictionary_codes_preserve_value_order() {
+        let values = ints(&[30, 10, 30, 20, 10, 20, 30, 10]);
+        let col = EncodedColumn::encode(&values);
+        let EncodedColumn::Dictionary { dict, codes } = &col else {
+            panic!("expected dictionary, got {:?}", col.encoding());
+        };
+        assert_eq!(dict, &ints(&[10, 20, 30]));
+        for (v, &code) in values.iter().zip(codes) {
+            assert_eq!(&dict[code as usize], v);
+        }
+    }
+
+    #[test]
+    fn encoded_filters_agree_with_plain_evaluation() {
+        // One clustered (RLE-friendly), one low-cardinality (dictionary) and
+        // one incompressible layout, probed with every operator.
+        let layouts: Vec<Vec<Value>> = vec![
+            (0..60).map(|i| Value::Int(i / 10)).collect(),
+            (0..60).map(|i| Value::Int(i * 31 % 7)).collect(),
+            (0..60).map(|i| Value::Int(i * 37 % 61)).collect(),
+        ];
+        for values in layouts {
+            let col = EncodedColumn::encode(&values);
+            for op in [
+                PredicateOp::Eq,
+                PredicateOp::Lt,
+                PredicateOp::Le,
+                PredicateOp::Gt,
+                PredicateOp::Ge,
+            ] {
+                for probe in [-1i64, 0, 3, 6, 40, 100] {
+                    let probe = Value::Int(probe);
+                    let mut selection = vec![true; values.len()];
+                    col.filter_range(op, &probe, 0, &mut selection);
+                    let expected: Vec<bool> = values
+                        .iter()
+                        .map(|v| value_matches(v, op, &probe))
+                        .collect();
+                    assert_eq!(selection, expected, "{op:?} {probe:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn filters_and_decodes_respect_subranges() {
+        let values: Vec<Value> = (0..40).map(|i| Value::Int(i / 8)).collect();
+        for col in [
+            EncodedColumn::encode(&values),
+            EncodedColumn::Plain(values.clone()),
+        ] {
+            let (lo, hi) = (11, 29);
+            let mut selection = vec![true; hi - lo];
+            col.filter_range(PredicateOp::Ge, &Value::Int(2), lo, &mut selection);
+            let expected: Vec<bool> = (lo..hi).map(|i| values[i] >= Value::Int(2)).collect();
+            assert_eq!(selection, expected);
+            let decoded = col.decode_range(lo, &selection);
+            for (i, v) in decoded.iter().enumerate() {
+                if selection[i] {
+                    assert_eq!(v, &values[lo + i]);
+                } else {
+                    assert!(v.is_null(), "deselected slots decode as placeholders");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn null_slots_never_match_and_are_excluded_from_code_intervals() {
+        // NULL sorts first in the dictionary; range predicates must not
+        // resurrect it even though its code is inside the naive interval.
+        let mut values = ints(&[5, 5, 7, 7, 9, 9]);
+        values[1] = Value::Null;
+        values[4] = Value::Null;
+        for col in [
+            EncodedColumn::encode(&values),
+            EncodedColumn::Plain(values.clone()),
+            EncodedColumn::Rle(values.iter().map(|v| (v.clone(), 1)).collect()),
+        ] {
+            for op in [
+                PredicateOp::Eq,
+                PredicateOp::Lt,
+                PredicateOp::Le,
+                PredicateOp::Gt,
+                PredicateOp::Ge,
+            ] {
+                let mut selection = vec![true; values.len()];
+                col.filter_range(op, &Value::Int(7), 0, &mut selection);
+                assert!(!selection[1], "{op:?} matched a NULL slot");
+                assert!(!selection[4], "{op:?} matched a NULL slot");
+            }
+        }
+    }
+
+    #[test]
+    fn dictionary_probe_missing_from_dict_deselects_everything() {
+        let values = ints(&[2, 4, 2, 4, 2, 4, 2, 4]);
+        let col = EncodedColumn::encode(&values);
+        assert_eq!(col.encoding(), Encoding::Dictionary);
+        let mut selection = vec![true; values.len()];
+        col.filter_range(PredicateOp::Eq, &Value::Int(3), 0, &mut selection);
+        assert!(selection.iter().all(|&s| !s));
+    }
+
+    #[test]
+    fn incoming_deselection_is_never_resurrected() {
+        let values = ints(&[1, 1, 1, 1]);
+        let col = EncodedColumn::encode(&values);
+        let mut selection = vec![true, false, true, false];
+        col.filter_range(PredicateOp::Eq, &Value::Int(1), 0, &mut selection);
+        assert_eq!(selection, vec![true, false, true, false]);
+    }
+}

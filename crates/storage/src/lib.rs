@@ -40,6 +40,8 @@ pub mod catalog;
 pub mod checkpoint;
 pub mod colstore;
 pub mod cost;
+pub mod delta;
+pub mod encode;
 pub mod error;
 pub mod filter;
 pub mod key;
@@ -58,8 +60,10 @@ pub use batch::{BatchBuilder, ColumnBatch, DEFAULT_BATCH_SIZE};
 pub use bufferpool::{BufferPool, BufferPoolStats};
 pub use catalog::Catalog;
 pub use checkpoint::{CheckpointData, TableCheckpoint};
-pub use colstore::{ColumnTable, ColumnTableStats};
+pub use colstore::{ColumnTable, ColumnTableStats, MemoryFootprint};
 pub use cost::{CostParams, StorageMedium};
+pub use delta::MainChunk;
+pub use encode::{EncodedColumn, Encoding};
 pub use error::{StorageError, StorageResult};
 pub use filter::{fingerprint_hash, FingerprintFilter};
 pub use key::Key;

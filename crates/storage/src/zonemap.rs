@@ -230,6 +230,10 @@ pub struct ScanOutcome {
     pub chunks_pruned_zonemap: u64,
     /// Chunks skipped because a fingerprint filter excluded an equality probe.
     pub chunks_pruned_filter: u64,
+    /// Live rows in surviving *main-tier* chunks that encoded-predicate
+    /// evaluation (dictionary-code comparison, RLE run skipping) deselected
+    /// before any value was decoded.
+    pub rows_pruned_encoded: u64,
 }
 
 #[cfg(test)]

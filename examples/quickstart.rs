@@ -59,4 +59,12 @@ fn main() {
         "columnar chunks: scanned={} pruned-by-zonemap={} pruned-by-filter={}",
         result.chunks_scanned, result.chunks_pruned_zonemap, result.chunks_pruned_filter
     );
+    println!(
+        "columnar storage: resident={} bytes compression-ratio={:.2}x \
+         chunks-compacted={} rows-pruned-encoded={}",
+        result.col_bytes_resident,
+        result.col_compression_ratio,
+        result.chunks_compacted,
+        result.rows_pruned_encoded
+    );
 }
