@@ -8,7 +8,7 @@
 //!
 //! Experiment ids: `table1`, `table2`, `fig1`, `fig3`, `fig4`, `fig5`, `fig6`,
 //! `fig7`, `fig8`, `fig9`, `findings`, `fig10`, `interference`, `durability`,
-//! `shards`, `prefilter`.
+//! `shards`, `prefilter`, `compression`, `tracing_overhead`.
 //!
 //! `--durability` runs every experiment engine on a write-ahead log with the
 //! given sync policy (default `none`: in-memory, the paper's setup),
@@ -16,8 +16,14 @@
 //! (default: a per-process temp directory), and `--shards` overrides the
 //! engine shard count for every experiment (the `shards` experiment sweeps
 //! its own counts and ignores the override).
+//!
+//! With `OLXP_TRACE=on` every experiment engine records lifecycle spans and
+//! the harness writes a `trace-<id>.json` Chrome trace-event artifact after
+//! each experiment (load it in Perfetto / `chrome://tracing`).
 
-use olxpbench_bench::{all_experiment_ids, run_experiment, DurabilityMode, ExpOptions};
+use olxpbench_bench::{
+    all_experiment_ids, export_trace_artifact, run_experiment, DurabilityMode, ExpOptions,
+};
 use std::time::Instant;
 
 fn usage_error(message: &str) -> ! {
@@ -101,6 +107,11 @@ fn main() {
         match run_experiment(id, opts) {
             Some(report) => {
                 println!("{report}");
+                // With tracing on (`OLXP_TRACE=on` or a traced experiment),
+                // drain the span rings into a Perfetto-loadable artifact.
+                if let Some(path) = export_trace_artifact(id) {
+                    println!("[trace artifact written to {}]", path.display());
+                }
                 println!(
                     "[{id} completed in {:.1}s{}]\n",
                     started.elapsed().as_secs_f64(),

@@ -15,6 +15,9 @@ mod prefilter;
 mod scaling;
 mod sweeps;
 mod tables;
+mod tracing;
+
+pub use tracing::export_trace_artifact;
 
 use olxpbench::prelude::*;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -151,6 +154,7 @@ pub fn all_experiment_ids() -> Vec<&'static str> {
         "shards",
         "prefilter",
         "compression",
+        "tracing_overhead",
     ]
 }
 
@@ -175,6 +179,7 @@ pub fn run_experiment(id: &str, opts: ExpOptions) -> Option<String> {
         "shards" => scaling::shard_scaling(opts),
         "prefilter" => prefilter::selectivity_sweep(opts),
         "compression" => compression::compression(opts),
+        "tracing_overhead" => tracing::tracing_overhead(opts),
         _ => return None,
     };
     Some(report)

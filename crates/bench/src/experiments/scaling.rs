@@ -144,6 +144,7 @@ pub fn shard_scaling(opts: ExpOptions) -> String {
 
     let mut rows = Vec::new();
     let mut baseline = 0.0f64;
+    let mut widest_breakdown = String::new();
     for &shards in shard_counts {
         let root = opts
             .data_dir
@@ -209,6 +210,9 @@ pub fn shard_scaling(opts: ExpOptions) -> String {
             fmt_ratio(peak / baseline.max(1.0)),
             format!("{cross_shard:.1}%"),
         ]);
+        // The widest run's per-shard commit/lock/WAL counters show how evenly
+        // the hash partitioning spreads the write path.
+        widest_breakdown = shard_table(&result.per_shard);
         db.shutdown_applier();
         drop(db);
         let _ = std::fs::remove_dir_all(&dir);
@@ -217,7 +221,8 @@ pub fn shard_scaling(opts: ExpOptions) -> String {
     format!(
         "Shard scaling — peak OLTP throughput vs. engine shard count (fibenchmark \
          single-row mix, dual engine, one WAL stream per shard, modelled \
-         per-stream log force at a measured-fsync service time)\n\n{}",
+         per-stream log force at a measured-fsync service time)\n\n{}\n\
+         Per-shard breakdown at {} shards (measurement window)\n{}",
         render_table(
             &[
                 "shards",
@@ -227,5 +232,7 @@ pub fn shard_scaling(opts: ExpOptions) -> String {
             ],
             &rows
         ),
+        shard_counts.last().copied().unwrap_or(1),
+        widest_breakdown,
     )
 }

@@ -16,4 +16,6 @@
 
 pub mod experiments;
 
-pub use experiments::{all_experiment_ids, run_experiment, DurabilityMode, ExpOptions};
+pub use experiments::{
+    all_experiment_ids, export_trace_artifact, run_experiment, DurabilityMode, ExpOptions,
+};

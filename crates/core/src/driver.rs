@@ -11,7 +11,7 @@
 use crate::config::{AgentConfig, BenchConfig, LoopMode};
 use crate::error::{BenchError, BenchResult};
 use crate::generator::{OpenLoopSchedule, RequestSchedule, WeightedChoice};
-use crate::report::{FreshnessSummary, LatencySummary};
+use crate::report::{FreshnessSummary, LatencySummary, ShardSummary, StageSummary};
 use crate::stats::LatencyRecorder;
 use crate::workload::{AnalyticalQuery, HybridTransaction, OnlineTransaction, Workload};
 use olxp_engine::{HybridDatabase, MetricsSnapshot, Session};
@@ -88,6 +88,17 @@ pub struct BenchmarkResult {
     pub group_commit_p50: u64,
     /// 99th percentile group-commit batch size over the engine's lifetime.
     pub group_commit_p99: u64,
+    /// Per-stage lifecycle latency summaries over the run (lock, WAL append,
+    /// fsync, install, 2PC, replication apply, compaction, query operators).
+    /// Empty unless the engine ran with tracing enabled.
+    pub stages: Vec<StageSummary>,
+    /// Per-shard commit / lock-wait / WAL activity over the run.  Always
+    /// populated (one entry per shard), independent of tracing.
+    pub per_shard: Vec<ShardSummary>,
+    /// Formatted records of transactions that exceeded the engine's
+    /// slow-transaction threshold during the run (drained from the engine's
+    /// log; empty when the threshold is unset or nothing qualified).
+    pub slow_txns: Vec<String>,
 }
 
 impl BenchmarkResult {
@@ -308,6 +319,14 @@ impl BenchmarkDriver {
             wal_synced_commits: delta.wal.synced_commits,
             group_commit_p50: delta.wal.group_batch_p50,
             group_commit_p99: delta.wal.group_batch_p99,
+            stages: StageSummary::from_breakdown(&delta.stages),
+            per_shard: ShardSummary::from_breakdowns(&delta.per_shard),
+            slow_txns: db
+                .slow_txn_log()
+                .take()
+                .iter()
+                .map(|record| record.format())
+                .collect(),
         })
     }
 

@@ -51,7 +51,10 @@ pub use driver::{BenchmarkDriver, BenchmarkResult};
 pub use error::{BenchError, BenchResult};
 pub use features::{BenchmarkComparison, WorkloadFeatures};
 pub use generator::{ClosedLoopSchedule, OpenLoopSchedule, RequestSchedule, WeightedChoice};
-pub use report::{ClassReport, FreshnessSummary, LatencySummary};
+pub use report::{
+    shard_table, stage_table, ClassReport, FreshnessSummary, LatencySummary, ShardSummary,
+    StageSummary,
+};
 pub use schema_check::{check_semantic_consistency, SchemaConsistencyReport};
 pub use stats::LatencyRecorder;
 pub use workload::{

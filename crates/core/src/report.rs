@@ -1,5 +1,7 @@
 //! Result summaries and report formatting.
 
+use olxp_engine::ShardBreakdown;
+use olxp_trace::StageBreakdown;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -153,6 +155,152 @@ impl fmt::Display for FreshnessSummary {
     }
 }
 
+/// Latency summary of one lifecycle stage (commit path, replication,
+/// compaction or query execution), distilled from the engine's log-bucket
+/// stage histograms.  Quantiles inherit the histogram's bucket-upper-bound
+/// guarantee: at most [`olxp_trace::HIST_MAX_RELATIVE_ERROR`] above the true
+/// value.  Only collected while tracing is enabled.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StageSummary {
+    /// Stage name (the span category's snake_case label, e.g. `wal_append`).
+    pub stage: String,
+    /// Durations recorded for this stage.
+    pub count: u64,
+    /// Mean duration (µs).
+    pub mean_us: f64,
+    /// Median duration (µs).
+    pub p50_us: f64,
+    /// 95th percentile duration (µs).
+    pub p95_us: f64,
+    /// 99th percentile duration (µs).
+    pub p99_us: f64,
+    /// 99.9th percentile duration (µs).
+    pub p999_us: f64,
+    /// Maximum duration (µs).
+    pub max_us: f64,
+    /// Total time spent in this stage (ms).
+    pub total_ms: f64,
+}
+
+impl StageSummary {
+    /// Summarise every non-empty stage of a breakdown, in presentation order.
+    pub fn from_breakdown(stages: &StageBreakdown) -> Vec<StageSummary> {
+        let us = |nanos: u64| nanos as f64 / 1_000.0;
+        stages
+            .iter_nonempty()
+            .map(|(category, hist)| StageSummary {
+                stage: category.as_str().to_string(),
+                count: hist.count(),
+                mean_us: hist.mean() / 1_000.0,
+                p50_us: us(hist.value_at_quantile(0.50)),
+                p95_us: us(hist.value_at_quantile(0.95)),
+                p99_us: us(hist.value_at_quantile(0.99)),
+                p999_us: us(hist.value_at_quantile(0.999)),
+                max_us: us(hist.max()),
+                total_ms: hist.sum() as f64 / 1_000_000.0,
+            })
+            .collect()
+    }
+}
+
+/// Render stage summaries as the commit-path breakdown table the experiment
+/// harness prints (empty string when no stage recorded anything).
+pub fn stage_table(stages: &[StageSummary]) -> String {
+    if stages.is_empty() {
+        return String::new();
+    }
+    let rows: Vec<Vec<String>> = stages
+        .iter()
+        .map(|s| {
+            vec![
+                s.stage.clone(),
+                s.count.to_string(),
+                format!("{:.1}", s.mean_us),
+                format!("{:.1}", s.p50_us),
+                format!("{:.1}", s.p95_us),
+                format!("{:.1}", s.p99_us),
+                format!("{:.1}", s.p999_us),
+                format!("{:.1}", s.max_us),
+                format!("{:.2}", s.total_ms),
+            ]
+        })
+        .collect();
+    render_table(
+        &[
+            "stage", "count", "mean_us", "p50_us", "p95_us", "p99_us", "p99.9_us", "max_us",
+            "total_ms",
+        ],
+        &rows,
+    )
+}
+
+/// Per-shard commit and WAL activity over one run, in reportable form.
+/// Lock-wait accounting is always on, so this is available without tracing.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct ShardSummary {
+    /// Shard index.
+    pub shard: u32,
+    /// Transactions that committed touching this shard.
+    pub commits: u64,
+    /// Row-lock acquisitions that waited on this shard.
+    pub lock_waits: u64,
+    /// Mean lock wait (µs) across this shard's acquisitions.
+    pub mean_lock_wait_us: f64,
+    /// WAL records appended to this shard's stream.
+    pub wal_appends: u64,
+    /// Fsyncs issued against this shard's stream.
+    pub wal_fsyncs: u64,
+}
+
+impl ShardSummary {
+    /// Summarise the engine's per-shard counters, one entry per shard.
+    pub fn from_breakdowns(per_shard: &[ShardBreakdown]) -> Vec<ShardSummary> {
+        per_shard
+            .iter()
+            .enumerate()
+            .map(|(shard, b)| ShardSummary {
+                shard: shard as u32,
+                commits: b.commits,
+                lock_waits: b.lock_waits,
+                mean_lock_wait_us: b.mean_lock_wait_nanos() / 1_000.0,
+                wal_appends: b.wal_appends,
+                wal_fsyncs: b.wal_fsyncs,
+            })
+            .collect()
+    }
+}
+
+/// Render per-shard summaries as a text table (empty string for no shards).
+pub fn shard_table(shards: &[ShardSummary]) -> String {
+    if shards.is_empty() {
+        return String::new();
+    }
+    let rows: Vec<Vec<String>> = shards
+        .iter()
+        .map(|s| {
+            vec![
+                s.shard.to_string(),
+                s.commits.to_string(),
+                s.lock_waits.to_string(),
+                format!("{:.1}", s.mean_lock_wait_us),
+                s.wal_appends.to_string(),
+                s.wal_fsyncs.to_string(),
+            ]
+        })
+        .collect();
+    render_table(
+        &[
+            "shard",
+            "commits",
+            "lock_waits",
+            "mean_wait_us",
+            "wal_appends",
+            "wal_fsyncs",
+        ],
+        &rows,
+    )
+}
+
 /// A named latency summary (one request class of one run).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ClassReport {
@@ -251,6 +399,49 @@ mod tests {
         let empty = FreshnessSummary::from_observations(&[], &[]);
         assert_eq!(empty.observations, 0);
         assert_eq!(empty.lag_records_max, 0);
+    }
+
+    #[test]
+    fn stage_summaries_cover_only_recorded_stages() {
+        use olxp_trace::SpanCategory;
+        let mut stages = StageBreakdown::new();
+        stages.record(SpanCategory::WalAppend, 2_000);
+        stages.record(SpanCategory::WalAppend, 4_000);
+        stages.record(SpanCategory::Fsync, 1_000_000);
+        let summaries = StageSummary::from_breakdown(&stages);
+        assert_eq!(summaries.len(), 2);
+        let wal = summaries.iter().find(|s| s.stage == "wal_append").unwrap();
+        assert_eq!(wal.count, 2);
+        assert!((wal.mean_us - 3.0).abs() < 1e-9);
+        assert!((wal.total_ms - 0.006).abs() < 1e-9);
+        let table = stage_table(&summaries);
+        assert!(table.contains("wal_append"));
+        assert!(table.contains("fsync"));
+        assert!(table.contains("p99.9_us"));
+        assert!(stage_table(&[]).is_empty());
+    }
+
+    #[test]
+    fn shard_summaries_carry_indices_and_means() {
+        let breakdowns = vec![
+            ShardBreakdown {
+                commits: 10,
+                lock_waits: 4,
+                lock_wait_nanos: 8_000,
+                wal_appends: 20,
+                wal_fsyncs: 5,
+            },
+            ShardBreakdown::default(),
+        ];
+        let summaries = ShardSummary::from_breakdowns(&breakdowns);
+        assert_eq!(summaries.len(), 2);
+        assert_eq!(summaries[0].shard, 0);
+        assert_eq!(summaries[1].shard, 1);
+        assert!((summaries[0].mean_lock_wait_us - 2.0).abs() < 1e-9);
+        assert_eq!(summaries[0].wal_fsyncs, 5);
+        let table = shard_table(&summaries);
+        assert!(table.contains("mean_wait_us"));
+        assert!(shard_table(&[]).is_empty());
     }
 
     #[test]

@@ -2,15 +2,22 @@
 //!
 //! The OLxPBench statistics module "aggregates the above metrics and stores
 //! the min, max, medium, 90th, 95th, 99.9th, and 99.99th percentile latency"
-//! (§IV-C).  [`LatencyRecorder`] collects raw samples and computes exactly
-//! those plus mean, standard deviation and throughput.
+//! (§IV-C).  [`LatencyRecorder`] aggregates samples into a fixed-size
+//! log-bucket histogram ([`olxp_trace::LogHistogram`]) instead of retaining
+//! and sorting every raw sample: recording is O(1) with no allocation,
+//! merging per-thread recorders is bucket-wise addition, and reported
+//! quantiles carry a bounded relative error of at most
+//! [`olxp_trace::HIST_MAX_RELATIVE_ERROR`] (3.125%; values below 64 ns are
+//! exact).  Count, mean, min, max, and standard deviation remain exact.
 
+use olxp_trace::LogHistogram;
 use std::time::Duration;
 
 /// Collects latency samples (in nanoseconds) for one class of requests.
 #[derive(Debug, Clone, Default)]
 pub struct LatencyRecorder {
-    samples: Vec<u64>,
+    hist: LogHistogram,
+    sum_squares: f64,
     errors: u64,
 }
 
@@ -20,22 +27,15 @@ impl LatencyRecorder {
         LatencyRecorder::default()
     }
 
-    /// Create a recorder with pre-allocated capacity.
-    pub fn with_capacity(capacity: usize) -> LatencyRecorder {
-        LatencyRecorder {
-            samples: Vec::with_capacity(capacity),
-            errors: 0,
-        }
-    }
-
     /// Record one successful request's latency.
     pub fn record(&mut self, latency: Duration) {
-        self.samples.push(latency.as_nanos() as u64);
+        self.record_nanos(latency.as_nanos() as u64);
     }
 
     /// Record one successful request's latency in nanoseconds.
     pub fn record_nanos(&mut self, nanos: u64) {
-        self.samples.push(nanos);
+        self.hist.record(nanos);
+        self.sum_squares += nanos as f64 * nanos as f64;
     }
 
     /// Record a failed request (not counted in the latency distribution).
@@ -45,7 +45,7 @@ impl LatencyRecorder {
 
     /// Number of successful samples.
     pub fn count(&self) -> u64 {
-        self.samples.len() as u64
+        self.hist.count()
     }
 
     /// Number of failed requests.
@@ -56,57 +56,47 @@ impl LatencyRecorder {
     /// Merge another recorder into this one (used to combine per-thread
     /// recorders).
     pub fn merge(&mut self, other: &LatencyRecorder) {
-        self.samples.extend_from_slice(&other.samples);
+        self.hist.merge(&other.hist);
+        self.sum_squares += other.sum_squares;
         self.errors += other.errors;
     }
 
-    /// Raw samples (nanoseconds), unsorted.
-    pub fn samples(&self) -> &[u64] {
-        &self.samples
+    /// The underlying latency histogram (nanosecond buckets).
+    pub fn histogram(&self) -> &LogHistogram {
+        &self.hist
     }
 
     /// Mean latency in nanoseconds (0 when empty).
     pub fn mean_nanos(&self) -> f64 {
-        if self.samples.is_empty() {
-            return 0.0;
-        }
-        self.samples.iter().map(|&v| v as f64).sum::<f64>() / self.samples.len() as f64
+        self.hist.mean()
     }
 
     /// Population standard deviation in nanoseconds.
     pub fn std_dev_nanos(&self) -> f64 {
-        if self.samples.len() < 2 {
+        let n = self.hist.count();
+        if n < 2 {
             return 0.0;
         }
         let mean = self.mean_nanos();
-        let var = self
-            .samples
-            .iter()
-            .map(|&v| {
-                let d = v as f64 - mean;
-                d * d
-            })
-            .sum::<f64>()
-            / self.samples.len() as f64;
-        var.sqrt()
+        (self.sum_squares / n as f64 - mean * mean).max(0.0).sqrt()
     }
 
-    /// The `q`-quantile (0.0–1.0) of the latency distribution, in nanoseconds,
-    /// using the nearest-rank method.
+    /// The `q`-quantile (0.0–1.0) of the latency distribution, in
+    /// nanoseconds, using the nearest-rank method over histogram buckets.
+    /// The result is within [`olxp_trace::HIST_MAX_RELATIVE_ERROR`] of the
+    /// exact nearest-rank value.
     pub fn quantile_nanos(&self, q: f64) -> u64 {
-        let mut sorted = self.samples.clone();
-        sorted.sort_unstable();
-        crate::report::nearest_rank(&sorted, q)
+        self.hist.value_at_quantile(q)
     }
 
-    /// Minimum latency in nanoseconds.
+    /// Minimum latency in nanoseconds (exact).
     pub fn min_nanos(&self) -> u64 {
-        self.samples.iter().copied().min().unwrap_or(0)
+        self.hist.min()
     }
 
-    /// Maximum latency in nanoseconds.
+    /// Maximum latency in nanoseconds (exact).
     pub fn max_nanos(&self) -> u64 {
-        self.samples.iter().copied().max().unwrap_or(0)
+        self.hist.max()
     }
 
     /// Throughput in requests per second given the measurement window.
@@ -115,7 +105,7 @@ impl LatencyRecorder {
         if secs <= 0.0 {
             return 0.0;
         }
-        self.samples.len() as f64 / secs
+        self.hist.count() as f64 / secs
     }
 
     /// Summarise into a [`crate::report::LatencySummary`].
@@ -140,6 +130,7 @@ impl LatencyRecorder {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use olxp_trace::HIST_MAX_RELATIVE_ERROR;
 
     fn recorder_with(values: &[u64]) -> LatencyRecorder {
         let mut r = LatencyRecorder::new();
@@ -147,6 +138,14 @@ mod tests {
             r.record_nanos(v);
         }
         r
+    }
+
+    /// Exact nearest-rank quantile over raw values, for comparison.
+    fn exact_nearest_rank(values: &[u64], q: f64) -> u64 {
+        let mut sorted = values.to_vec();
+        sorted.sort_unstable();
+        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        sorted[rank - 1]
     }
 
     #[test]
@@ -159,7 +158,7 @@ mod tests {
     }
 
     #[test]
-    fn mean_std_and_extremes() {
+    fn mean_std_and_extremes_are_exact() {
         let r = recorder_with(&[100, 200, 300, 400]);
         assert_eq!(r.mean_nanos(), 250.0);
         assert_eq!(r.min_nanos(), 100);
@@ -167,20 +166,46 @@ mod tests {
         assert!((r.std_dev_nanos() - 111.803).abs() < 0.01);
     }
 
+    /// Pinned outputs over 1..=100: the histogram is exact where buckets are
+    /// single-valued (below 64) and reports the bucket upper bound (clamped
+    /// to the true max) above that.
     #[test]
-    fn quantiles_use_nearest_rank() {
+    fn quantiles_pin_known_bucket_values() {
         let values: Vec<u64> = (1..=100).collect();
         let r = recorder_with(&values);
-        assert_eq!(r.quantile_nanos(0.50), 50);
-        assert_eq!(r.quantile_nanos(0.90), 90);
-        assert_eq!(r.quantile_nanos(0.95), 95);
-        assert_eq!(r.quantile_nanos(0.999), 100);
-        assert_eq!(r.quantile_nanos(1.0), 100);
         assert_eq!(r.quantile_nanos(0.0), 1);
+        assert_eq!(r.quantile_nanos(0.50), 50); // exact: single-valued bucket
+        assert_eq!(r.quantile_nanos(0.90), 91); // true 90 lives in bucket [90, 91]
+        assert_eq!(r.quantile_nanos(0.95), 95); // true 95 lives in bucket [94, 95]
+        assert_eq!(r.quantile_nanos(0.999), 100); // bucket [100, 101] clamped to max
+        assert_eq!(r.quantile_nanos(1.0), 100);
+    }
+
+    /// p50 and p99.9 stay within the advertised relative error bound, pinned
+    /// against exact nearest-rank values.
+    #[test]
+    fn p50_and_p999_error_bounds() {
+        let values: Vec<u64> = (1..=10_000).map(|v| v * 1_000).collect(); // 1µs..10ms
+        let r = recorder_with(&values);
+        for q in [0.5, 0.999] {
+            let truth = exact_nearest_rank(&values, q);
+            let got = r.quantile_nanos(q);
+            let err = (got as f64 - truth as f64).abs() / truth as f64;
+            assert!(
+                err <= HIST_MAX_RELATIVE_ERROR,
+                "q={q}: got {got}, truth {truth}, err {err} > {HIST_MAX_RELATIVE_ERROR}"
+            );
+            assert!(got >= truth, "reported bucket upper bound below true value");
+        }
+        // Pin the concrete p50/p99.9 outputs so the bucketing never silently
+        // changes: 5_000_000 -> bucket [4_980_736, 5_111_807];
+        // 9_990_000 -> bucket [9_961_472, 10_223_615] clamped to max.
+        assert_eq!(r.quantile_nanos(0.5), 5_111_807);
+        assert_eq!(r.quantile_nanos(0.999), 10_000_000);
     }
 
     #[test]
-    fn quantiles_match_exact_sort_on_random_data() {
+    fn quantiles_track_exact_sort_within_bound_on_random_data() {
         // A lightweight deterministic pseudo-random sequence.
         let mut x: u64 = 0x2545F4914F6CDD1D;
         let mut values = Vec::new();
@@ -191,11 +216,11 @@ mod tests {
             values.push(x % 1_000_000);
         }
         let r = recorder_with(&values);
-        let mut sorted = values.clone();
-        sorted.sort_unstable();
-        let q95 = r.quantile_nanos(0.95);
-        let rank = ((0.95 * sorted.len() as f64).ceil() as usize) - 1;
-        assert_eq!(q95, sorted[rank]);
+        for q in [0.5, 0.9, 0.95, 0.999] {
+            let truth = exact_nearest_rank(&values, q) as f64;
+            let got = r.quantile_nanos(q) as f64;
+            assert!((got - truth).abs() / truth <= HIST_MAX_RELATIVE_ERROR);
+        }
     }
 
     #[test]
@@ -219,6 +244,7 @@ mod tests {
         assert_eq!(s.count, 200);
         assert!((s.mean_ms - 1.0).abs() < 1e-9);
         assert!((s.throughput - 100.0).abs() < 1e-9);
+        // The median is the bucket upper bound clamped to the exact max.
         assert_eq!(s.median_ms, 1.0);
     }
 }

@@ -268,6 +268,19 @@ pub struct EngineConfig {
     /// nudge it after applying mutations; this bounds staleness when writes
     /// arrive while it is parked and the worst-case shutdown latency.
     pub compactor_idle_wait_us: u64,
+    /// Record lifecycle spans (lock, WAL append, fsync, install, 2PC,
+    /// replication apply, compaction, query operators) and per-stage latency
+    /// histograms.  When disabled, every instrumentation site reduces to a
+    /// branch on one relaxed atomic.  Constructors honour the `OLXP_TRACE`
+    /// environment variable (`on`/`1`/`true`/`yes` enables) so any run can be
+    /// traced without code changes.
+    pub tracing: bool,
+    /// Commits slower than this many milliseconds (end to end) log their full
+    /// per-stage span breakdown through the engine's slow-transaction log.
+    /// `0` (the default) disables the slow log.  Only active while
+    /// [`EngineConfig::tracing`] is on, since the stages are measured by the
+    /// tracing instrumentation.
+    pub slow_txn_threshold_ms: u64,
 }
 
 /// Default shard count: `OLXP_TEST_SHARDS` if set to a positive integer,
@@ -287,6 +300,14 @@ fn default_pruning() -> PruningMode {
         .ok()
         .and_then(|v| PruningMode::parse(&v))
         .unwrap_or_default()
+}
+
+/// Default tracing switch: off unless `OLXP_TRACE` asks for tracing
+/// (`on`/`1`/`true`/`yes`).
+fn default_tracing() -> bool {
+    std::env::var(olxp_trace::ENV_TRACE)
+        .map(|v| matches!(v.trim(), "1" | "on" | "true" | "yes"))
+        .unwrap_or(false)
 }
 
 /// Default compression switch: on unless `OLXP_TEST_COMPRESSION` is set to
@@ -325,6 +346,8 @@ impl EngineConfig {
             pruning: default_pruning(),
             compression: default_compression(),
             compactor_idle_wait_us: 10_000,
+            tracing: default_tracing(),
+            slow_txn_threshold_ms: 0,
         }
     }
 
@@ -350,6 +373,8 @@ impl EngineConfig {
             pruning: default_pruning(),
             compression: default_compression(),
             compactor_idle_wait_us: 10_000,
+            tracing: default_tracing(),
+            slow_txn_threshold_ms: 0,
         }
     }
 
@@ -432,6 +457,19 @@ impl EngineConfig {
     /// (builder style).
     pub fn with_compression(mut self, enabled: bool) -> EngineConfig {
         self.compression = enabled;
+        self
+    }
+
+    /// Enable or disable lifecycle tracing (builder style).
+    pub fn with_tracing(mut self, enabled: bool) -> EngineConfig {
+        self.tracing = enabled;
+        self
+    }
+
+    /// Override the slow-transaction threshold in milliseconds; `0` disables
+    /// the slow log (builder style).
+    pub fn with_slow_txn_threshold_ms(mut self, threshold_ms: u64) -> EngineConfig {
+        self.slow_txn_threshold_ms = threshold_ms;
         self
     }
 

@@ -15,6 +15,7 @@ use crate::config::{EngineArchitecture, EngineConfig};
 use crate::error::{EngineError, EngineResult};
 use crate::metrics::{EngineMetrics, MetricsSnapshot, WalMetrics, WorkClass};
 use crate::session::Session;
+use crate::slowlog::SlowTxnLog;
 use olxp_storage::checkpoint::{load_latest_checkpoint, write_checkpoint};
 use olxp_storage::wal::{ReplayedRecord, WalReplay};
 use olxp_storage::{
@@ -221,6 +222,9 @@ pub struct HybridDatabase {
     /// The background delta-compactor thread (when
     /// [`EngineConfig::compression`] is on).
     compactor: Mutex<Option<BackgroundCompactor>>,
+    /// Commits slower than [`EngineConfig::slow_txn_threshold_ms`], retained
+    /// with their per-stage breakdown while tracing is enabled.
+    slow_log: SlowTxnLog,
 }
 
 impl HybridDatabase {
@@ -250,6 +254,14 @@ impl HybridDatabase {
     /// cuts are recorded per shard.
     pub fn open(config: EngineConfig) -> EngineResult<Arc<HybridDatabase>> {
         config.validate()?;
+        // The span-recording gate is process-wide (background threads and the
+        // storage/query crates all consult it), so opening a tracing engine
+        // raises it; it is never lowered here — a caller comparing traced and
+        // untraced runs in one process lowers it explicitly between them with
+        // `olxp_trace::set_enabled(false)`.
+        if config.tracing {
+            olxp_trace::set_enabled(true);
+        }
         let shard_count = config.shards;
         let mut shards = Vec::with_capacity(shard_count);
         let mut replays: Vec<WalReplay> = Vec::new();
@@ -283,13 +295,14 @@ impl HybridDatabase {
                 wal_device: Mutex::new(()),
             });
         }
-        let metrics = Arc::new(EngineMetrics::new());
+        let metrics = Arc::new(EngineMetrics::with_shards(shard_count));
         let cluster = Cluster::from_config(&config);
         let txn_mgr = TransactionManager::with_shards(
             Duration::from_millis(config.lock_wait_timeout_ms),
             shard_count,
         );
         let max_replayed_id = replays.iter().map(|r| r.max_txn_id).max().unwrap_or(0);
+        let slow_log = SlowTxnLog::new(config.slow_txn_threshold_ms);
         let db = Arc::new(HybridDatabase {
             config,
             catalog: Catalog::new(),
@@ -308,6 +321,7 @@ impl HybridDatabase {
             checkpoint_failures: AtomicU64::new(0),
             compaction: Arc::new(CompactionSignal::new()),
             compactor: Mutex::new(None),
+            slow_log,
         });
         if db.is_durable() {
             let report = db.recover(checkpoint, replays)?;
@@ -372,12 +386,27 @@ impl HybridDatabase {
         &self.metrics
     }
 
+    /// The slow-transaction log (populated only while tracing is enabled and
+    /// [`EngineConfig::slow_txn_threshold_ms`] is non-zero).
+    pub fn slow_txn_log(&self) -> &SlowTxnLog {
+        &self.slow_log
+    }
+
     /// Snapshot of engine metrics (durable engines include live WAL counters
     /// aggregated across every shard's stream).
     pub fn metrics_snapshot(&self) -> MetricsSnapshot {
         let mut snapshot = self.metrics.snapshot();
         snapshot.wal = self.wal_metrics();
         snapshot.shards = self.shards.len() as u64;
+        for (i, shard) in self.shards.iter().enumerate() {
+            let Some(wal) = &shard.wal else { continue };
+            let Some(entry) = snapshot.per_shard.get_mut(i) else {
+                continue;
+            };
+            let stats = wal.stats();
+            entry.wal_appends = stats.appends;
+            entry.wal_fsyncs = stats.fsyncs;
+        }
         let footprint = self.columnar_footprint();
         snapshot.col_bytes_resident = footprint.bytes_resident as u64;
         snapshot.col_bytes_plain = footprint.bytes_plain as u64;
@@ -1297,6 +1326,19 @@ fn spawn_applier(
             let max_backoff = Duration::from_millis(5);
             let mut backoff = initial_backoff;
             while !stop.load(Ordering::Acquire) {
+                // The replication-apply span covers append→apply for the
+                // batch: it starts when the oldest record in the batch was
+                // appended (the lag a freshness-bounded reader would wait
+                // out), not when the applier picked it up.
+                let trace_from = if olxp_trace::enabled() {
+                    let now = olxp_trace::now_nanos();
+                    let age = log
+                        .oldest_pending_age()
+                        .map_or(0, |age| age.as_nanos() as u64);
+                    Some(now.saturating_sub(age))
+                } else {
+                    None
+                };
                 let result = replicator.lock().apply_pending(batch);
                 match result {
                     Ok(0) => {
@@ -1304,6 +1346,18 @@ fn spawn_applier(
                     }
                     Ok(applied) => {
                         metrics.add_replication_applied(applied as u64);
+                        if let Some(start) = trace_from {
+                            olxp_trace::record_span(
+                                olxp_trace::SpanCategory::ReplicationApply,
+                                shard as u32,
+                                applied as u64,
+                                start,
+                            );
+                            metrics.record_stage(
+                                olxp_trace::SpanCategory::ReplicationApply,
+                                olxp_trace::now_nanos().saturating_sub(start),
+                            );
+                        }
                         // Applied mutations grow delta tails: give the
                         // compactor a chance to seal any chunk they filled.
                         compaction.notify();
@@ -1350,9 +1404,31 @@ fn spawn_compactor(
                     if stop.load(Ordering::Acquire) {
                         break;
                     }
-                    // `compact` takes the table's write lock once per chunk,
-                    // so readers and the applier interleave with the rewrite.
-                    let chunks = table.compact() as u64;
+                    // One `compact_chunk` call per chunk: each takes the
+                    // table's write lock once, so readers and the applier
+                    // interleave with the rewrite — and each seal/encode
+                    // gets its own stage-histogram entry while tracing.
+                    let mut chunks = 0u64;
+                    loop {
+                        let trace_from = if olxp_trace::enabled() {
+                            Some(olxp_trace::now_nanos())
+                        } else {
+                            None
+                        };
+                        if !table.compact_chunk() {
+                            break;
+                        }
+                        if let Some(start) = trace_from {
+                            metrics.record_stage(
+                                olxp_trace::SpanCategory::Compaction,
+                                olxp_trace::now_nanos().saturating_sub(start),
+                            );
+                        }
+                        chunks += 1;
+                        if stop.load(Ordering::Acquire) {
+                            break;
+                        }
+                    }
                     metrics.add_chunks_compacted(chunks);
                     sealed += chunks;
                 }

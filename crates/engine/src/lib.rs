@@ -37,11 +37,15 @@ pub mod database;
 pub mod error;
 pub mod metrics;
 pub mod session;
+pub mod slowlog;
 
 pub use cluster::{Cluster, NodeId};
 pub use config::{DurabilityConfig, EngineArchitecture, EngineConfig, FreshnessPolicy};
 pub use database::{shard_of, AnalyticalRoute, HybridDatabase, RecoveryReport};
 pub use error::{EngineError, EngineResult};
-pub use metrics::{EngineMetrics, FreshnessSample, MetricsSnapshot, WalMetrics, WorkClass};
+pub use metrics::{
+    EngineMetrics, FreshnessSample, MetricsSnapshot, ShardBreakdown, WalMetrics, WorkClass,
+};
 pub use olxp_storage::SyncPolicy;
 pub use session::{Session, TxnHandle};
+pub use slowlog::{SlowTxnLog, SlowTxnRecord};

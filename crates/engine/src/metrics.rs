@@ -4,6 +4,7 @@
 //! paper reports beyond plain latency/throughput: the normalized lock overhead
 //! of Figure 4, scan volumes, buffer-pool churn and replication lag.
 
+use olxp_trace::{SpanCategory, StageBreakdown};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -66,6 +67,37 @@ impl WalMetrics {
     }
 }
 
+/// Per-shard slice of the write-path counters, surfaced inside
+/// [`MetricsSnapshot::per_shard`].
+///
+/// Commit and lock-wait counters come from [`EngineMetrics`] (a commit
+/// touching several shards counts once on each); the WAL counters are filled
+/// in by [`crate::HybridDatabase::metrics_snapshot`] from that shard's own
+/// stream and stay zero on in-memory engines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ShardBreakdown {
+    /// Commits that wrote to this shard.
+    pub commits: u64,
+    /// Write-lock acquisitions on this shard's lock table.
+    pub lock_waits: u64,
+    /// Real nanoseconds those acquisitions took (queueing included).
+    pub lock_wait_nanos: u64,
+    /// WAL records appended to this shard's stream.
+    pub wal_appends: u64,
+    /// fsyncs issued on this shard's stream.
+    pub wal_fsyncs: u64,
+}
+
+impl ShardBreakdown {
+    /// Mean lock acquisition time on this shard in nanoseconds.
+    pub fn mean_lock_wait_nanos(&self) -> f64 {
+        if self.lock_waits == 0 {
+            return 0.0;
+        }
+        self.lock_wait_nanos as f64 / self.lock_waits as f64
+    }
+}
+
 /// Classification of work for accounting purposes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum WorkClass {
@@ -122,10 +154,20 @@ pub struct EngineMetrics {
     distributed_commits: AtomicU64,
     freshness_observations: AtomicU64,
     freshness_samples: Mutex<Vec<FreshnessSample>>,
+    lock_waits: AtomicU64,
+    lock_wait_nanos: AtomicU64,
+    /// Lifecycle-stage latency histograms, populated only while tracing is
+    /// enabled (one mutex hold per commit/operation, not per stage).
+    stage: Mutex<StageBreakdown>,
+    /// Per-shard counters, sized by [`EngineMetrics::with_shards`]; empty
+    /// vectors (the [`Default`]) disable the per-shard breakdown.
+    shard_commits: Vec<AtomicU64>,
+    shard_lock_waits: Vec<AtomicU64>,
+    shard_lock_wait_nanos: Vec<AtomicU64>,
 }
 
 /// A point-in-time copy of [`EngineMetrics`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct MetricsSnapshot {
     /// Simulated service nanoseconds, per work class `[oltp, olap, hybrid, load]`.
     pub busy_nanos: [u64; 4],
@@ -182,6 +224,16 @@ pub struct MetricsSnapshot {
     /// Bytes the same columnar data would occupy with every tier unencoded
     /// (gauge, filled like [`MetricsSnapshot::col_bytes_resident`]).
     pub col_bytes_plain: u64,
+    /// Write-lock acquisitions across every shard's lock table.
+    pub lock_waits: u64,
+    /// Real nanoseconds those acquisitions took.
+    pub lock_wait_nanos: u64,
+    /// Per-lifecycle-stage latency histograms (empty unless the engine ran
+    /// with [`crate::EngineConfig::tracing`] enabled).
+    pub stages: StageBreakdown,
+    /// Per-shard write-path counters, in shard order.  Empty when the engine
+    /// metrics were not sized for a shard breakdown.
+    pub per_shard: Vec<ShardBreakdown>,
 }
 
 impl MetricsSnapshot {
@@ -248,6 +300,24 @@ impl MetricsSnapshot {
         out.distributed_commits = self
             .distributed_commits
             .saturating_sub(earlier.distributed_commits);
+        out.lock_waits = self.lock_waits.saturating_sub(earlier.lock_waits);
+        out.lock_wait_nanos = self.lock_wait_nanos.saturating_sub(earlier.lock_wait_nanos);
+        out.stages = self.stages.since(&earlier.stages);
+        out.per_shard = self
+            .per_shard
+            .iter()
+            .enumerate()
+            .map(|(i, now)| {
+                let then = earlier.per_shard.get(i).copied().unwrap_or_default();
+                ShardBreakdown {
+                    commits: now.commits.saturating_sub(then.commits),
+                    lock_waits: now.lock_waits.saturating_sub(then.lock_waits),
+                    lock_wait_nanos: now.lock_wait_nanos.saturating_sub(then.lock_wait_nanos),
+                    wal_appends: now.wal_appends.saturating_sub(then.wal_appends),
+                    wal_fsyncs: now.wal_fsyncs.saturating_sub(then.wal_fsyncs),
+                }
+            })
+            .collect();
         // WAL counters subtract; the percentiles and LSN watermarks are
         // lifetime values, so the newer snapshot's are carried over, as are
         // the resident-bytes gauges (a delta of gauges is meaningless).
@@ -275,9 +345,20 @@ impl MetricsSnapshot {
 }
 
 impl EngineMetrics {
-    /// Create zeroed metrics.
+    /// Create zeroed metrics without a per-shard breakdown.
     pub fn new() -> EngineMetrics {
         EngineMetrics::default()
+    }
+
+    /// Create zeroed metrics sized for a per-shard breakdown of `shards`
+    /// write-path counters.
+    pub fn with_shards(shards: usize) -> EngineMetrics {
+        EngineMetrics {
+            shard_commits: (0..shards).map(|_| AtomicU64::new(0)).collect(),
+            shard_lock_waits: (0..shards).map(|_| AtomicU64::new(0)).collect(),
+            shard_lock_wait_nanos: (0..shards).map(|_| AtomicU64::new(0)).collect(),
+            ..EngineMetrics::default()
+        }
     }
 
     /// Record simulated service time.
@@ -399,6 +480,44 @@ impl EngineMetrics {
         self.distributed_commits.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Record one write-lock acquisition on `shard` that took `nanos`.
+    pub fn add_lock_wait(&self, shard: usize, nanos: u64) {
+        self.lock_waits.fetch_add(1, Ordering::Relaxed);
+        self.lock_wait_nanos.fetch_add(nanos, Ordering::Relaxed);
+        if let Some(counter) = self.shard_lock_waits.get(shard) {
+            counter.fetch_add(1, Ordering::Relaxed);
+            self.shard_lock_wait_nanos[shard].fetch_add(nanos, Ordering::Relaxed);
+        }
+    }
+
+    /// Count a commit against every shard it wrote to.
+    pub fn add_shard_commits(&self, shards: &[usize]) {
+        for &shard in shards {
+            if let Some(counter) = self.shard_commits.get(shard) {
+                counter.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Record one duration against a lifecycle stage's histogram.
+    pub fn record_stage(&self, category: SpanCategory, nanos: u64) {
+        self.stage.lock().record(category, nanos);
+    }
+
+    /// Record several stage durations under one lock hold (the commit path
+    /// batches its whole breakdown into a single call).
+    pub fn record_stages(&self, durations: &[(SpanCategory, u64)]) {
+        let mut stage = self.stage.lock();
+        for &(category, nanos) in durations {
+            stage.record(category, nanos);
+        }
+    }
+
+    /// Copy of the stage-latency breakdown recorded so far.
+    pub fn stage_breakdown(&self) -> StageBreakdown {
+        self.stage.lock().clone()
+    }
+
     /// Take a snapshot of every counter.
     pub fn snapshot(&self) -> MetricsSnapshot {
         let read = |arr: &[AtomicU64; 4]| {
@@ -428,6 +547,24 @@ impl EngineMetrics {
             replication_errors: self.replication_errors.load(Ordering::Relaxed),
             distributed_commits: self.distributed_commits.load(Ordering::Relaxed),
             freshness_observations: self.freshness_observations.load(Ordering::Relaxed),
+            lock_waits: self.lock_waits.load(Ordering::Relaxed),
+            lock_wait_nanos: self.lock_wait_nanos.load(Ordering::Relaxed),
+            stages: self.stage.lock().clone(),
+            per_shard: self
+                .shard_commits
+                .iter()
+                .zip(&self.shard_lock_waits)
+                .zip(&self.shard_lock_wait_nanos)
+                .map(|((commits, waits), wait_nanos)| ShardBreakdown {
+                    commits: commits.load(Ordering::Relaxed),
+                    lock_waits: waits.load(Ordering::Relaxed),
+                    lock_wait_nanos: wait_nanos.load(Ordering::Relaxed),
+                    // Per-shard WAL counters live on the database's streams;
+                    // `HybridDatabase::metrics_snapshot` fills them in.
+                    wal_appends: 0,
+                    wal_fsyncs: 0,
+                })
+                .collect(),
             // The WAL, shard layout and columnar footprint live on the
             // database, not here; `HybridDatabase::metrics_snapshot` fills
             // these in.
@@ -512,6 +649,55 @@ mod tests {
         let d = m.snapshot().delta_since(&early);
         assert_eq!(early.replication_errors, 2);
         assert_eq!(d.replication_errors, 1);
+    }
+
+    #[test]
+    fn per_shard_counters_accumulate_and_delta() {
+        let m = EngineMetrics::with_shards(2);
+        m.add_shard_commits(&[0, 1]);
+        m.add_shard_commits(&[1]);
+        m.add_lock_wait(0, 100);
+        m.add_lock_wait(1, 50);
+        m.add_lock_wait(9, 25); // out of range: global only, never panics
+        let early = m.snapshot();
+        assert_eq!(early.per_shard.len(), 2);
+        assert_eq!(early.per_shard[0].commits, 1);
+        assert_eq!(early.per_shard[1].commits, 2);
+        assert_eq!(early.per_shard[0].lock_wait_nanos, 100);
+        assert_eq!(early.lock_waits, 3);
+        assert_eq!(early.lock_wait_nanos, 175);
+        assert_eq!(early.per_shard[0].mean_lock_wait_nanos(), 100.0);
+        m.add_shard_commits(&[0]);
+        m.add_lock_wait(1, 30);
+        let d = m.snapshot().delta_since(&early);
+        assert_eq!(d.per_shard[0].commits, 1);
+        assert_eq!(d.per_shard[1].commits, 0);
+        assert_eq!(d.per_shard[1].lock_wait_nanos, 30);
+        assert_eq!(d.lock_waits, 1);
+    }
+
+    #[test]
+    fn unsized_metrics_have_no_shard_breakdown() {
+        let m = EngineMetrics::new();
+        m.add_shard_commits(&[0]);
+        m.add_lock_wait(0, 10);
+        let s = m.snapshot();
+        assert!(s.per_shard.is_empty());
+        assert_eq!(s.lock_waits, 1, "global counters still work");
+    }
+
+    #[test]
+    fn stage_histograms_snapshot_and_delta() {
+        let m = EngineMetrics::new();
+        m.record_stage(SpanCategory::Fsync, 1_000);
+        m.record_stages(&[(SpanCategory::Lock, 10), (SpanCategory::Lock, 20)]);
+        let early = m.snapshot();
+        assert_eq!(early.stages.get(SpanCategory::Lock).count(), 2);
+        m.record_stage(SpanCategory::Lock, 30);
+        let d = m.snapshot().delta_since(&early);
+        assert_eq!(d.stages.get(SpanCategory::Lock).count(), 1);
+        assert_eq!(d.stages.get(SpanCategory::Fsync).count(), 0);
+        assert!(!m.stage_breakdown().is_empty());
     }
 
     #[test]

@@ -1,0 +1,176 @@
+//! Slow-transaction log.
+//!
+//! While tracing is enabled and [`crate::EngineConfig::slow_txn_threshold_ms`]
+//! is non-zero, every commit whose end-to-end latency crosses the threshold is
+//! retained here with its full per-stage breakdown — the first place to look
+//! when a latency percentile regresses, without replaying the whole trace.
+
+use olxp_trace::SpanCategory;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Cap on retained slow-transaction records; past it only a drop counter
+/// advances so a pathological run cannot grow memory without bound.
+const SLOW_LOG_CAP: usize = 1024;
+
+/// One commit that crossed the slow-transaction threshold.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SlowTxnRecord {
+    /// WAL transaction id of the commit (0 for non-durable commits, which
+    /// allocate no WAL id).
+    pub txn_id: u64,
+    /// End-to-end commit latency in nanoseconds.
+    pub total_nanos: u64,
+    /// Shards the transaction wrote to, ascending.
+    pub shards: Vec<u32>,
+    /// Per-stage durations in nanoseconds, in lifecycle order.  Stages the
+    /// commit never entered (e.g. WAL stages on an in-memory engine) are
+    /// omitted.
+    pub stages: Vec<(SpanCategory, u64)>,
+}
+
+impl SlowTxnRecord {
+    /// One-line human-readable rendering, e.g.
+    /// `slow txn 42: 15.200ms on shards [0,2] (lock=1.000ms fsync=12.000ms)`.
+    pub fn format(&self) -> String {
+        let shards: Vec<String> = self.shards.iter().map(|s| s.to_string()).collect();
+        let stages: Vec<String> = self
+            .stages
+            .iter()
+            .filter(|&&(_, nanos)| nanos > 0)
+            .map(|&(category, nanos)| format!("{}={}", category.as_str(), fmt_ms(nanos)))
+            .collect();
+        format!(
+            "slow txn {}: {} on shards [{}] ({})",
+            self.txn_id,
+            fmt_ms(self.total_nanos),
+            shards.join(","),
+            stages.join(" ")
+        )
+    }
+}
+
+fn fmt_ms(nanos: u64) -> String {
+    format!("{:.3}ms", nanos as f64 / 1e6)
+}
+
+/// Bounded store of [`SlowTxnRecord`]s with a fixed latency threshold.
+#[derive(Debug, Default)]
+pub struct SlowTxnLog {
+    threshold_nanos: u64,
+    records: Mutex<Vec<SlowTxnRecord>>,
+    dropped: AtomicU64,
+}
+
+impl SlowTxnLog {
+    /// A log that retains commits slower than `threshold_ms` milliseconds;
+    /// `0` disables recording entirely.
+    pub fn new(threshold_ms: u64) -> SlowTxnLog {
+        SlowTxnLog {
+            threshold_nanos: threshold_ms.saturating_mul(1_000_000),
+            records: Mutex::new(Vec::new()),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// True when a non-zero threshold was configured.
+    pub fn is_enabled(&self) -> bool {
+        self.threshold_nanos > 0
+    }
+
+    /// The configured threshold in nanoseconds (0 = disabled).
+    pub fn threshold_nanos(&self) -> u64 {
+        self.threshold_nanos
+    }
+
+    /// Record a commit if it crossed the threshold.  Returns true when the
+    /// commit qualified (even if the cap forced it to be dropped).
+    pub fn observe(&self, record: SlowTxnRecord) -> bool {
+        if self.threshold_nanos == 0 || record.total_nanos < self.threshold_nanos {
+            return false;
+        }
+        let mut records = self.records.lock();
+        if records.len() < SLOW_LOG_CAP {
+            records.push(record);
+        } else {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        true
+    }
+
+    /// Copy of the retained records, oldest first.
+    pub fn records(&self) -> Vec<SlowTxnRecord> {
+        self.records.lock().clone()
+    }
+
+    /// Drain the retained records, oldest first.
+    pub fn take(&self) -> Vec<SlowTxnRecord> {
+        std::mem::take(&mut *self.records.lock())
+    }
+
+    /// Number of retained records.
+    pub fn len(&self) -> usize {
+        self.records.lock().len()
+    }
+
+    /// True when nothing has been retained.
+    pub fn is_empty(&self) -> bool {
+        self.records.lock().is_empty()
+    }
+
+    /// Qualifying commits the cap forced to be dropped.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(txn_id: u64, total_nanos: u64) -> SlowTxnRecord {
+        SlowTxnRecord {
+            txn_id,
+            total_nanos,
+            shards: vec![0, 2],
+            stages: vec![
+                (SpanCategory::Lock, 1_000_000),
+                (SpanCategory::Fsync, 12_000_000),
+                (SpanCategory::Install, 0),
+            ],
+        }
+    }
+
+    #[test]
+    fn threshold_gates_recording() {
+        let log = SlowTxnLog::new(10);
+        assert!(log.is_enabled());
+        assert!(!log.observe(record(1, 9_999_999)), "below threshold");
+        assert!(log.observe(record(2, 10_000_000)), "at threshold");
+        assert!(log.observe(record(3, 50_000_000)));
+        assert_eq!(log.len(), 2);
+        let drained = log.take();
+        assert_eq!(drained.len(), 2);
+        assert_eq!(drained[0].txn_id, 2);
+        assert!(log.is_empty());
+        assert_eq!(log.dropped(), 0);
+    }
+
+    #[test]
+    fn zero_threshold_disables_the_log() {
+        let log = SlowTxnLog::new(0);
+        assert!(!log.is_enabled());
+        assert!(!log.observe(record(1, u64::MAX)));
+        assert!(log.is_empty());
+    }
+
+    #[test]
+    fn formatting_lists_nonzero_stages() {
+        let rendered = record(42, 15_200_000).format();
+        assert_eq!(
+            rendered,
+            "slow txn 42: 15.200ms on shards [0,2] (lock=1.000ms fsync=12.000ms)"
+        );
+        assert!(!rendered.contains("install"), "zero stages are omitted");
+    }
+}

@@ -42,6 +42,7 @@
 pub use olxp_engine as engine;
 pub use olxp_query as query;
 pub use olxp_storage as storage;
+pub use olxp_trace as trace;
 pub use olxp_txn as txn;
 pub use olxpbench_core as framework;
 pub use olxpbench_workloads as workloads;
@@ -50,18 +51,23 @@ pub use olxpbench_workloads as workloads;
 pub mod prelude {
     pub use olxp_engine::{
         DurabilityConfig, EngineArchitecture, EngineConfig, EngineError, EngineResult,
-        FreshnessPolicy, FreshnessSample, HybridDatabase, RecoveryReport, Session, SyncPolicy,
-        TxnHandle, WalMetrics, WorkClass,
+        FreshnessPolicy, FreshnessSample, HybridDatabase, RecoveryReport, Session, ShardBreakdown,
+        SlowTxnLog, SlowTxnRecord, SyncPolicy, TxnHandle, WalMetrics, WorkClass,
     };
     pub use olxp_query::{col, lit, AggFunc, AggSpec, JoinKind, Plan, QueryBuilder, SortKey};
     pub use olxp_storage::{
         ColumnDef, CostParams, DataType, Key, Row, StorageMedium, TableSchema, Value,
     };
+    pub use olxp_trace::{
+        chrome_trace_json, prometheus_text, LogHistogram, SpanCategory, SpanEvent, StageBreakdown,
+        TaggedSpan,
+    };
     pub use olxp_txn::IsolationLevel;
     pub use olxpbench_core::{
-        check_semantic_consistency, AgentConfig, AnalyticalQuery, BenchConfig, BenchmarkComparison,
-        BenchmarkDriver, BenchmarkResult, FreshnessSummary, HybridTransaction, LatencySummary,
-        LoopMode, OnlineTransaction, TransactionMix, Workload, WorkloadFeatures, WorkloadKind,
+        check_semantic_consistency, shard_table, stage_table, AgentConfig, AnalyticalQuery,
+        BenchConfig, BenchmarkComparison, BenchmarkDriver, BenchmarkResult, FreshnessSummary,
+        HybridTransaction, LatencySummary, LoopMode, OnlineTransaction, ShardSummary, StageSummary,
+        TransactionMix, Workload, WorkloadFeatures, WorkloadKind,
     };
     pub use olxpbench_workloads::{
         olxp_suites, workload_by_name, ChBenchmark, Fibenchmark, Subenchmark, Tabenchmark,

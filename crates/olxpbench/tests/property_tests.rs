@@ -148,7 +148,9 @@ proptest! {
         prop_assert!(!mismatch, "columnar replica diverged from the row store");
     }
 
-    /// The nearest-rank quantile estimator agrees with an exact sorted lookup.
+    /// The histogram-backed quantile estimator stays within its advertised
+    /// relative error of an exact sorted nearest-rank lookup, never reports
+    /// below the true value, and keeps min/max/mean exact.
     #[test]
     fn latency_quantiles_match_exact_sort(samples in proptest::collection::vec(1u64..10_000_000, 1..300),
                                           q in 0.0f64..1.0) {
@@ -159,7 +161,14 @@ proptest! {
         let mut sorted = samples.clone();
         sorted.sort_unstable();
         let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
-        prop_assert_eq!(recorder.quantile_nanos(q), sorted[rank - 1]);
+        let truth = sorted[rank - 1];
+        let got = recorder.quantile_nanos(q);
+        prop_assert!(got >= truth, "reported {got} below exact nearest-rank {truth}");
+        let err = (got as f64 - truth as f64) / truth as f64;
+        prop_assert!(
+            err <= olxp_trace::HIST_MAX_RELATIVE_ERROR,
+            "q={}: got {}, truth {}, err {}", q, got, truth, err
+        );
         prop_assert_eq!(recorder.min_nanos(), *sorted.first().unwrap());
         prop_assert_eq!(recorder.max_nanos(), *sorted.last().unwrap());
         prop_assert!(recorder.mean_nanos() >= recorder.min_nanos() as f64 - 1e-9);

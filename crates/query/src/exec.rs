@@ -90,7 +90,7 @@ impl ExecOptions {
 /// The engine converts these into service time through the storage cost model,
 /// so they deliberately count *physical* work (rows examined) rather than
 /// logical output sizes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct ExecStats {
     /// Which store served the base-table accesses.
     pub source_kind: Option<SourceKind>,
@@ -135,6 +135,11 @@ pub struct ExecStats {
     /// predicate evaluation on the encoded columns (dictionary-code
     /// comparison, RLE run skipping) before any value was decoded.
     pub rows_pruned_encoded: u64,
+    /// Wall-clock nanoseconds of every operator node executed, children
+    /// before parents (a parent's duration includes its children's).  Only
+    /// populated while `olxp_trace` span recording is enabled; empty
+    /// otherwise.
+    pub operator_nanos: Vec<u64>,
 }
 
 impl ExecStats {
@@ -164,6 +169,7 @@ impl ExecStats {
         self.chunks_pruned_zonemap += other.chunks_pruned_zonemap;
         self.chunks_pruned_filter += other.chunks_pruned_filter;
         self.rows_pruned_encoded += other.rows_pruned_encoded;
+        self.operator_nanos.extend_from_slice(&other.operator_nanos);
         // Freshness is a point-in-time observation, not additive work: keep
         // the worst (stalest) observation across merged statements.
         self.freshness_lag_records = self.freshness_lag_records.max(other.freshness_lag_records);
@@ -327,7 +333,51 @@ fn extract_key(row: &RowAt<'_>, positions: &[usize]) -> QueryResult<Vec<Value>> 
 // Operators
 // ----------------------------------------------------------------------
 
+/// The trace tag identifying an operator kind, carried in the span's shard
+/// field (spans all share the `query_operator` category).
+fn operator_tag(plan: &Plan) -> u32 {
+    match plan {
+        Plan::TableScan { .. } => 0,
+        Plan::IndexScan { .. } => 1,
+        Plan::Filter { .. } => 2,
+        Plan::Project { .. } => 3,
+        Plan::Join { .. } => 4,
+        Plan::Aggregate { .. } => 5,
+        Plan::Sort { .. } => 6,
+        Plan::Limit { .. } => 7,
+    }
+}
+
 fn run(
+    plan: &Plan,
+    source: &dyn DataSource,
+    stats: &mut ExecStats,
+    opts: &ExecOptions,
+) -> QueryResult<Chunked> {
+    // Per-operator batch timing, one relaxed load when tracing is off.  A
+    // node's span (and recorded duration) includes its children, matching
+    // how the spans nest in a Chrome trace view.
+    let trace_start = if olxp_trace::enabled() {
+        Some(olxp_trace::now_nanos())
+    } else {
+        None
+    };
+    let result = run_node(plan, source, stats, opts)?;
+    if let Some(start) = trace_start {
+        olxp_trace::record_span(
+            olxp_trace::SpanCategory::QueryOperator,
+            operator_tag(plan),
+            result.selected_len() as u64,
+            start,
+        );
+        stats
+            .operator_nanos
+            .push(olxp_trace::now_nanos().saturating_sub(start));
+    }
+    Ok(result)
+}
+
+fn run_node(
     plan: &Plan,
     source: &dyn DataSource,
     stats: &mut ExecStats,

@@ -455,6 +455,11 @@ impl ColumnTable {
     /// deleted payloads; global slot indices are unchanged, so readers see
     /// the exact same rows before and after.
     pub fn compact_chunk(&self) -> bool {
+        let trace_start = if olxp_trace::enabled() {
+            Some(olxp_trace::now_nanos())
+        } else {
+            None
+        };
         let mut data = self.data.write();
         let main_slots = data.main_slots(self.chunk_size);
         if data.deleted.len() - main_slots < self.chunk_size {
@@ -483,6 +488,16 @@ impl ColumnTable {
         self.counters
             .chunks_compacted
             .fetch_add(1, Ordering::Relaxed);
+        if let Some(start) = trace_start {
+            // One span per sealed chunk; the span's shard field carries the
+            // main-tier chunk index, its txn field the chunk's row capacity.
+            olxp_trace::record_span(
+                olxp_trace::SpanCategory::Compaction,
+                chunk as u32,
+                self.chunk_size as u64,
+                start,
+            );
+        }
         true
     }
 

@@ -1,0 +1,384 @@
+//! Fixed-size log-scale bucket histogram (HDR-style).
+//!
+//! Values below [`LINEAR_MAX`] land in exact single-value buckets; every
+//! larger value is bucketed by its power of two split into [`SUBBUCKETS`]
+//! linear sub-buckets, so the worst-case relative error of any reported
+//! quantile is `1 / SUBBUCKETS` (3.125%).  The full `u64` range is covered
+//! — including `u64::MAX` — in 1920 buckets (~15 KiB of counters), which
+//! makes cloning, merging, and diffing snapshots cheap and allocation-free
+//! on the record path.
+
+/// Number of linear sub-buckets per power of two (and size of the exact
+/// region at the bottom of the range).
+const SUBBUCKETS: usize = 32;
+/// log2 of [`SUBBUCKETS`].
+const SUB_BITS: u32 = 5;
+/// Values strictly below this are recorded exactly.
+const LINEAR_MAX: u64 = SUBBUCKETS as u64;
+/// Total bucket count: the exact region plus 59 bucketed exponents.
+const NUM_BUCKETS: usize = (64 - SUB_BITS as usize + 1) * SUBBUCKETS;
+
+/// Worst-case relative error of any quantile reported by [`LogHistogram`]:
+/// reported values are bucket upper bounds, and bucket width over bucket
+/// lower bound is at most `1 / SUBBUCKETS`.
+pub const HIST_MAX_RELATIVE_ERROR: f64 = 1.0 / SUBBUCKETS as f64;
+
+/// A mergeable log-bucket histogram over `u64` values (typically
+/// nanoseconds).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LogHistogram {
+    counts: Vec<u64>,
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        LogHistogram::new()
+    }
+}
+
+/// Bucket index for a value.
+fn bucket_index(value: u64) -> usize {
+    if value < LINEAR_MAX {
+        value as usize
+    } else {
+        let exp = 63 - value.leading_zeros();
+        let sub = ((value >> (exp - SUB_BITS)) as usize) & (SUBBUCKETS - 1);
+        (exp - SUB_BITS + 1) as usize * SUBBUCKETS + sub
+    }
+}
+
+/// Inclusive `(low, high)` value bounds of a bucket.
+fn bucket_bounds(index: usize) -> (u64, u64) {
+    if index < SUBBUCKETS {
+        return (index as u64, index as u64);
+    }
+    let exp = (index / SUBBUCKETS) as u32 + SUB_BITS - 1;
+    let sub = (index % SUBBUCKETS) as u64;
+    let width = 1u64 << (exp - SUB_BITS);
+    let low = (1u64 << exp) + sub * width;
+    (low, low + (width - 1))
+}
+
+impl LogHistogram {
+    /// An empty histogram.
+    pub fn new() -> LogHistogram {
+        LogHistogram {
+            counts: vec![0; NUM_BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Record one value.
+    #[inline]
+    pub fn record(&mut self, value: u64) {
+        self.record_n(value, 1);
+    }
+
+    /// Record `n` occurrences of `value`.
+    pub fn record_n(&mut self, value: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.counts[bucket_index(value)] += n;
+        self.count += n;
+        self.sum += value as u128 * n as u128;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Total number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// True if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Exact sum of all recorded values.
+    pub fn sum(&self) -> u128 {
+        self.sum
+    }
+
+    /// Smallest recorded value (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded value (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Exact arithmetic mean of recorded values (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Merge another histogram into this one.
+    pub fn merge(&mut self, other: &LogHistogram) {
+        if other.count == 0 {
+            return;
+        }
+        for (mine, theirs) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// The histogram of values recorded *after* `earlier` was captured,
+    /// assuming `earlier` is a previous snapshot of this histogram.
+    pub fn since(&self, earlier: &LogHistogram) -> LogHistogram {
+        let mut delta = LogHistogram::new();
+        for (i, (now, then)) in self.counts.iter().zip(earlier.counts.iter()).enumerate() {
+            let diff = now.saturating_sub(*then);
+            if diff > 0 {
+                delta.counts[i] = diff;
+                delta.count += diff;
+                let (low, high) = bucket_bounds(i);
+                delta.min = delta.min.min(low);
+                delta.max = delta.max.max(high);
+            }
+        }
+        delta.sum = self.sum.saturating_sub(earlier.sum);
+        // Min/max of a diff are only known to bucket precision; clamp to the
+        // later snapshot's exact extremes so they never exceed observed data.
+        if delta.count > 0 {
+            delta.min = delta.min.max(self.min.min(delta.min));
+            delta.max = delta.max.min(self.max);
+        } else {
+            delta.min = u64::MAX;
+            delta.max = 0;
+        }
+        delta
+    }
+
+    /// Inclusive `(low, high)` bounds of the bucket holding the value at
+    /// quantile `q` (nearest-rank, `0.0 < q <= 1.0`).  Returns `(0, 0)` when
+    /// empty.
+    pub fn quantile_bounds(&self, q: f64) -> (u64, u64) {
+        if self.count == 0 {
+            return (0, 0);
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            seen += c;
+            if seen >= rank {
+                let (low, high) = bucket_bounds(i);
+                return (low.max(self.min), high.min(self.max));
+            }
+        }
+        (self.max, self.max)
+    }
+
+    /// The value at quantile `q` (nearest-rank), reported as the upper bound
+    /// of its bucket, clamped to the recorded extremes.  Worst-case relative
+    /// error versus the true nearest-rank value is
+    /// [`HIST_MAX_RELATIVE_ERROR`]; values below 32 are exact.
+    pub fn value_at_quantile(&self, q: f64) -> u64 {
+        self.quantile_bounds(q).1
+    }
+
+    /// Visit every non-empty bucket in value order as
+    /// `(upper_bound, cumulative_count)` — the shape Prometheus histogram
+    /// series want.
+    pub fn for_each_bucket(&self, mut f: impl FnMut(u64, u64)) {
+        let mut cumulative = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            cumulative += c;
+            f(bucket_bounds(i).1, cumulative);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_is_total_and_bounds_are_consistent() {
+        for v in [
+            0u64,
+            1,
+            31,
+            32,
+            33,
+            63,
+            64,
+            1000,
+            u32::MAX as u64,
+            u64::MAX / 2,
+            u64::MAX - 1,
+            u64::MAX,
+        ] {
+            let idx = bucket_index(v);
+            assert!(idx < NUM_BUCKETS, "index {idx} out of range for {v}");
+            let (low, high) = bucket_bounds(idx);
+            assert!(low <= v && v <= high, "{v} outside [{low}, {high}]");
+        }
+        // Bucket bounds tile the u64 range with no gaps or overlaps.
+        let mut expected_next = 0u64;
+        for i in 0..NUM_BUCKETS {
+            let (low, high) = bucket_bounds(i);
+            assert_eq!(low, expected_next, "gap before bucket {i}");
+            assert!(high >= low);
+            if i == NUM_BUCKETS - 1 {
+                assert_eq!(high, u64::MAX);
+            } else {
+                expected_next = high + 1;
+            }
+        }
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = LogHistogram::new();
+        for v in 0..32u64 {
+            h.record(v);
+        }
+        for q in [0.01, 0.25, 0.5, 0.75, 1.0] {
+            let (low, high) = h.quantile_bounds(q);
+            assert_eq!(low, high, "sub-32 values must be exact");
+        }
+        assert_eq!(h.value_at_quantile(1.0), 31);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 31);
+    }
+
+    #[test]
+    fn quantile_error_is_bounded() {
+        let mut h = LogHistogram::new();
+        for v in 1..=100_000u64 {
+            h.record(v);
+        }
+        for (q, truth) in [(0.5, 50_000u64), (0.99, 99_000), (0.999, 99_900)] {
+            let got = h.value_at_quantile(q) as f64;
+            let err = (got - truth as f64).abs() / truth as f64;
+            assert!(
+                err <= HIST_MAX_RELATIVE_ERROR,
+                "q={q}: got {got}, truth {truth}, err {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn extreme_values_round_trip() {
+        let mut h = LogHistogram::new();
+        h.record(0);
+        h.record(1);
+        h.record(u64::MAX);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), u64::MAX);
+        assert_eq!(h.value_at_quantile(0.01), 0);
+        let top = h.value_at_quantile(1.0);
+        assert_eq!(top, u64::MAX);
+    }
+
+    #[test]
+    fn merge_accumulates_counts_and_extremes() {
+        let mut a = LogHistogram::new();
+        let mut b = LogHistogram::new();
+        for v in 1..=500u64 {
+            a.record(v);
+        }
+        for v in 501..=1000u64 {
+            b.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), 1000);
+        assert_eq!(a.min(), 1);
+        assert_eq!(a.max(), 1000);
+        let p50 = a.value_at_quantile(0.5) as f64;
+        assert!((p50 - 500.0).abs() / 500.0 <= HIST_MAX_RELATIVE_ERROR);
+        assert_eq!(a.sum(), (1..=1000u128).sum::<u128>());
+    }
+
+    #[test]
+    fn cross_bucket_merge_of_extremes() {
+        let mut a = LogHistogram::new();
+        a.record(0);
+        a.record_n(1, 3);
+        let mut b = LogHistogram::new();
+        b.record(u64::MAX);
+        b.record(1 << 40);
+        a.merge(&b);
+        assert_eq!(a.count(), 6);
+        assert_eq!(a.min(), 0);
+        assert_eq!(a.max(), u64::MAX);
+        // Median of {0,1,1,1,2^40,MAX} is 1 (nearest rank 3).
+        assert_eq!(a.value_at_quantile(0.5), 1);
+    }
+
+    #[test]
+    fn since_yields_the_window_delta() {
+        let mut h = LogHistogram::new();
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        let snapshot = h.clone();
+        for v in 10_000..10_100u64 {
+            h.record(v);
+        }
+        let delta = h.since(&snapshot);
+        assert_eq!(delta.count(), 100);
+        assert!(delta.min() >= 9_000, "delta min {} in window", delta.min());
+        let p50 = delta.value_at_quantile(0.5) as f64;
+        assert!((p50 - 10_050.0).abs() / 10_050.0 <= HIST_MAX_RELATIVE_ERROR);
+        let empty = h.since(&h.clone());
+        assert!(empty.is_empty());
+        assert_eq!(empty.min(), 0);
+        assert_eq!(empty.max(), 0);
+    }
+
+    #[test]
+    fn mean_is_exact() {
+        let mut h = LogHistogram::new();
+        h.record_n(10, 2);
+        h.record(40);
+        assert!((h.mean() - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bucket_visitor_is_cumulative_and_ordered() {
+        let mut h = LogHistogram::new();
+        h.record(5);
+        h.record_n(1000, 2);
+        h.record(u64::MAX);
+        let mut seen = Vec::new();
+        h.for_each_bucket(|upper, cum| seen.push((upper, cum)));
+        assert_eq!(seen.len(), 3);
+        assert_eq!(seen[0], (5, 1));
+        assert_eq!(seen[1].1, 3);
+        assert!(seen[1].0 >= 1000);
+        assert_eq!(seen[2], (u64::MAX, 4));
+        assert!(seen.windows(2).all(|w| w[0].0 < w[1].0));
+    }
+}

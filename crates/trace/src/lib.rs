@@ -1,0 +1,28 @@
+//! Dependency-free tracing spine for the OLxP engine.
+//!
+//! Three pieces, designed to be cheap enough to leave compiled into release
+//! builds and gated at runtime by one relaxed atomic:
+//!
+//! * [`LogHistogram`] — a fixed-size, HDR-style log-scale bucket histogram
+//!   with a bounded relative error (≤ 1/32 ≈ 3.125%), exact below 32 units,
+//!   mergeable and subtractable so snapshots can be diffed.
+//! * Span recording ([`span`], [`record_span`]) — per-thread lock-free ring
+//!   buffers of completed span events (category + shard + txn id + begin/end
+//!   timestamps).  When tracing is disabled the recording path is a single
+//!   relaxed atomic load and a branch.
+//! * Exporters ([`chrome_trace_json`], [`prometheus_text`]) — Chrome
+//!   trace-event JSON that loads in Perfetto / `chrome://tracing`, and a
+//!   Prometheus text-exposition dump of histogram series.
+
+mod breakdown;
+mod export;
+mod hist;
+mod span;
+
+pub use breakdown::StageBreakdown;
+pub use export::{chrome_trace_json, prometheus_text};
+pub use hist::{LogHistogram, HIST_MAX_RELATIVE_ERROR};
+pub use span::{
+    enabled, init_from_env, now_nanos, record_span, set_enabled, span, take_events, SpanCategory,
+    SpanEvent, SpanGuard, TaggedSpan, ALL_CATEGORIES, ENV_TRACE,
+};

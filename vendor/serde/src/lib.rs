@@ -130,6 +130,18 @@ impl<T: Serialize + ?Sized> Serialize for &T {
     }
 }
 
+impl Serialize for Value {
+    fn serialize(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn deserialize(value: &Value) -> Result<Value, Error> {
+        Ok(value.clone())
+    }
+}
+
 impl Serialize for bool {
     fn serialize(&self) -> Value {
         Value::Bool(*self)
