@@ -16,7 +16,7 @@ fn main() {
     let overall = Instant::now();
     for id in all_experiment_ids() {
         let started = Instant::now();
-        let report = run_experiment(id, opts).expect("registered experiment");
+        let report = run_experiment(id, opts.clone()).expect("registered experiment");
         println!("{report}");
         println!(
             "[{id} quick pass: {:.1}s]\n",

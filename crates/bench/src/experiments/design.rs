@@ -37,7 +37,7 @@ fn read_mostly_mix() -> Vec<(String, u32)> {
 /// NewOrder) on a TiDB-like engine, against the plain NewOrder baseline.
 pub fn fig1_hybrid_impact(opts: ExpOptions) -> String {
     let workload = Subenchmark::new();
-    let db = prepared_db(EngineArchitecture::DualEngine, &workload, opts);
+    let db = prepared_db(EngineArchitecture::DualEngine, &workload, &opts);
     let rate = if opts.quick { 40.0 } else { 120.0 };
 
     let baseline_cfg = BenchConfig {
@@ -136,7 +136,7 @@ pub fn fig3_schema_model(opts: ExpOptions) -> (String, String) {
             workload_by_name("chbenchmark").unwrap(),
         ),
     ] {
-        let db = prepared_db(EngineArchitecture::DualEngine, workload.as_ref(), opts);
+        let db = prepared_db(EngineArchitecture::DualEngine, workload.as_ref(), &opts);
         let mut latencies = Vec::new();
         let mut lock_overheads = Vec::new();
         for &pressure in pressures {
@@ -213,7 +213,7 @@ pub fn fig3_schema_model(opts: ExpOptions) -> (String, String) {
 /// online-transaction baseline on the dual engine.
 pub fn fig5_realtime_vs_analytical(opts: ExpOptions) -> String {
     let workload = Subenchmark::new();
-    let db = prepared_db(EngineArchitecture::DualEngine, &workload, opts);
+    let db = prepared_db(EngineArchitecture::DualEngine, &workload, &opts);
     let rate = if opts.quick { 20.0 } else { 30.0 };
 
     let baseline = run_config(
@@ -296,7 +296,7 @@ pub fn fig6_domain_specific(opts: ExpOptions) -> String {
     let mut rows = Vec::new();
     for name in ["subenchmark", "fibenchmark", "tabenchmark"] {
         let workload = workload_by_name(name).unwrap();
-        let db = prepared_db(EngineArchitecture::DualEngine, workload.as_ref(), opts);
+        let db = prepared_db(EngineArchitecture::DualEngine, workload.as_ref(), &opts);
         let baseline = run_config(
             &db,
             workload.as_ref(),
@@ -360,8 +360,8 @@ pub fn interference(opts: ExpOptions) -> String {
         ("CH-benCHmark (stitch)", "chbenchmark"),
     ] {
         let workload = workload_by_name(name).unwrap();
-        let db = prepared_db(EngineArchitecture::DualEngine, workload.as_ref(), opts);
-        let peak = super::measure_peak(&db, workload.as_ref(), WorkClass::Oltp, opts);
+        let db = prepared_db(EngineArchitecture::DualEngine, workload.as_ref(), &opts);
+        let peak = super::measure_peak(&db, workload.as_ref(), WorkClass::Oltp, &opts);
         let alone = run_config(
             &db,
             workload.as_ref(),

@@ -26,9 +26,9 @@ pub fn commit_latency_by_sync_policy(opts: ExpOptions) -> String {
     ] {
         let mode_opts = ExpOptions {
             durability: mode,
-            ..opts
+            ..opts.clone()
         };
-        let durability = super::durability_for(mode_opts);
+        let durability = super::durability_for(&mode_opts);
         let data_dir = durability.as_ref().and_then(|d| d.data_dir.clone());
         let db = {
             let mut config = EngineConfig::dual_engine()

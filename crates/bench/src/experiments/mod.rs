@@ -67,7 +67,7 @@ impl DurabilityMode {
 }
 
 /// Options shared by all experiments.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct ExpOptions {
     /// Scaled-down pass: shorter measurement windows, smaller sweeps, smaller
     /// data.  Used by `cargo bench` and the experiment smoke tests.
@@ -78,10 +78,15 @@ pub struct ExpOptions {
     pub durability: DurabilityMode,
     /// Root directory for durable engines' data (`--data-dir`).  Each engine
     /// gets its own subdirectory; `None` falls back to a temp directory.
-    pub data_dir: Option<&'static str>,
+    pub data_dir: Option<String>,
     /// Shard-count override for every engine the experiments create
     /// (`--shards`).  `None` keeps the engine default.
     pub shards: Option<usize>,
+    /// Telemetry listen address applied to every engine the experiments
+    /// create (`--serve`), so `/metrics` and `/healthz` can be scraped while
+    /// an experiment is live.  Engines overlap only briefly, so a fixed port
+    /// is fine; a failed bind is reported and the run continues unserved.
+    pub serve_addr: Option<String>,
 }
 
 impl Default for ExpOptions {
@@ -92,6 +97,7 @@ impl Default for ExpOptions {
             durability: DurabilityMode::None,
             data_dir: None,
             shards: None,
+            serve_addr: None,
         }
     }
 }
@@ -155,6 +161,7 @@ pub fn all_experiment_ids() -> Vec<&'static str> {
         "prefilter",
         "compression",
         "tracing_overhead",
+        "telemetry_overhead",
     ]
 }
 
@@ -180,6 +187,7 @@ pub fn run_experiment(id: &str, opts: ExpOptions) -> Option<String> {
         "prefilter" => prefilter::selectivity_sweep(opts),
         "compression" => compression::compression(opts),
         "tracing_overhead" => tracing::tracing_overhead(opts),
+        "telemetry_overhead" => tracing::telemetry_overhead(opts),
         _ => return None,
     };
     Some(report)
@@ -195,10 +203,11 @@ static DATA_DIR_COUNTER: AtomicU64 = AtomicU64::new(0);
 
 /// Durability settings for one freshly created experiment engine, or `None`
 /// when the experiments run in-memory (the default).
-pub(crate) fn durability_for(opts: ExpOptions) -> Option<DurabilityConfig> {
+pub(crate) fn durability_for(opts: &ExpOptions) -> Option<DurabilityConfig> {
     let sync = opts.durability.sync_policy()?;
     let root = opts
         .data_dir
+        .as_deref()
         .map(std::path::PathBuf::from)
         .unwrap_or_else(|| std::env::temp_dir().join("olxp-experiments"));
     let unique = DATA_DIR_COUNTER.fetch_add(1, Ordering::Relaxed);
@@ -210,7 +219,7 @@ pub(crate) fn durability_for(opts: ExpOptions) -> Option<DurabilityConfig> {
 pub(crate) fn make_db(
     architecture: EngineArchitecture,
     nodes: usize,
-    opts: ExpOptions,
+    opts: &ExpOptions,
 ) -> Arc<HybridDatabase> {
     let base = match architecture {
         EngineArchitecture::SingleEngine => EngineConfig::single_engine(),
@@ -224,6 +233,9 @@ pub(crate) fn make_db(
     if let Some(shards) = opts.shards {
         config = config.with_shards(shards);
     }
+    if let Some(addr) = &opts.serve_addr {
+        config = config.with_telemetry_addr(addr.clone());
+    }
     HybridDatabase::new(config).expect("experiment engine config is valid")
 }
 
@@ -231,7 +243,7 @@ pub(crate) fn make_db(
 pub(crate) fn prepared_db(
     architecture: EngineArchitecture,
     workload: &dyn Workload,
-    opts: ExpOptions,
+    opts: &ExpOptions,
 ) -> Arc<HybridDatabase> {
     prepared_db_with_nodes(architecture, workload, opts, 4, opts.scale())
 }
@@ -240,7 +252,7 @@ pub(crate) fn prepared_db(
 pub(crate) fn prepared_db_with_nodes(
     architecture: EngineArchitecture,
     workload: &dyn Workload,
-    opts: ExpOptions,
+    opts: &ExpOptions,
     nodes: usize,
     scale: u32,
 ) -> Arc<HybridDatabase> {
@@ -253,15 +265,68 @@ pub(crate) fn prepared_db_with_nodes(
     db
 }
 
+/// Every benchmark run the current experiment executed, in order.  The
+/// harness binary drains this after each experiment to build the
+/// machine-readable `bench-summary-<id>.json` artifact and to evaluate the
+/// SLO watchdog, without threading a collector through every experiment
+/// signature.
+static RUN_SUMMARIES: std::sync::Mutex<Vec<BenchmarkResult>> = std::sync::Mutex::new(Vec::new());
+
+/// Drain the benchmark results recorded since the last drain, oldest first.
+pub fn take_run_summaries() -> Vec<BenchmarkResult> {
+    std::mem::take(&mut *RUN_SUMMARIES.lock().expect("run-summary registry"))
+}
+
 /// Run one benchmark configuration against a prepared database.
 pub(crate) fn run_config(
     db: &Arc<HybridDatabase>,
     workload: &dyn Workload,
     config: BenchConfig,
 ) -> BenchmarkResult {
-    BenchmarkDriver::new(config)
+    let result = BenchmarkDriver::new(config)
         .run(db, workload)
-        .expect("benchmark run succeeds")
+        .expect("benchmark run succeeds");
+    RUN_SUMMARIES
+        .lock()
+        .expect("run-summary registry")
+        .push(result.clone());
+    result
+}
+
+/// One run that violated a service-level bound.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloViolation {
+    /// Label of the violating run.
+    pub run: String,
+    /// The bound that was violated (e.g. `replication_errors == 0`).
+    pub bound: &'static str,
+    /// Observed value.
+    pub observed: u64,
+}
+
+/// Evaluate the harness-level SLO bounds over a batch of runs: the
+/// replication pipeline must apply every record without error and no
+/// analytical read may time out waiting for freshness.  Violations are
+/// printed by the binary and fail the process under `--slo-strict`.
+pub fn check_slos(runs: &[BenchmarkResult]) -> Vec<SloViolation> {
+    let mut violations = Vec::new();
+    for run in runs {
+        if run.replication_errors > 0 {
+            violations.push(SloViolation {
+                run: run.label.clone(),
+                bound: "replication_errors == 0",
+                observed: run.replication_errors,
+            });
+        }
+        if run.freshness_timeouts > 0 {
+            violations.push(SloViolation {
+                run: run.label.clone(),
+                bound: "freshness_timeouts == 0",
+                observed: run.freshness_timeouts,
+            });
+        }
+    }
+    violations
 }
 
 /// Shorthand for a run's OLTP mean latency in milliseconds.
@@ -281,7 +346,7 @@ pub(crate) fn measure_peak(
     db: &Arc<HybridDatabase>,
     workload: &dyn Workload,
     class: WorkClass,
-    opts: ExpOptions,
+    opts: &ExpOptions,
 ) -> f64 {
     let duration = if opts.quick {
         Duration::from_millis(300)

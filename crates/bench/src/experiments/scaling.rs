@@ -27,7 +27,7 @@ pub fn fig10_scalability(opts: ExpOptions) -> String {
         for &nodes in node_counts {
             let workload = Subenchmark::new();
             let scale = (opts.scale() * nodes as u32 / 4).max(1);
-            let db = prepared_db_with_nodes(arch, &workload, opts, nodes, scale);
+            let db = prepared_db_with_nodes(arch, &workload, &opts, nodes, scale);
             let per_node_rate = if opts.quick { 15.0 } else { 30.0 };
             let oltp_rate = per_node_rate * nodes as f64;
             let olap_rate = (nodes as f64 / 4.0) * if opts.quick { 6.0 } else { 10.0 };
@@ -148,6 +148,7 @@ pub fn shard_scaling(opts: ExpOptions) -> String {
     for &shards in shard_counts {
         let root = opts
             .data_dir
+            .as_deref()
             .map(std::path::PathBuf::from)
             .unwrap_or_else(|| std::env::temp_dir().join("olxp-experiments"));
         let dir = root.join(format!("shard-scaling-{}-{shards}", std::process::id()));

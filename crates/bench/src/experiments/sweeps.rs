@@ -14,7 +14,7 @@ const ARCHS: [(EngineArchitecture, &str); 2] = [
     (EngineArchitecture::DualEngine, "TiDB-like (dual engine)"),
 ];
 
-fn fractions(opts: ExpOptions) -> Vec<f64> {
+fn fractions(opts: &ExpOptions) -> Vec<f64> {
     if opts.quick {
         vec![0.5, 1.0]
     } else {
@@ -38,15 +38,15 @@ pub fn figure_sweep(opts: ExpOptions, benchmark: &str) -> String {
     let mut olxp_rows: Vec<Vec<String>> = Vec::new();
 
     for (arch, arch_name) in ARCHS {
-        let db = prepared_db(arch, workload.as_ref(), opts);
-        let peak_oltp = measure_peak(&db, workload.as_ref(), WorkClass::Oltp, opts);
-        let peak_olap = measure_peak(&db, workload.as_ref(), WorkClass::Olap, opts);
-        let peak_hybrid = measure_peak(&db, workload.as_ref(), WorkClass::Hybrid, opts);
+        let db = prepared_db(arch, workload.as_ref(), &opts);
+        let peak_oltp = measure_peak(&db, workload.as_ref(), WorkClass::Oltp, &opts);
+        let peak_olap = measure_peak(&db, workload.as_ref(), WorkClass::Olap, &opts);
+        let peak_hybrid = measure_peak(&db, workload.as_ref(), WorkClass::Hybrid, &opts);
 
         // (a) OLTP throughput vs transactional request rate, with and without
         // analytical pressure.
         let olap_pressures = [0.0, 0.5];
-        for &tx_fraction in &fractions(opts) {
+        for &tx_fraction in &fractions(&opts) {
             for &olap_fraction in &olap_pressures {
                 let tx_rate = (peak_oltp * tx_fraction).max(1.0);
                 let olap_rate = peak_olap * olap_fraction;
@@ -79,7 +79,7 @@ pub fn figure_sweep(opts: ExpOptions, benchmark: &str) -> String {
         // (b) OLAP throughput vs analytical request rate, with and without
         // transactional pressure.
         let tx_pressures = [0.0, 0.5];
-        for &olap_fraction in &fractions(opts) {
+        for &olap_fraction in &fractions(&opts) {
             for &tx_fraction in &tx_pressures {
                 let olap_rate = (peak_olap * olap_fraction).max(0.5);
                 let tx_rate = peak_oltp * tx_fraction;
@@ -112,7 +112,7 @@ pub fn figure_sweep(opts: ExpOptions, benchmark: &str) -> String {
         }
 
         // (c) OLxP (hybrid transaction) throughput vs request rate.
-        for &hybrid_fraction in &fractions(opts) {
+        for &hybrid_fraction in &fractions(&opts) {
             let hybrid_rate = (peak_hybrid * hybrid_fraction).max(0.5);
             let config = BenchConfig {
                 label: format!("{benchmark} {arch_name} olxp"),
@@ -184,11 +184,11 @@ pub fn findings(opts: ExpOptions) -> String {
         let workload = workload_by_name(benchmark).unwrap();
         let mut peaks: Vec<(f64, f64, f64)> = Vec::new();
         for (arch, _) in ARCHS {
-            let db: Arc<HybridDatabase> = prepared_db(arch, workload.as_ref(), opts);
+            let db: Arc<HybridDatabase> = prepared_db(arch, workload.as_ref(), &opts);
             peaks.push((
-                measure_peak(&db, workload.as_ref(), WorkClass::Oltp, opts),
-                measure_peak(&db, workload.as_ref(), WorkClass::Olap, opts),
-                measure_peak(&db, workload.as_ref(), WorkClass::Hybrid, opts),
+                measure_peak(&db, workload.as_ref(), WorkClass::Oltp, &opts),
+                measure_peak(&db, workload.as_ref(), WorkClass::Olap, &opts),
+                measure_peak(&db, workload.as_ref(), WorkClass::Hybrid, &opts),
             ));
         }
         let (single, dual) = (peaks[0], peaks[1]);

@@ -17,5 +17,6 @@
 pub mod experiments;
 
 pub use experiments::{
-    all_experiment_ids, export_trace_artifact, run_experiment, DurabilityMode, ExpOptions,
+    all_experiment_ids, check_slos, export_trace_artifact, run_experiment, take_run_summaries,
+    DurabilityMode, ExpOptions, SloViolation,
 };

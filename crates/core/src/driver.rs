@@ -11,7 +11,7 @@
 use crate::config::{AgentConfig, BenchConfig, LoopMode};
 use crate::error::{BenchError, BenchResult};
 use crate::generator::{OpenLoopSchedule, RequestSchedule, WeightedChoice};
-use crate::report::{FreshnessSummary, LatencySummary, ShardSummary, StageSummary};
+use crate::report::{FreshnessSummary, LatencySummary, ShardSummary, StageSummary, TimelinePoint};
 use crate::stats::LatencyRecorder;
 use crate::workload::{AnalyticalQuery, HybridTransaction, OnlineTransaction, Workload};
 use olxp_engine::{HybridDatabase, MetricsSnapshot, Session};
@@ -99,6 +99,15 @@ pub struct BenchmarkResult {
     /// slow-transaction threshold during the run (drained from the engine's
     /// log; empty when the threshold is unset or nothing qualified).
     pub slow_txns: Vec<String>,
+    /// Formatted records of analytical queries that exceeded the engine's
+    /// slow-query threshold during the run (drained from the engine's log).
+    pub slow_queries: Vec<String>,
+    /// Analytical freshness waits that timed out during the run.
+    pub freshness_timeouts: u64,
+    /// The engine's sampled telemetry timeline over the run (warm-up
+    /// included), rebased so `t_ms == 0` at the driver's start.  Empty when
+    /// the telemetry sampler is disabled.
+    pub timeline: Vec<TimelinePoint>,
 }
 
 impl BenchmarkResult {
@@ -201,6 +210,7 @@ impl BenchmarkDriver {
         let analytical_choice = WeightedChoice::new(&vec![1u32; analytical.len().max(1)]);
 
         let metrics_before = db.metrics_snapshot();
+        let telemetry_t0 = db.telemetry_elapsed_ms();
         // Discard freshness samples left over from earlier runs against the
         // same database; the warm-up's samples are discarded by a marker
         // thread below so the distribution covers the same window as the
@@ -326,6 +336,22 @@ impl BenchmarkDriver {
                 .take()
                 .iter()
                 .map(|record| record.format())
+                .collect(),
+            slow_queries: db
+                .slow_query_log()
+                .take()
+                .iter()
+                .map(|record| record.format())
+                .collect(),
+            freshness_timeouts: delta.freshness_timeouts,
+            timeline: db
+                .telemetry_points_since(telemetry_t0)
+                .iter()
+                .map(|point| {
+                    let mut p = TimelinePoint::from(point);
+                    p.t_ms -= telemetry_t0;
+                    p
+                })
                 .collect(),
         })
     }

@@ -52,8 +52,8 @@ pub use error::{BenchError, BenchResult};
 pub use features::{BenchmarkComparison, WorkloadFeatures};
 pub use generator::{ClosedLoopSchedule, OpenLoopSchedule, RequestSchedule, WeightedChoice};
 pub use report::{
-    shard_table, stage_table, ClassReport, FreshnessSummary, LatencySummary, ShardSummary,
-    StageSummary,
+    shard_table, stage_table, timeline_table, ClassReport, FreshnessSummary, LatencySummary,
+    ShardSummary, StageSummary, TimelinePoint,
 };
 pub use schema_check::{check_semantic_consistency, SchemaConsistencyReport};
 pub use stats::LatencyRecorder;

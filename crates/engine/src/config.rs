@@ -281,6 +281,25 @@ pub struct EngineConfig {
     /// [`EngineConfig::tracing`] is on, since the stages are measured by the
     /// tracing instrumentation.
     pub slow_txn_threshold_ms: u64,
+    /// Analytical queries slower than this many milliseconds (wall clock,
+    /// freshness wait included) log their per-operator time breakdown through
+    /// the engine's slow-query log.  `0` (the default) disables it.  The
+    /// operator breakdown needs [`EngineConfig::tracing`]; the total and the
+    /// freshness lag are recorded either way.
+    pub slow_query_threshold_ms: u64,
+    /// Address (e.g. `127.0.0.1:9184`, port `0` for ephemeral) the engine's
+    /// embedded telemetry HTTP server binds at open, serving `GET /metrics`
+    /// (Prometheus text), `/healthz` (readiness + SLO checks), `/snapshot`
+    /// (JSON metrics snapshot) and `/timeseries` (sampled ring).  `None` (the
+    /// default) serves nothing.  Constructors honour the
+    /// `OLXP_TELEMETRY_ADDR` environment variable so any run can be scraped
+    /// without code changes.
+    pub telemetry_addr: Option<String>,
+    /// Cadence in milliseconds of the background telemetry sampler, which
+    /// diffs consecutive metrics snapshots into per-interval time-series
+    /// points (the source of `/timeseries` and of per-run timeline tables).
+    /// `0` disables the sampler (and with it the live time series).
+    pub telemetry_interval_ms: u64,
 }
 
 /// Default shard count: `OLXP_TEST_SHARDS` if set to a positive integer,
@@ -308,6 +327,15 @@ fn default_tracing() -> bool {
     std::env::var(olxp_trace::ENV_TRACE)
         .map(|v| matches!(v.trim(), "1" | "on" | "true" | "yes"))
         .unwrap_or(false)
+}
+
+/// Default telemetry scrape address: `OLXP_TELEMETRY_ADDR` if set to a
+/// non-empty value, otherwise no embedded HTTP server.
+fn default_telemetry_addr() -> Option<String> {
+    std::env::var("OLXP_TELEMETRY_ADDR")
+        .ok()
+        .map(|v| v.trim().to_string())
+        .filter(|v| !v.is_empty())
 }
 
 /// Default compression switch: on unless `OLXP_TEST_COMPRESSION` is set to
@@ -348,6 +376,9 @@ impl EngineConfig {
             compactor_idle_wait_us: 10_000,
             tracing: default_tracing(),
             slow_txn_threshold_ms: 0,
+            slow_query_threshold_ms: 0,
+            telemetry_addr: default_telemetry_addr(),
+            telemetry_interval_ms: 250,
         }
     }
 
@@ -375,6 +406,9 @@ impl EngineConfig {
             compactor_idle_wait_us: 10_000,
             tracing: default_tracing(),
             slow_txn_threshold_ms: 0,
+            slow_query_threshold_ms: 0,
+            telemetry_addr: default_telemetry_addr(),
+            telemetry_interval_ms: 250,
         }
     }
 
@@ -473,6 +507,28 @@ impl EngineConfig {
         self
     }
 
+    /// Override the slow-analytical-query threshold in milliseconds; `0`
+    /// disables the slow-query log (builder style).
+    pub fn with_slow_query_threshold_ms(mut self, threshold_ms: u64) -> EngineConfig {
+        self.slow_query_threshold_ms = threshold_ms;
+        self
+    }
+
+    /// Serve the telemetry endpoints at this address (builder style).  Pass
+    /// port `0` for an ephemeral port, resolvable through
+    /// [`crate::HybridDatabase::telemetry_addr`] after open.
+    pub fn with_telemetry_addr(mut self, addr: impl Into<String>) -> EngineConfig {
+        self.telemetry_addr = Some(addr.into());
+        self
+    }
+
+    /// Override the telemetry sampling cadence in milliseconds; `0` disables
+    /// the background sampler (builder style).
+    pub fn with_telemetry_interval_ms(mut self, interval_ms: u64) -> EngineConfig {
+        self.telemetry_interval_ms = interval_ms;
+        self
+    }
+
     /// Storage medium implied by the architecture.
     pub fn medium(&self) -> StorageMedium {
         match self.architecture {
@@ -543,6 +599,15 @@ impl EngineConfig {
         }
         if self.shards > 1024 {
             return Err(EngineError::Config("shards must be <= 1024".into()));
+        }
+        if self
+            .telemetry_addr
+            .as_deref()
+            .is_some_and(|a| a.trim().is_empty())
+        {
+            return Err(EngineError::Config(
+                "telemetry_addr must not be empty when set".into(),
+            ));
         }
         self.durability.validate()?;
         Ok(())
@@ -686,6 +751,32 @@ mod tests {
         let mut bad = EngineConfig::dual_engine();
         bad.compactor_idle_wait_us = 0;
         assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn telemetry_defaults_and_validation() {
+        let cfg = EngineConfig::dual_engine();
+        // The sampler is on by default; the HTTP server is opt-in (the
+        // OLXP_TELEMETRY_ADDR environment default is absent in tests).
+        assert_eq!(cfg.telemetry_interval_ms, 250);
+        assert_eq!(cfg.slow_query_threshold_ms, 0);
+        assert!(cfg.validate().is_ok());
+
+        let served = EngineConfig::dual_engine()
+            .with_telemetry_addr("127.0.0.1:0")
+            .with_telemetry_interval_ms(50)
+            .with_slow_query_threshold_ms(25);
+        assert_eq!(served.telemetry_addr.as_deref(), Some("127.0.0.1:0"));
+        assert_eq!(served.telemetry_interval_ms, 50);
+        assert_eq!(served.slow_query_threshold_ms, 25);
+        assert!(served.validate().is_ok());
+
+        // Interval 0 disables the sampler but stays valid.
+        let off = EngineConfig::dual_engine().with_telemetry_interval_ms(0);
+        assert!(off.validate().is_ok());
+
+        let blank = EngineConfig::dual_engine().with_telemetry_addr("  ");
+        assert!(blank.validate().is_err());
     }
 
     #[test]

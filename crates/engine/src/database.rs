@@ -15,7 +15,8 @@ use crate::config::{EngineArchitecture, EngineConfig};
 use crate::error::{EngineError, EngineResult};
 use crate::metrics::{EngineMetrics, MetricsSnapshot, WalMetrics, WorkClass};
 use crate::session::Session;
-use crate::slowlog::SlowTxnLog;
+use crate::slowlog::{SlowQueryLog, SlowTxnLog};
+use crate::telemetry::{self, HealthReport, TelemetrySampler, TelemetryState};
 use olxp_storage::checkpoint::{load_latest_checkpoint, write_checkpoint};
 use olxp_storage::wal::{ReplayedRecord, WalReplay};
 use olxp_storage::{
@@ -23,11 +24,13 @@ use olxp_storage::{
     Replicator, Row, RowTable, StorageError, TableCheckpoint, TableSchema, Timestamp, Wal, WalOp,
     WalRecord,
 };
+use olxp_trace::{TelemetryPoint, TelemetryServer};
 use olxp_txn::TransactionManager;
 use parking_lot::{Condvar, Mutex, RwLock, RwLockReadGuard};
 use std::collections::hash_map::DefaultHasher;
 use std::collections::{HashMap, HashSet};
 use std::hash::{Hash, Hasher};
+use std::net::SocketAddr;
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -225,6 +228,19 @@ pub struct HybridDatabase {
     /// Commits slower than [`EngineConfig::slow_txn_threshold_ms`], retained
     /// with their per-stage breakdown while tracing is enabled.
     slow_log: SlowTxnLog,
+    /// Analytical queries slower than
+    /// [`EngineConfig::slow_query_threshold_ms`], retained with their
+    /// per-operator breakdown (operators need tracing).
+    slow_query_log: SlowQueryLog,
+    /// Sampler ring, SLO flags and the telemetry time axis.  Always present —
+    /// idle when the sampler is disabled.
+    telemetry_state: Arc<TelemetryState>,
+    /// The background metrics-sampler thread (when
+    /// [`EngineConfig::telemetry_interval_ms`] is non-zero).
+    telemetry: Mutex<Option<TelemetrySampler>>,
+    /// The embedded HTTP scrape listener (when
+    /// [`EngineConfig::telemetry_addr`] is set).
+    telemetry_http: Mutex<Option<TelemetryServer>>,
 }
 
 impl HybridDatabase {
@@ -303,6 +319,7 @@ impl HybridDatabase {
         );
         let max_replayed_id = replays.iter().map(|r| r.max_txn_id).max().unwrap_or(0);
         let slow_log = SlowTxnLog::new(config.slow_txn_threshold_ms);
+        let slow_query_log = SlowQueryLog::new(config.slow_query_threshold_ms);
         let db = Arc::new(HybridDatabase {
             config,
             catalog: Catalog::new(),
@@ -322,6 +339,10 @@ impl HybridDatabase {
             compaction: Arc::new(CompactionSignal::new()),
             compactor: Mutex::new(None),
             slow_log,
+            slow_query_log,
+            telemetry_state: Arc::new(TelemetryState::new()),
+            telemetry: Mutex::new(None),
+            telemetry_http: Mutex::new(None),
         });
         if db.is_durable() {
             let report = db.recover(checkpoint, replays)?;
@@ -347,6 +368,17 @@ impl HybridDatabase {
                 Arc::clone(&db.metrics),
                 Duration::from_micros(db.config.compactor_idle_wait_us),
             ));
+        }
+        if db.config.telemetry_interval_ms > 0 {
+            *db.telemetry.lock() = Some(telemetry::spawn_sampler(&db));
+        }
+        if let Some(addr) = db.config.telemetry_addr.clone() {
+            // A scrape endpoint that cannot bind (port taken, no permission)
+            // must not take the database down with it: log and run without.
+            match telemetry::serve(&db, &addr) {
+                Ok(server) => *db.telemetry_http.lock() = Some(server),
+                Err(e) => eprintln!("olxp: telemetry listener on {addr} unavailable: {e}"),
+            }
         }
         Ok(db)
     }
@@ -390,6 +422,57 @@ impl HybridDatabase {
     /// [`EngineConfig::slow_txn_threshold_ms`] is non-zero).
     pub fn slow_txn_log(&self) -> &SlowTxnLog {
         &self.slow_log
+    }
+
+    /// The slow-query log (populated when
+    /// [`EngineConfig::slow_query_threshold_ms`] is non-zero; per-operator
+    /// breakdowns additionally need tracing).
+    pub fn slow_query_log(&self) -> &SlowQueryLog {
+        &self.slow_query_log
+    }
+
+    /// Live telemetry state: the sampler's time-series ring and SLO flags.
+    pub fn telemetry_state(&self) -> &TelemetryState {
+        &self.telemetry_state
+    }
+
+    /// The shared telemetry state, for the sampler thread to hold without
+    /// holding the database.
+    pub(crate) fn telemetry_state_arc(&self) -> &Arc<TelemetryState> {
+        &self.telemetry_state
+    }
+
+    /// Address the embedded telemetry HTTP listener is bound on, when one is
+    /// running (resolves `:0` requests to the actual ephemeral port).
+    pub fn telemetry_addr(&self) -> Option<SocketAddr> {
+        self.telemetry_http.lock().as_ref().map(|s| s.local_addr())
+    }
+
+    /// True while the background metrics sampler is running.
+    pub fn has_telemetry_sampler(&self) -> bool {
+        self.telemetry.lock().is_some()
+    }
+
+    /// Copy of every retained per-interval timeline point, oldest first.
+    pub fn telemetry_timeline(&self) -> Vec<TelemetryPoint> {
+        self.telemetry_state.timeline()
+    }
+
+    /// Copy of the timeline points sampled at or after `t_ms` on the
+    /// telemetry time axis (see [`Self::telemetry_elapsed_ms`]).
+    pub fn telemetry_points_since(&self, t_ms: u64) -> Vec<TelemetryPoint> {
+        self.telemetry_state.timeline_since(t_ms)
+    }
+
+    /// Milliseconds since the database was opened — the time axis of the
+    /// sampler's timeline points.
+    pub fn telemetry_elapsed_ms(&self) -> u64 {
+        self.telemetry_state.elapsed_ms()
+    }
+
+    /// Evaluate the `/healthz` SLO checks against the live engine.
+    pub fn health_report(&self) -> HealthReport {
+        telemetry::health_report(self)
     }
 
     /// Snapshot of engine metrics (durable engines include live WAL counters
@@ -808,6 +891,30 @@ impl HybridDatabase {
         self.compaction.notify();
         if let Some(handle) = compactor.handle.take() {
             let _ = handle.join();
+        }
+    }
+
+    /// Stop the telemetry sampler thread and the embedded HTTP listener.
+    /// The retained timeline stays readable.  Idempotent; also invoked on
+    /// drop.
+    pub fn shutdown_telemetry(&self) {
+        if let Some(mut server) = self.telemetry_http.lock().take() {
+            server.shutdown();
+        }
+        let sampler = self.telemetry.lock().take();
+        if let Some(mut sampler) = sampler {
+            sampler.shutdown.store(true, Ordering::Release);
+            if let Some(handle) = sampler.handle.take() {
+                if handle.thread().id() == std::thread::current().id() {
+                    // The sampler's own upgraded Arc can be the last one, in
+                    // which case this drop runs *on* the sampler thread:
+                    // detach instead of self-joining — the thread exits at
+                    // its next shutdown check.
+                    drop(handle);
+                } else {
+                    let _ = handle.join();
+                }
+            }
         }
     }
 
@@ -1292,6 +1399,9 @@ impl HybridDatabase {
 
 impl Drop for HybridDatabase {
     fn drop(&mut self) {
+        // Telemetry first: no scrape or sample should observe a half-torn-
+        // down engine.
+        self.shutdown_telemetry();
         self.shutdown_applier();
         self.shutdown_compactor();
     }
@@ -1598,6 +1708,173 @@ mod tests {
 
         let off = HybridDatabase::new(EngineConfig::dual_engine().with_compression(false)).unwrap();
         assert!(!off.has_background_compactor());
+    }
+
+    fn http_get(addr: SocketAddr, path: &str) -> (u16, String) {
+        use std::io::{Read as _, Write as _};
+        let mut stream = std::net::TcpStream::connect(addr).expect("connect to telemetry listener");
+        write!(
+            stream,
+            "GET {path} HTTP/1.1\r\nHost: localhost\r\nConnection: close\r\n\r\n"
+        )
+        .unwrap();
+        let mut raw = String::new();
+        stream.read_to_string(&mut raw).unwrap();
+        let status: u16 = raw
+            .split_whitespace()
+            .nth(1)
+            .expect("status line")
+            .parse()
+            .expect("numeric status");
+        let body = raw
+            .split_once("\r\n\r\n")
+            .map(|(_, b)| b.to_string())
+            .unwrap_or_default();
+        (status, body)
+    }
+
+    #[test]
+    fn telemetry_sampler_appends_interval_points() {
+        let db =
+            HybridDatabase::new(EngineConfig::dual_engine().with_telemetry_interval_ms(5)).unwrap();
+        assert!(db.has_telemetry_sampler());
+        db.create_table(item_schema()).unwrap();
+        for i in 0..50 {
+            db.load_row("ITEM", Row::new(vec![Value::Int(i), Value::Decimal(i)]))
+                .unwrap();
+        }
+        db.finish_load().unwrap();
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while db.telemetry_timeline().len() < 3 {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "sampler produced no points"
+            );
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let points = db.telemetry_timeline();
+        for pair in points.windows(2) {
+            assert!(pair[0].t_ms <= pair[1].t_ms, "time axis is monotonic");
+        }
+        assert!(points.iter().all(|p| p.interval_ms > 0));
+        assert!(
+            points.iter().map(|p| p.replication_applied).sum::<u64>() >= 50,
+            "the bulk load's replication shows up in some interval"
+        );
+        assert!(db.telemetry_points_since(points[1].t_ms).len() <= points.len());
+
+        db.shutdown_telemetry();
+        assert!(!db.has_telemetry_sampler());
+        let frozen = db.telemetry_timeline().len();
+        std::thread::sleep(Duration::from_millis(15));
+        assert_eq!(
+            db.telemetry_timeline().len(),
+            frozen,
+            "no points after shutdown; the retained timeline stays readable"
+        );
+        db.shutdown_telemetry(); // idempotent
+
+        let off =
+            HybridDatabase::new(EngineConfig::dual_engine().with_telemetry_interval_ms(0)).unwrap();
+        assert!(!off.has_telemetry_sampler());
+        assert!(off.telemetry_addr().is_none());
+        assert!(off.telemetry_timeline().is_empty());
+    }
+
+    #[test]
+    fn telemetry_http_serves_live_scrapes_on_an_ephemeral_port() {
+        let config = EngineConfig::dual_engine()
+            .with_telemetry_addr("127.0.0.1:0")
+            .with_telemetry_interval_ms(5);
+        let db = HybridDatabase::new(config).unwrap();
+        db.create_table(item_schema()).unwrap();
+        for i in 0..100 {
+            db.load_row("ITEM", Row::new(vec![Value::Int(i), Value::Decimal(i)]))
+                .unwrap();
+        }
+        db.finish_load().unwrap();
+        let addr = db.telemetry_addr().expect("listener bound on :0");
+
+        // /metrics: Prometheus text exposition, parse every sample back.
+        let (status, body) = http_get(addr, "/metrics");
+        assert_eq!(status, 200);
+        let mut samples = 0;
+        for line in body.lines() {
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let (series, value) = line.rsplit_once(' ').expect("sample line has a value");
+            assert!(
+                value.parse::<f64>().is_ok(),
+                "unparseable sample value: {line}"
+            );
+            assert!(series.starts_with("olxp_"), "unprefixed series: {line}");
+            samples += 1;
+        }
+        assert!(samples >= 10, "a real exposition: {body}");
+        assert!(body.contains("# TYPE olxp_commits_total counter"));
+        assert!(body.contains("# TYPE olxp_shards gauge"));
+        assert!(body.contains("olxp_statements_total{class=\"oltp\"}"));
+
+        // /healthz: a fresh engine passes every SLO check.
+        let (status, body) = http_get(addr, "/healthz");
+        assert_eq!(status, 200, "{body}");
+        assert!(body.starts_with("{\"healthy\":true"));
+
+        // /snapshot: the full counter snapshot with both slow logs.
+        let (status, body) = http_get(addr, "/snapshot");
+        assert_eq!(status, 200);
+        assert!(body.contains("\"commits\":"));
+        assert!(body.contains("\"slow_txns\":["));
+        assert!(body.contains("\"slow_queries\":["));
+
+        // /timeseries: wait for the sampler, then fetch the ring.
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while db.telemetry_timeline().is_empty() {
+            assert!(std::time::Instant::now() < deadline);
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let (status, body) = http_get(addr, "/timeseries");
+        assert_eq!(status, 200);
+        assert!(body.contains("\"points\":[{"), "ring has points: {body}");
+
+        let (status, _) = http_get(addr, "/nope");
+        assert_eq!(status, 404);
+
+        db.shutdown_telemetry();
+        assert!(db.telemetry_addr().is_none());
+    }
+
+    #[test]
+    fn health_degrades_when_slos_are_violated() {
+        let db = HybridDatabase::dual_engine();
+        assert!(db.health_report().healthy());
+
+        // Stopping a configured background thread flips its liveness check.
+        db.shutdown_applier();
+        let report = db.health_report();
+        assert!(!report.healthy());
+        assert!(report
+            .checks
+            .iter()
+            .any(|c| c.name == "replication_applier" && !c.healthy));
+
+        // The endpoint router mirrors the verdict as 503 without a socket.
+        let handler = telemetry::handler_for(&db);
+        let resp = handler("/healthz");
+        assert_eq!(resp.status, 503);
+        assert!(resp.body.contains("\"replication_applier\""));
+        assert_eq!(handler("/metrics").status, 200, "metrics always serve");
+
+        // A freshness timeout is an SLO violation on its own.
+        let db2 = HybridDatabase::dual_engine();
+        db2.metrics().add_freshness_timeout();
+        let report = db2.health_report();
+        assert!(!report.healthy());
+        assert!(report
+            .checks
+            .iter()
+            .any(|c| c.name == "freshness_timeouts" && !c.healthy));
     }
 
     #[test]

@@ -38,6 +38,7 @@ pub mod error;
 pub mod metrics;
 pub mod session;
 pub mod slowlog;
+pub mod telemetry;
 
 pub use cluster::{Cluster, NodeId};
 pub use config::{DurabilityConfig, EngineArchitecture, EngineConfig, FreshnessPolicy};
@@ -48,4 +49,5 @@ pub use metrics::{
 };
 pub use olxp_storage::SyncPolicy;
 pub use session::{Session, TxnHandle};
-pub use slowlog::{SlowTxnLog, SlowTxnRecord};
+pub use slowlog::{SlowQueryLog, SlowQueryRecord, SlowTxnLog, SlowTxnRecord};
+pub use telemetry::{HealthCheck, HealthReport, TelemetryState};

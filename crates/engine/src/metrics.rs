@@ -153,6 +153,7 @@ pub struct EngineMetrics {
     replication_errors: AtomicU64,
     distributed_commits: AtomicU64,
     freshness_observations: AtomicU64,
+    freshness_timeouts: AtomicU64,
     freshness_samples: Mutex<Vec<FreshnessSample>>,
     lock_waits: AtomicU64,
     lock_wait_nanos: AtomicU64,
@@ -210,6 +211,11 @@ pub struct MetricsSnapshot {
     pub distributed_commits: u64,
     /// Freshness observations recorded by analytical reads.
     pub freshness_observations: u64,
+    /// Freshness-bounded analytical reads that gave up waiting for the
+    /// replica and failed with a timeout — a key SLO health signal: any
+    /// growth means the replication pipeline cannot hold the configured
+    /// staleness bound.
+    pub freshness_timeouts: u64,
     /// Durability counters (all-zero for in-memory engines; see
     /// [`WalMetrics`]).  On a sharded engine these are aggregated across
     /// every shard's WAL stream.
@@ -297,6 +303,9 @@ impl MetricsSnapshot {
         out.freshness_observations = self
             .freshness_observations
             .saturating_sub(earlier.freshness_observations);
+        out.freshness_timeouts = self
+            .freshness_timeouts
+            .saturating_sub(earlier.freshness_timeouts);
         out.distributed_commits = self
             .distributed_commits
             .saturating_sub(earlier.distributed_commits);
@@ -475,6 +484,12 @@ impl EngineMetrics {
         std::mem::take(&mut *self.freshness_samples.lock())
     }
 
+    /// Record a freshness-bounded analytical read that timed out waiting for
+    /// the replica to satisfy its staleness bound.
+    pub fn add_freshness_timeout(&self) {
+        self.freshness_timeouts.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Record a two-phase (multi-partition) commit.
     pub fn add_distributed_commit(&self) {
         self.distributed_commits.fetch_add(1, Ordering::Relaxed);
@@ -547,6 +562,7 @@ impl EngineMetrics {
             replication_errors: self.replication_errors.load(Ordering::Relaxed),
             distributed_commits: self.distributed_commits.load(Ordering::Relaxed),
             freshness_observations: self.freshness_observations.load(Ordering::Relaxed),
+            freshness_timeouts: self.freshness_timeouts.load(Ordering::Relaxed),
             lock_waits: self.lock_waits.load(Ordering::Relaxed),
             lock_wait_nanos: self.lock_wait_nanos.load(Ordering::Relaxed),
             stages: self.stage.lock().clone(),
@@ -637,6 +653,18 @@ mod tests {
             2,
             "counter is lifetime"
         );
+    }
+
+    #[test]
+    fn freshness_timeouts_are_counted_and_delta() {
+        let m = EngineMetrics::new();
+        m.add_freshness_timeout();
+        let early = m.snapshot();
+        m.add_freshness_timeout();
+        m.add_freshness_timeout();
+        let d = m.snapshot().delta_since(&early);
+        assert_eq!(early.freshness_timeouts, 1);
+        assert_eq!(d.freshness_timeouts, 2);
     }
 
     #[test]

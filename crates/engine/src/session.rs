@@ -921,6 +921,13 @@ impl Session {
         self.db.metrics().add_statement(WorkClass::Olap);
         let cost = &self.db.config().cost;
         let medium = self.db.config().medium();
+        // Wall clock for the slow-query log, freshness wait included; only
+        // sampled while the log is enabled so the common path pays a branch.
+        let query_started = if self.db.slow_query_log().is_enabled() {
+            Some(Instant::now())
+        } else {
+            None
+        };
         match self.db.route_analytical() {
             AnalyticalRoute::ColumnStore => {
                 let fresh_start = if olxp_trace::enabled() {
@@ -963,6 +970,12 @@ impl Session {
                     .metrics()
                     .add_col_rows_scanned(output.stats.physical_rows());
                 self.db.charge(node, WorkClass::Olap, nanos);
+                self.note_slow_query(
+                    query_started,
+                    "column_store",
+                    output.stats.freshness_lag_records,
+                    &output.stats,
+                );
                 Ok(output)
             }
             AnalyticalRoute::RowStore => {
@@ -998,6 +1011,8 @@ impl Session {
                     .metrics()
                     .add_row_rows_scanned(output.stats.physical_rows());
                 self.db.charge(node, WorkClass::Olap, nanos);
+                // The row store is the authoritative copy, so lag is zero.
+                self.note_slow_query(query_started, "row_store", 0, &output.stats);
                 Ok(output)
             }
         }
@@ -1099,6 +1114,7 @@ impl Session {
             let now = Instant::now();
             if now >= deadline {
                 let sample = self.freshness_now();
+                self.db.metrics().add_freshness_timeout();
                 return Err(EngineError::FreshnessTimeout {
                     policy: policy.describe(),
                     lag_records: sample.lag_records,
@@ -1189,6 +1205,27 @@ impl Session {
                 .collect();
             self.db.metrics().record_stages(&durations);
         }
+    }
+
+    /// Retain the query in the slow-query log when it crossed the configured
+    /// threshold.  `started` is `Some` only while the log is enabled, so the
+    /// common (disabled) path costs a single branch.
+    fn note_slow_query(
+        &self,
+        started: Option<Instant>,
+        route: &'static str,
+        lag_records: u64,
+        stats: &ExecStats,
+    ) {
+        let Some(started) = started else { return };
+        self.db
+            .slow_query_log()
+            .observe(crate::slowlog::SlowQueryRecord {
+                route,
+                total_nanos: started.elapsed().as_nanos() as u64,
+                lag_records,
+                operators: stats.operator_nanos.clone(),
+            });
     }
 
     fn note_statement(&self, handle: &mut TxnHandle) {
@@ -1640,6 +1677,87 @@ mod tests {
             "a broken replica must not serve stale answers"
         );
         assert!(db.metrics_snapshot().replication_errors >= 1);
+    }
+
+    #[test]
+    fn freshness_timeout_is_counted_in_metrics() {
+        // Background applier running but wedged on a poison record (an
+        // insert without a row image never applies): a Strict reader parks
+        // on the applied watermark until the deadline, and the timeout must
+        // land in the freshness_timeouts SLO counter.
+        let config = colstore_only(EngineConfig::dual_engine())
+            .with_freshness(FreshnessPolicy::Strict)
+            .with_freshness_timeout_ms(50);
+        let db = test_db(config);
+        let session = db.session();
+        db.replication_log().append(
+            "ITEM",
+            olxp_storage::MutationOp::Insert,
+            Key::int(43_000),
+            None,
+            db.txn_manager().oracle().read_ts(),
+        );
+        let plan = QueryBuilder::scan("ITEM")
+            .aggregate(vec![], vec![AggSpec::new(AggFunc::Count, 0)])
+            .build();
+        let err = session.analytical_query(&plan);
+        assert!(
+            matches!(err, Err(EngineError::FreshnessTimeout { .. })),
+            "expected a freshness timeout, got {err:?}"
+        );
+        assert_eq!(db.metrics_snapshot().freshness_timeouts, 1);
+    }
+
+    #[test]
+    fn slow_query_log_records_offenders_with_operator_breakdown() {
+        // A large time_scale turns the modelled statement overhead (12µs
+        // simulated) into a real multi-millisecond delay inside `charge`, so
+        // every analytical query deterministically crosses the 1ms threshold
+        // regardless of build profile.
+        let mut config = EngineConfig::dual_engine()
+            .with_tracing(true)
+            .with_slow_query_threshold_ms(1);
+        config.time_scale = 300.0;
+        let db = HybridDatabase::new(config).unwrap();
+        db.create_table(
+            TableSchema::new(
+                "ITEM",
+                vec![
+                    ColumnDef::new("i_id", DataType::Int, false),
+                    ColumnDef::new("i_price", DataType::Decimal, false),
+                ],
+                vec!["i_id"],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        for i in 0..50i64 {
+            db.load_row("ITEM", Row::new(vec![Value::Int(i), Value::Decimal(i)]))
+                .unwrap();
+        }
+        db.finish_load().unwrap();
+        let session = db.session();
+        let plan = QueryBuilder::scan("ITEM")
+            .aggregate(vec![], vec![AggSpec::new(AggFunc::Count, 0)])
+            .build();
+        session.analytical_query(&plan).unwrap();
+        let records = db.slow_query_log().records();
+        assert_eq!(records.len(), 1, "the query must cross the 1ms threshold");
+        let record = &records[0];
+        assert!(record.total_nanos >= 1_000_000);
+        assert!(record.route == "column_store" || record.route == "row_store");
+        assert!(
+            !record.operators.is_empty(),
+            "tracing was on, so operator timings are captured"
+        );
+        assert!(record.format().starts_with("slow query: "));
+        assert!(record.format().contains("op0="));
+
+        // Disabled by default: no threshold, no records.
+        let quiet = test_db(EngineConfig::dual_engine());
+        let quiet_session = quiet.session();
+        quiet_session.analytical_query(&plan).unwrap();
+        assert!(quiet.slow_query_log().is_empty());
     }
 
     #[test]

@@ -51,8 +51,9 @@ pub use olxpbench_workloads as workloads;
 pub mod prelude {
     pub use olxp_engine::{
         DurabilityConfig, EngineArchitecture, EngineConfig, EngineError, EngineResult,
-        FreshnessPolicy, FreshnessSample, HybridDatabase, RecoveryReport, Session, ShardBreakdown,
-        SlowTxnLog, SlowTxnRecord, SyncPolicy, TxnHandle, WalMetrics, WorkClass,
+        FreshnessPolicy, FreshnessSample, HealthCheck, HealthReport, HybridDatabase,
+        RecoveryReport, Session, ShardBreakdown, SlowQueryLog, SlowQueryRecord, SlowTxnLog,
+        SlowTxnRecord, SyncPolicy, TxnHandle, WalMetrics, WorkClass,
     };
     pub use olxp_query::{col, lit, AggFunc, AggSpec, JoinKind, Plan, QueryBuilder, SortKey};
     pub use olxp_storage::{
@@ -60,14 +61,15 @@ pub mod prelude {
     };
     pub use olxp_trace::{
         chrome_trace_json, prometheus_text, LogHistogram, SpanCategory, SpanEvent, StageBreakdown,
-        TaggedSpan,
+        TaggedSpan, TelemetryPoint, TelemetryServer, TimeSeriesRing,
     };
     pub use olxp_txn::IsolationLevel;
     pub use olxpbench_core::{
-        check_semantic_consistency, shard_table, stage_table, AgentConfig, AnalyticalQuery,
-        BenchConfig, BenchmarkComparison, BenchmarkDriver, BenchmarkResult, FreshnessSummary,
-        HybridTransaction, LatencySummary, LoopMode, OnlineTransaction, ShardSummary, StageSummary,
-        TransactionMix, Workload, WorkloadFeatures, WorkloadKind,
+        check_semantic_consistency, shard_table, stage_table, timeline_table, AgentConfig,
+        AnalyticalQuery, BenchConfig, BenchmarkComparison, BenchmarkDriver, BenchmarkResult,
+        FreshnessSummary, HybridTransaction, LatencySummary, LoopMode, OnlineTransaction,
+        ShardSummary, StageSummary, TimelinePoint, TransactionMix, Workload, WorkloadFeatures,
+        WorkloadKind,
     };
     pub use olxpbench_workloads::{
         olxp_suites, workload_by_name, ChBenchmark, Fibenchmark, Subenchmark, Tabenchmark,

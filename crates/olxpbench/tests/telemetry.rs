@@ -1,0 +1,75 @@
+//! End-to-end telemetry tests at the benchmark level: a live run exposes
+//! scrapeable `/metrics` and `/healthz` endpoints on an ephemeral port, and
+//! the driver threads the sampled timeline into its `BenchmarkResult` so the
+//! report layer can print the per-interval table.
+
+use olxpbench::prelude::*;
+use std::io::{Read as _, Write as _};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Minimal HTTP/1.1 GET against the embedded telemetry listener.
+fn http_get(addr: std::net::SocketAddr, path: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect to telemetry listener");
+    write!(
+        stream,
+        "GET {path} HTTP/1.1\r\nHost: localhost\r\nConnection: close\r\n\r\n"
+    )
+    .unwrap();
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).unwrap();
+    let status: u16 = raw
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .expect("status line");
+    let body = raw
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (status, body)
+}
+
+#[test]
+fn live_run_is_scrapeable_and_reports_a_timeline() {
+    let config = EngineConfig::dual_engine()
+        .with_time_scale(0.0)
+        .with_telemetry_interval_ms(5)
+        .with_telemetry_addr("127.0.0.1:0");
+    let db = HybridDatabase::new(config).unwrap();
+    let addr = db.telemetry_addr().expect("ephemeral listener bound");
+
+    let workload = Fibenchmark::new();
+    let bench = BenchConfig::oltp_only(2, 400.0, Duration::from_millis(400))
+        .with_scale_factor(1)
+        .with_warmup(Duration::from_millis(50));
+    let driver = BenchmarkDriver::new(bench);
+    driver.prepare(&db, &workload).unwrap();
+    let result = driver.run(&db, &workload).unwrap();
+
+    // The run lasted ~450ms at a 5ms cadence: the timeline must have caught
+    // several intervals, rebased to the driver's observation window.
+    assert!(
+        result.timeline.len() >= 3,
+        "expected a sampled timeline, got {} points",
+        result.timeline.len()
+    );
+    let commits: u64 = result.timeline.iter().map(|p| p.commits).sum();
+    assert!(commits > 0, "timeline should have observed commits");
+    for pair in result.timeline.windows(2) {
+        assert!(pair[0].t_ms < pair[1].t_ms, "timeline is monotonic");
+    }
+    let table = timeline_table(&result.timeline);
+    assert!(table.contains("commit/s"));
+    assert!(table.lines().count() >= result.timeline.len() + 2);
+    assert_eq!(result.freshness_timeouts, 0);
+
+    // The listener keeps serving after the run.
+    let (status, metrics) = http_get(addr, "/metrics");
+    assert_eq!(status, 200);
+    assert!(metrics.contains("# TYPE olxp_commits_total counter"));
+    assert!(metrics.contains("olxp_up 1"));
+    let (status, health) = http_get(addr, "/healthz");
+    assert_eq!(status, 200, "health checks pass on a clean run: {health}");
+    assert!(health.starts_with("{\"healthy\":true"));
+}

@@ -71,6 +71,101 @@ pub fn prometheus_text(metric: &str, series: &[(&str, &LogHistogram)]) -> String
     out
 }
 
+/// Escape a label value per the Prometheus exposition format: backslash,
+/// double quote and newline must be backslash-escaped inside `label="..."`.
+pub fn prometheus_escape_label(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+/// Render a number the way Prometheus expects: integers without a fraction,
+/// everything else in plain decimal.
+fn prometheus_value(value: f64) -> String {
+    if value.fract() == 0.0 && value.abs() < 1e15 {
+        format!("{}", value as i64)
+    } else {
+        format!("{value}")
+    }
+}
+
+fn prometheus_samples(out: &mut String, name: &str, samples: &[(&[(&str, &str)], f64)]) {
+    for (labels, value) in samples {
+        let value = prometheus_value(*value);
+        if labels.is_empty() {
+            let _ = writeln!(out, "{name} {value}");
+        } else {
+            let rendered: Vec<String> = labels
+                .iter()
+                .map(|(k, v)| format!("{k}=\"{}\"", prometheus_escape_label(v)))
+                .collect();
+            let _ = writeln!(out, "{name}{{{}}} {value}", rendered.join(","));
+        }
+    }
+}
+
+/// Append one counter family in Prometheus text exposition.
+///
+/// `name` is the family base name; per convention the emitted series get a
+/// `_total` suffix.  Each sample is a label set (possibly empty) plus the
+/// cumulative value.
+pub fn prometheus_counter(
+    out: &mut String,
+    name: &str,
+    help: &str,
+    samples: &[(&[(&str, &str)], f64)],
+) {
+    let _ = writeln!(out, "# HELP {name}_total {help}");
+    let _ = writeln!(out, "# TYPE {name}_total counter");
+    prometheus_samples(out, &format!("{name}_total"), samples);
+}
+
+/// Append one gauge family in Prometheus text exposition (no suffix —
+/// gauges are instantaneous values, not cumulative totals).
+pub fn prometheus_gauge(
+    out: &mut String,
+    name: &str,
+    help: &str,
+    samples: &[(&[(&str, &str)], f64)],
+) {
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} gauge");
+    prometheus_samples(out, name, samples);
+}
+
+/// Render labelled histograms like [`prometheus_text`], but with a `# HELP`
+/// line and label-value escaping — the variant the live `/metrics` endpoint
+/// serves.
+pub fn prometheus_histogram(metric: &str, help: &str, series: &[(&str, &LogHistogram)]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# HELP {metric} {help}");
+    let _ = writeln!(out, "# TYPE {metric} histogram");
+    for (label, hist) in series {
+        let label = prometheus_escape_label(label);
+        hist.for_each_bucket(|upper, cumulative| {
+            let _ = writeln!(
+                out,
+                "{metric}_bucket{{stage=\"{label}\",le=\"{upper}\"}} {cumulative}"
+            );
+        });
+        let _ = writeln!(
+            out,
+            "{metric}_bucket{{stage=\"{label}\",le=\"+Inf\"}} {}",
+            hist.count()
+        );
+        let _ = writeln!(out, "{metric}_sum{{stage=\"{label}\"}} {}", hist.sum());
+        let _ = writeln!(out, "{metric}_count{{stage=\"{label}\"}} {}", hist.count());
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -164,6 +259,74 @@ mod tests {
             let args = event.get("args").expect("event has args");
             assert!(args.get("shard").is_some() && args.get("txn").is_some());
         }
+    }
+
+    #[test]
+    fn counter_families_get_help_type_and_total_suffix() {
+        let mut out = String::new();
+        prometheus_counter(
+            &mut out,
+            "olxp_commits",
+            "Transactions committed.",
+            &[(&[], 42.0)],
+        );
+        prometheus_counter(
+            &mut out,
+            "olxp_statements",
+            "Statements issued per work class.",
+            &[(&[("class", "oltp")], 10.0), (&[("class", "olap")], 3.0)],
+        );
+        assert!(out.contains("# HELP olxp_commits_total Transactions committed.\n"));
+        assert!(out.contains("# TYPE olxp_commits_total counter\n"));
+        assert!(out.contains("olxp_commits_total 42\n"));
+        assert!(out.contains("olxp_statements_total{class=\"oltp\"} 10\n"));
+        assert!(out.contains("olxp_statements_total{class=\"olap\"} 3\n"));
+    }
+
+    #[test]
+    fn gauge_families_have_no_suffix_and_keep_fractions() {
+        let mut out = String::new();
+        prometheus_gauge(
+            &mut out,
+            "olxp_abort_rate",
+            "Aborts per commit attempt.",
+            &[(&[], 0.125)],
+        );
+        assert!(out.contains("# HELP olxp_abort_rate Aborts per commit attempt.\n"));
+        assert!(out.contains("# TYPE olxp_abort_rate gauge\n"));
+        assert!(out.contains("olxp_abort_rate 0.125\n"));
+        assert!(!out.contains("olxp_abort_rate_total"));
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        assert_eq!(prometheus_escape_label("plain"), "plain");
+        assert_eq!(prometheus_escape_label("a\\b\"c\nd"), "a\\\\b\\\"c\\nd");
+        let mut out = String::new();
+        prometheus_gauge(
+            &mut out,
+            "olxp_info",
+            "Engine info.",
+            &[(&[("label", "quo\"te\\slash\nline")], 1.0)],
+        );
+        assert!(out.contains("olxp_info{label=\"quo\\\"te\\\\slash\\nline\"} 1\n"));
+    }
+
+    #[test]
+    fn histogram_with_help_matches_legacy_shape_plus_help() {
+        let mut h = LogHistogram::new();
+        h.record(10);
+        h.record(20);
+        let text = prometheus_histogram(
+            "olxp_stage_duration_nanos",
+            "Per-stage lifecycle latency.",
+            &[("fsync", &h)],
+        );
+        assert!(text.starts_with("# HELP olxp_stage_duration_nanos Per-stage lifecycle latency.\n"));
+        assert!(text.contains("# TYPE olxp_stage_duration_nanos histogram\n"));
+        assert!(text.contains("olxp_stage_duration_nanos_bucket{stage=\"fsync\",le=\"+Inf\"} 2"));
+        assert!(text.contains("olxp_stage_duration_nanos_sum{stage=\"fsync\"} 30"));
+        assert!(text.contains("olxp_stage_duration_nanos_count{stage=\"fsync\"} 2"));
     }
 
     #[test]

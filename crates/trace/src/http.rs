@@ -1,0 +1,277 @@
+//! Dependency-free embedded HTTP/1.1 server for telemetry scrape endpoints.
+//!
+//! A [`TelemetryServer`] owns one listener thread built on
+//! [`std::net::TcpListener`]: the accept loop runs non-blocking so a shutdown
+//! request is observed within milliseconds, each accepted connection is
+//! served synchronously (scrapes are small and infrequent — a Prometheus
+//! scraper polls every few seconds), and every response closes the
+//! connection.  Only `GET` is supported; routing is delegated to a caller
+//! -supplied handler keyed on the request path, which keeps this module free
+//! of any knowledge about what is being exported.
+
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Cap on the bytes of request head this server will buffer; scrape requests
+/// are one line plus a handful of headers, so anything larger is abuse.
+const MAX_REQUEST_BYTES: usize = 8 * 1024;
+
+/// How long the accept loop sleeps when no connection is pending — the upper
+/// bound on both shutdown latency and accept latency under idle load.
+const ACCEPT_IDLE_WAIT: Duration = Duration::from_millis(5);
+
+/// One HTTP response: status code, content type and body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HttpResponse {
+    /// HTTP status code (200, 404, 503, ...).
+    pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// Response body.
+    pub body: String,
+}
+
+impl HttpResponse {
+    /// A `text/plain` response (the Prometheus exposition content type is
+    /// close enough to plain text that scrapers accept it).
+    pub fn text(status: u16, body: impl Into<String>) -> HttpResponse {
+        HttpResponse {
+            status,
+            content_type: "text/plain; version=0.0.4; charset=utf-8",
+            body: body.into(),
+        }
+    }
+
+    /// An `application/json` response.
+    pub fn json(status: u16, body: impl Into<String>) -> HttpResponse {
+        HttpResponse {
+            status,
+            content_type: "application/json",
+            body: body.into(),
+        }
+    }
+
+    /// A `404 Not Found` for an unknown path.
+    pub fn not_found(path: &str) -> HttpResponse {
+        HttpResponse::text(404, format!("no such endpoint: {path}\n"))
+    }
+
+    fn reason(&self) -> &'static str {
+        match self.status {
+            200 => "OK",
+            400 => "Bad Request",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            503 => "Service Unavailable",
+            _ => "Error",
+        }
+    }
+}
+
+/// Request router: maps a path (query string already stripped) to a response.
+pub type Handler = Arc<dyn Fn(&str) -> HttpResponse + Send + Sync>;
+
+/// An embedded HTTP/1.1 listener serving telemetry endpoints from a
+/// background thread until shut down (or dropped).
+pub struct TelemetryServer {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl TelemetryServer {
+    /// Bind `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and start the
+    /// listener thread.  The actually bound address — with the resolved
+    /// port — is available from [`TelemetryServer::local_addr`].
+    pub fn bind(addr: &str, handler: Handler) -> std::io::Result<TelemetryServer> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        // Non-blocking accept lets the loop poll the shutdown flag instead
+        // of parking forever inside accept(2).
+        listener.set_nonblocking(true)?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let stop = Arc::clone(&shutdown);
+        let handle = std::thread::Builder::new()
+            .name("olxp-telemetry-http".to_string())
+            .spawn(move || {
+                while !stop.load(Ordering::Acquire) {
+                    match listener.accept() {
+                        Ok((stream, _)) => {
+                            let _ = serve_connection(stream, &handler);
+                        }
+                        Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                            std::thread::sleep(ACCEPT_IDLE_WAIT);
+                        }
+                        Err(_) => std::thread::sleep(ACCEPT_IDLE_WAIT),
+                    }
+                }
+            })
+            .expect("spawning the telemetry HTTP thread succeeds");
+        Ok(TelemetryServer {
+            addr: local,
+            shutdown,
+            handle: Some(handle),
+        })
+    }
+
+    /// The bound address, with any ephemeral port resolved.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop the listener thread and wait for it to exit.  Idempotent.  When
+    /// called *from* the listener thread itself (possible if it holds the
+    /// last reference to the exported state), the thread is detached instead
+    /// of joined — a thread cannot join itself.
+    pub fn shutdown(&mut self) {
+        self.shutdown.store(true, Ordering::Release);
+        if let Some(handle) = self.handle.take() {
+            if handle.thread().id() == std::thread::current().id() {
+                drop(handle);
+            } else {
+                let _ = handle.join();
+            }
+        }
+    }
+}
+
+impl Drop for TelemetryServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+impl std::fmt::Debug for TelemetryServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TelemetryServer")
+            .field("addr", &self.addr)
+            .field("running", &self.handle.is_some())
+            .finish()
+    }
+}
+
+/// Read one request head, route it, write one response, close.
+fn serve_connection(mut stream: TcpStream, handler: &Handler) -> std::io::Result<()> {
+    stream.set_nonblocking(false)?;
+    // A stuck or malicious client must not wedge the single serving thread.
+    stream.set_read_timeout(Some(Duration::from_secs(2)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(2)))?;
+
+    let mut head = Vec::with_capacity(512);
+    let mut chunk = [0u8; 1024];
+    while !head_complete(&head) && head.len() < MAX_REQUEST_BYTES {
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            break;
+        }
+        head.extend_from_slice(&chunk[..n]);
+    }
+
+    let response = route(&head, handler);
+    let payload = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+        response.status,
+        response.reason(),
+        response.content_type,
+        response.body.len(),
+        response.body,
+    );
+    stream.write_all(payload.as_bytes())?;
+    stream.flush()
+}
+
+fn head_complete(head: &[u8]) -> bool {
+    head.windows(4).any(|w| w == b"\r\n\r\n")
+}
+
+/// Parse the request line and dispatch to the handler.
+fn route(head: &[u8], handler: &Handler) -> HttpResponse {
+    let text = String::from_utf8_lossy(head);
+    let request_line = match text.lines().next() {
+        Some(line) if !line.trim().is_empty() => line,
+        _ => return HttpResponse::text(400, "empty request\n"),
+    };
+    let mut parts = request_line.split_whitespace();
+    let (method, target) = match (parts.next(), parts.next()) {
+        (Some(m), Some(t)) => (m, t),
+        _ => return HttpResponse::text(400, "malformed request line\n"),
+    };
+    if method != "GET" {
+        return HttpResponse::text(405, "only GET is supported\n");
+    }
+    // Scrapers may append query parameters; routing ignores them.
+    let path = target.split('?').next().unwrap_or(target);
+    handler(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Issue one request against `addr` and return the raw response text.
+    fn fetch(addr: SocketAddr, request: &str) -> String {
+        let mut stream = TcpStream::connect(addr).expect("connect to telemetry server");
+        stream.write_all(request.as_bytes()).expect("send request");
+        let mut response = String::new();
+        stream.read_to_string(&mut response).expect("read response");
+        response
+    }
+
+    fn test_server() -> TelemetryServer {
+        let handler: Handler = Arc::new(|path: &str| match path {
+            "/metrics" => HttpResponse::text(200, "# TYPE up gauge\nup 1\n"),
+            "/healthz" => HttpResponse::json(503, "{\"status\":\"unhealthy\"}"),
+            other => HttpResponse::not_found(other),
+        });
+        TelemetryServer::bind("127.0.0.1:0", handler).expect("ephemeral bind succeeds")
+    }
+
+    #[test]
+    fn serves_routed_responses_on_an_ephemeral_port() {
+        let server = test_server();
+        let addr = server.local_addr();
+        assert_ne!(addr.port(), 0, "ephemeral port was resolved");
+
+        let ok = fetch(addr, "GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n");
+        assert!(ok.starts_with("HTTP/1.1 200 OK\r\n"), "{ok}");
+        assert!(ok.contains("Content-Type: text/plain"));
+        assert!(ok.contains("Content-Length: 21"));
+        assert!(ok.ends_with("# TYPE up gauge\nup 1\n"));
+
+        // Query strings are stripped before routing.
+        let with_query = fetch(addr, "GET /metrics?format=prometheus HTTP/1.1\r\n\r\n");
+        assert!(with_query.starts_with("HTTP/1.1 200 OK\r\n"));
+
+        let unhealthy = fetch(addr, "GET /healthz HTTP/1.1\r\n\r\n");
+        assert!(unhealthy.starts_with("HTTP/1.1 503 Service Unavailable\r\n"));
+        assert!(unhealthy.contains("Content-Type: application/json"));
+
+        let missing = fetch(addr, "GET /nope HTTP/1.1\r\n\r\n");
+        assert!(missing.starts_with("HTTP/1.1 404 Not Found\r\n"));
+    }
+
+    #[test]
+    fn rejects_non_get_and_malformed_requests() {
+        let server = test_server();
+        let addr = server.local_addr();
+        let post = fetch(addr, "POST /metrics HTTP/1.1\r\n\r\n");
+        assert!(post.starts_with("HTTP/1.1 405 Method Not Allowed\r\n"));
+        let garbage = fetch(addr, "...\r\n\r\n");
+        assert!(garbage.starts_with("HTTP/1.1 400 Bad Request\r\n"));
+    }
+
+    #[test]
+    fn shutdown_is_idempotent_and_frees_the_port() {
+        let mut server = test_server();
+        let addr = server.local_addr();
+        server.shutdown();
+        server.shutdown(); // idempotent
+        drop(server);
+        // The listener is gone: a fresh bind to the same port succeeds.
+        let rebound = TcpListener::bind(addr);
+        assert!(rebound.is_ok(), "port was released on shutdown");
+    }
+}
